@@ -1,0 +1,44 @@
+// Baseline comparison (beyond the paper's three models): adds the
+// server-push Top-N predictor (Markatos & Chronaki, paper §6 [20]) and a
+// first-order Markov model (2-PPM; Padmanabhan & Mogul-style [21]) next to
+// the paper's models on the nasa-like day-4 experiment — situating PB-PPM
+// inside the broader prefetching design space the paper surveys.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace webppm;
+  using namespace webppm::bench;
+  const auto& trace = nasa_trace();
+  constexpr std::uint32_t kTrainDays = 4;
+  print_header("=== Baselines: Top-N push and first-order Markov vs the "
+               "paper's models (nasa-like, 4 training days) ===",
+               trace);
+
+  std::vector<core::ModelSpec> specs = {
+      core::ModelSpec::top_n_model(10),
+      core::ModelSpec::top_n_model(50),
+      core::ModelSpec::standard_fixed(2),  // first-order Markov
+      core::ModelSpec::standard_fixed(3),
+      core::ModelSpec::standard_unbounded(),
+      core::ModelSpec::lrs_model(),
+      core::ModelSpec::pb_model(),
+  };
+  specs[2].label = "markov-1st";
+
+  std::printf("%-14s %9s %8s %8s %8s %8s\n", "model", "space", "hit",
+              "latred", "traffic", "pf-acc");
+  for (const auto& spec : specs) {
+    const auto r = core::run_day_experiment(trace, spec, kTrainDays);
+    std::printf("%-14s %9zu %8.3f %8.3f %7.1f%% %8.3f\n", r.model.c_str(),
+                r.node_count, r.with_prefetch.hit_ratio(),
+                r.latency_reduction,
+                100.0 * r.with_prefetch.traffic_increment(),
+                r.with_prefetch.prefetch_accuracy());
+  }
+  std::printf(
+      "\nreading: pure popularity (top-N) already captures a surprising\n"
+      "share of hits on regular traffic — the insight PB-PPM builds into\n"
+      "the Markov structure — but path context is what pushes accuracy\n"
+      "past it at far lower traffic than a large push set.\n");
+  return 0;
+}

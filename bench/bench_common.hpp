@@ -1,0 +1,49 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench regenerates the same deterministic synthetic traces (seeded
+// profiles), so rows are reproducible run to run. The paper's evaluation
+// protocol is fixed here: train on days 1..k, evaluate on day k+1.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/webppm.hpp"
+
+namespace webppm::bench {
+
+/// The nasa-like trace used by every §4 harness: 8 days so that day sweeps
+/// reach 7 training days like the paper's Table 1.
+inline const trace::Trace& nasa_trace() {
+  static const trace::Trace t =
+      workload::generate_page_trace(workload::nasa_like(/*days=*/8));
+  return t;
+}
+
+/// The ucb-like trace: 6 days (paper's Table 2 sweeps 1-5 training days).
+inline const trace::Trace& ucb_trace() {
+  static const trace::Trace t =
+      workload::generate_page_trace(workload::ucb_like(/*days=*/6));
+  return t;
+}
+
+inline void print_header(const char* title, const trace::Trace& trace) {
+  std::printf("%s\n", title);
+  std::printf("trace: %zu page requests, %zu URLs, %u days "
+              "(deterministic synthetic; see DESIGN.md)\n\n",
+              trace.requests.size(), trace.urls.size(), trace.day_count());
+}
+
+/// Runs a model over a range of training-day counts.
+inline std::vector<core::DayEvalResult> day_sweep(
+    const trace::Trace& trace, const core::ModelSpec& spec,
+    std::uint32_t max_train_days) {
+  std::vector<core::DayEvalResult> rows;
+  for (std::uint32_t d = 1; d <= max_train_days; ++d) {
+    rows.push_back(core::run_day_experiment(trace, spec, d));
+  }
+  return rows;
+}
+
+}  // namespace webppm::bench

@@ -1,0 +1,57 @@
+// Reproduces paper Figure 3 (four panels):
+//   1. hit ratio vs training days, NASA trace   — PB-PPM consistently top
+//   2. latency reduction vs days, NASA trace    — PB-PPM reduces the most
+//   3. hit ratio vs days, UCB-CS trace          — standard edges PB by ~2%,
+//                                                 PB above LRS
+//   4. latency reduction vs days, UCB-CS trace  — same ordering as (3)
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace webppm;
+using namespace webppm::bench;
+
+void panel(const char* title, const trace::Trace& trace,
+           const std::vector<core::ModelSpec>& specs,
+           std::uint32_t max_days, bool latency) {
+  std::printf("-- %s --\n", title);
+  std::printf("%-14s", "days");
+  for (std::uint32_t d = 1; d <= max_days; ++d) std::printf("%8u", d);
+  std::printf("\n");
+  for (const auto& spec : specs) {
+    const auto rows = day_sweep(trace, spec, max_days);
+    std::printf("%-14s", rows[0].model.c_str());
+    for (const auto& r : rows) {
+      std::printf("%8.3f", latency ? r.latency_reduction
+                                   : r.with_prefetch.hit_ratio());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<core::ModelSpec> nasa_specs = {
+      core::ModelSpec::standard_unbounded(), core::ModelSpec::lrs_model(),
+      core::ModelSpec::pb_model()};
+  const std::vector<core::ModelSpec> ucb_specs = {
+      core::ModelSpec::standard_unbounded(), core::ModelSpec::lrs_model(),
+      core::ModelSpec::pb_model_aggressive()};
+
+  print_header("=== Figure 3: hit ratios and latency reductions ===",
+               nasa_trace());
+  panel("Fig 3.1: hit ratio, nasa-like", nasa_trace(), nasa_specs, 7, false);
+  panel("Fig 3.2: latency reduction, nasa-like", nasa_trace(), nasa_specs, 7,
+        true);
+  panel("Fig 3.3: hit ratio, ucb-like", ucb_trace(), ucb_specs, 5, false);
+  panel("Fig 3.4: latency reduction, ucb-like", ucb_trace(), ucb_specs, 5,
+        true);
+
+  std::printf(
+      "paper shape: nasa — pb-ppm tops both metrics (its margin over the\n"
+      "standard model is smaller here than the paper's 13%%); ucb — the\n"
+      "standard model leads pb-ppm by a small margin and lrs-ppm trails\n");
+  return 0;
+}

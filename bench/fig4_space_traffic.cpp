@@ -1,0 +1,81 @@
+// Reproduces paper Figure 4 (four panels):
+//   1. space (nodes) vs training days, NASA  — LRS grows fast, PB slowly
+//   2. traffic increase vs days, NASA        — standard highest (~14%)
+//   3. space (nodes) vs days, UCB            — PB far below LRS
+//   4. traffic increase vs days, UCB         — standard > PB > LRS
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace webppm;
+using namespace webppm::bench;
+
+void space_panel(const char* title, const trace::Trace& trace,
+                 const std::vector<core::ModelSpec>& specs,
+                 std::uint32_t max_days) {
+  std::printf("-- %s --\n", title);
+  std::printf("%-14s", "days");
+  for (std::uint32_t d = 1; d <= max_days; ++d) std::printf("%10u", d);
+  std::printf("\n");
+  for (const auto& spec : specs) {
+    std::printf("%-14s", spec.label.c_str());
+    for (std::uint32_t d = 1; d <= max_days; ++d) {
+      const auto trained = core::train_model(spec, trace, 0, d - 1);
+      std::printf("%10zu", trained.predictor->node_count());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void traffic_panel(const char* title, const trace::Trace& trace,
+                   const std::vector<core::ModelSpec>& specs,
+                   std::uint32_t max_days) {
+  std::printf("-- %s --\n", title);
+  std::printf("%-14s", "days");
+  for (std::uint32_t d = 1; d <= max_days; ++d) std::printf("%10u", d);
+  std::printf("\n");
+  for (const auto& spec : specs) {
+    const auto rows = day_sweep(trace, spec, max_days);
+    std::printf("%-14s", rows[0].model.c_str());
+    for (const auto& r : rows) {
+      std::printf("%9.1f%%", 100.0 * r.with_prefetch.traffic_increment());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<core::ModelSpec> nasa_space = {
+      core::ModelSpec::lrs_model(), core::ModelSpec::pb_model()};
+  const std::vector<core::ModelSpec> nasa_traffic = {
+      core::ModelSpec::standard_unbounded(), core::ModelSpec::lrs_model(),
+      core::ModelSpec::pb_model()};
+  const std::vector<core::ModelSpec> ucb_space = {
+      core::ModelSpec::lrs_model(), core::ModelSpec::pb_model_aggressive()};
+  const std::vector<core::ModelSpec> ucb_traffic = {
+      core::ModelSpec::standard_unbounded(), core::ModelSpec::lrs_model(),
+      core::ModelSpec::pb_model_aggressive()};
+
+  print_header("=== Figure 4: space growth and traffic increase ===",
+               nasa_trace());
+  space_panel("Fig 4.1: space (nodes), nasa-like", nasa_trace(), nasa_space,
+              7);
+  traffic_panel("Fig 4.2: traffic increase, nasa-like", nasa_trace(),
+                nasa_traffic, 7);
+  space_panel("Fig 4.3: space (nodes), ucb-like", ucb_trace(), ucb_space, 5);
+  traffic_panel("Fig 4.4: traffic increase, ucb-like", ucb_trace(),
+                ucb_traffic, 5);
+
+  std::printf(
+      "paper shape: space — lrs grows quickly with days while pb grows\n"
+      "slowly on both traces; traffic — standard is the most wasteful;\n"
+      "on ucb-like the ordering standard > pb >= lrs reproduces. Known\n"
+      "deviation (EXPERIMENTS.md): on nasa-like our pb traffic exceeds\n"
+      "standard's because special-link prefetches are relatively more\n"
+      "speculative at this trace scale.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// model_explorer: inspect the prediction-tree structure each model builds
+// from the same trace — the data behind the paper's Fig. 1 and Tables 1-2.
+//
+//   $ ./model_explorer [train_days]
+//
+// Prints per-model node counts, root counts, depth histograms, and the
+// hottest branches (root-to-leaf paths by traversal count), plus PB-PPM's
+// special links.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/webppm.hpp"
+
+namespace {
+
+using namespace webppm;
+
+void depth_histogram(const ppm::PredictionTree& tree) {
+  std::vector<std::size_t> by_depth;
+  for (ppm::NodeId id = 0; id < tree.node_count(); ++id) {
+    const auto d = tree.node(id).depth;
+    if (d >= by_depth.size()) by_depth.resize(d + 1, 0);
+    ++by_depth[d];
+  }
+  std::printf("  depth histogram:");
+  for (std::size_t d = 1; d < by_depth.size(); ++d) {
+    std::printf(" %zu:%zu", d, by_depth[d]);
+  }
+  std::printf("\n");
+}
+
+void hottest_branches(const ppm::PredictionTree& tree,
+                      const trace::Trace& trace, std::size_t top_n) {
+  struct Branch {
+    std::vector<UrlId> path;
+    std::uint32_t leaf_count;
+  };
+  std::vector<Branch> leaves;
+  // DFS collecting root-to-leaf paths.
+  struct Frame {
+    ppm::NodeId node;
+    std::size_t path_len;
+  };
+  std::vector<UrlId> path;
+  for (const auto& [url, root] : tree.roots()) {
+    std::vector<Frame> stack{{root, 0}};
+    while (!stack.empty()) {
+      const auto [node, len] = stack.back();
+      stack.pop_back();
+      path.resize(len);
+      path.push_back(tree.node(node).url);
+      bool leaf = true;
+      tree.node(node).children.for_each([&](UrlId, ppm::NodeId c) {
+        leaf = false;
+        stack.push_back({c, path.size()});
+      });
+      if (leaf) leaves.push_back({path, tree.node(node).count});
+    }
+  }
+  const auto shown =
+      static_cast<std::ptrdiff_t>(std::min(top_n, leaves.size()));
+  std::partial_sort(leaves.begin(), leaves.begin() + shown, leaves.end(),
+                    [](const Branch& a, const Branch& b) {
+                      return a.leaf_count > b.leaf_count;
+                    });
+  for (std::size_t i = 0; i < std::min(top_n, leaves.size()); ++i) {
+    std::printf("  [%4u] ", leaves[i].leaf_count);
+    for (std::size_t k = 0; k < leaves[i].path.size(); ++k) {
+      std::printf("%s%s", k ? " -> " : "",
+                  std::string(trace.urls.name(leaves[i].path[k])).c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t train =
+      argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
+               : 3;
+  const auto trace =
+      workload::generate_page_trace(workload::nasa_like(train + 1, 0.4));
+  std::printf("trace: %zu page requests, %zu URLs; training on %u days\n\n",
+              trace.requests.size(), trace.urls.size(), train);
+
+  for (const auto& spec :
+       {core::ModelSpec::standard_fixed(3), core::ModelSpec::lrs_model(),
+        core::ModelSpec::pb_model()}) {
+    const auto trained = core::train_model(spec, trace, 0, train - 1);
+    std::printf("=== %s ===\n", spec.label.c_str());
+
+    const ppm::PredictionTree* tree = nullptr;
+    if (const auto* std_m =
+            dynamic_cast<const ppm::StandardPpm*>(trained.predictor.get())) {
+      tree = &std_m->tree();
+    } else if (const auto* lrs_m = dynamic_cast<const ppm::LrsPpm*>(
+                   trained.predictor.get())) {
+      tree = &lrs_m->tree();
+    } else if (const auto* pb_m = dynamic_cast<const ppm::PopularityPpm*>(
+                   trained.predictor.get())) {
+      tree = &pb_m->tree();
+      std::printf("  special links: %zu roots carry links\n",
+                  pb_m->links().size());
+    }
+    std::printf("  nodes: %zu, roots: %zu\n", tree->node_count(),
+                tree->root_count());
+    depth_histogram(*tree);
+    std::printf("  hottest branches:\n");
+    hottest_branches(*tree, trace, 5);
+    std::printf("\n");
+  }
+  return 0;
+}

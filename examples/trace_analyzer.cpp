@@ -1,0 +1,133 @@
+// trace_analyzer: reproduce the paper's §1/§3.1 trace characterisation on a
+// Common Log Format file or on a generated synthetic trace.
+//
+//   $ ./trace_analyzer access_log            # analyse a CLF file
+//   $ ./trace_analyzer --synthetic nasa      # analyse the built-in profile
+//   $ ./trace_analyzer --synthetic ucb
+//
+// Prints: request/URL/client tallies, embedded-object folding statistics,
+// the popularity grade histogram, session-length distribution, and the
+// three surfing regularities the popularity-based model is built on.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/webppm.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace webppm;
+
+void analyze(const trace::Trace& raw) {
+  trace::Trace pages;
+  const auto fold = trace::fold_embedded_objects(raw, pages);
+  std::printf("requests           %zu raw -> %zu page-level\n",
+              raw.requests.size(), pages.requests.size());
+  std::printf("embedded folding   %llu pages, %llu images folded, "
+              "%llu orphan images, %llu other\n",
+              static_cast<unsigned long long>(fold.pages),
+              static_cast<unsigned long long>(fold.folded_images),
+              static_cast<unsigned long long>(fold.orphan_images),
+              static_cast<unsigned long long>(fold.other));
+  std::printf("urls / clients     %zu / %zu\n", pages.urls.size(),
+              pages.clients.size());
+  std::printf("days               %u\n", pages.day_count());
+
+  const auto classes = session::classify_clients(pages);
+  std::printf("client classes     %u browsers, %u proxies (>100 req/day)\n",
+              classes.browser_count, classes.proxy_count);
+
+  const auto pop = popularity::PopularityTable::build(pages.requests,
+                                                      pages.urls.size());
+  std::printf("\npopularity grades (RP relative to the top URL, log10):\n");
+  const char* bounds[] = {"RP <  0.1%", "RP >= 0.1%", "RP >=   1%",
+                          "RP >=  10%"};
+  for (int g = popularity::kMaxGrade; g >= 0; --g) {
+    std::printf("  grade %d (%s)  %6u URLs\n", g, bounds[g],
+                pop.grade_histogram()[static_cast<std::size_t>(g)]);
+  }
+
+  const auto sessions = session::extract_sessions(pages.requests);
+  const auto st = session::compute_session_stats(sessions);
+  std::printf("\nsessions           %llu (mean %.2f clicks, p95 %.0f, "
+              "%.1f%% with <= 9 clicks)\n",
+              static_cast<unsigned long long>(st.session_count),
+              st.mean_length, st.p95_length, 100.0 * st.frac_at_most_9);
+
+  // Regularity 1: session starts vs URL population.
+  std::uint64_t popular_starts = 0;
+  for (const auto& s : sessions) {
+    popular_starts += pop.is_popular(s.urls.front());
+  }
+  std::uint64_t popular_urls = 0;
+  for (UrlId u = 0; u < pages.urls.size(); ++u) {
+    popular_urls += pop.is_popular(u);
+  }
+  std::printf("\nRegularity 1: %.1f%% of sessions start at popular URLs, "
+              "while only %.1f%% of URLs are popular\n",
+              100.0 * static_cast<double>(popular_starts) /
+                  static_cast<double>(sessions.size()),
+              100.0 * static_cast<double>(popular_urls) /
+                  static_cast<double>(pages.urls.size()));
+
+  // Regularity 2: long sessions headed by popular URLs.
+  std::uint64_t long_total = 0, long_popular = 0;
+  for (const auto& s : sessions) {
+    if (s.length() >= 6) {
+      ++long_total;
+      long_popular += pop.is_popular(s.urls.front());
+    }
+  }
+  if (long_total > 0) {
+    std::printf("Regularity 2: %.1f%% of long (>= 6 click) sessions are "
+                "headed by popular URLs\n",
+                100.0 * static_cast<double>(long_popular) /
+                    static_cast<double>(long_total));
+  }
+
+  // Regularity 3: popularity grade along the session path.
+  util::RunningStat first, middle, last;
+  for (const auto& s : sessions) {
+    if (s.length() < 3) continue;
+    first.add(pop.grade(s.urls.front()));
+    middle.add(pop.grade(s.urls[s.length() / 2]));
+    last.add(pop.grade(s.urls.back()));
+  }
+  std::printf("Regularity 3: mean popularity grade along paths: "
+              "start %.2f -> middle %.2f -> exit %.2f\n",
+              first.mean(), middle.mean(), last.mean());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--synthetic") == 0) {
+    const std::string profile = argc >= 3 ? argv[2] : "nasa";
+    const auto cfg = profile == "ucb" ? workload::ucb_like(5, 0.5)
+                                      : workload::nasa_like(5, 0.5);
+    std::printf("synthetic profile: %s\n\n", profile.c_str());
+    analyze(workload::generate_trace(cfg));
+    return 0;
+  }
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <clf-file> | --synthetic [nasa|ucb]\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  trace::Trace raw;
+  const auto stats = trace::read_clf(in, raw);
+  std::printf("%s: %llu lines, %llu parsed, %llu skipped\n\n", argv[1],
+              static_cast<unsigned long long>(stats.lines),
+              static_cast<unsigned long long>(stats.parsed),
+              static_cast<unsigned long long>(stats.skipped));
+  analyze(raw);
+  return 0;
+}

@@ -1,0 +1,19 @@
+#include "cache/document_cache.hpp"
+
+#include "cache/gdsf_cache.hpp"
+#include "cache/lru_cache.hpp"
+
+namespace webppm::cache {
+
+std::unique_ptr<DocumentCache> make_cache(Policy policy,
+                                          std::uint64_t capacity_bytes) {
+  switch (policy) {
+    case Policy::kLru:
+      return std::make_unique<LruCache>(capacity_bytes);
+    case Policy::kGdsf:
+      return std::make_unique<GdsfCache>(capacity_bytes);
+  }
+  return std::make_unique<LruCache>(capacity_bytes);
+}
+
+}  // namespace webppm::cache

@@ -1,0 +1,65 @@
+// Replacement-policy-agnostic document cache interface.
+//
+// The paper's simulator uses LRU everywhere (§2.2); its latency-model
+// source (Jin & Bestavros, reference [16]) is the Popularity-Aware
+// GreedyDual-Size work, so GDSF is provided as an alternative policy and
+// compared in bench/cache_policies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace webppm::cache {
+
+enum class InsertClass : std::uint8_t { kDemand, kPrefetch };
+
+enum class Policy : std::uint8_t { kLru, kGdsf };
+
+struct CacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected_too_large = 0;
+};
+
+/// Metadata kept per cached document.
+struct CacheEntry {
+  std::uint32_t size_bytes = 0;
+  InsertClass origin = InsertClass::kDemand;
+  bool prefetch_used = false;  ///< a prefetched entry already hit once
+};
+
+class DocumentCache {
+ public:
+  virtual ~DocumentCache() = default;
+
+  /// Looks up a document, updating the policy's recency/priority state on
+  /// hit. Returns nullptr on miss; the pointer is valid until the next
+  /// mutating call.
+  virtual CacheEntry* lookup(UrlId url) = 0;
+
+  /// Peeks without touching policy state or the lookup counters.
+  virtual const CacheEntry* peek(UrlId url) const = 0;
+
+  /// Inserts (or refreshes) a document, evicting as needed. Documents
+  /// larger than the capacity are rejected. A demand-classified entry is
+  /// never downgraded to prefetch by a refresh.
+  virtual void insert(UrlId url, std::uint32_t size_bytes,
+                      InsertClass origin) = 0;
+
+  virtual bool contains(UrlId url) const = 0;
+  virtual std::uint64_t used_bytes() const = 0;
+  virtual std::uint64_t capacity_bytes() const = 0;
+  virtual std::size_t entry_count() const = 0;
+  virtual const CacheStats& stats() const = 0;
+  virtual void clear() = 0;
+};
+
+/// Factory over the supported policies.
+std::unique_ptr<DocumentCache> make_cache(Policy policy,
+                                          std::uint64_t capacity_bytes);
+
+}  // namespace webppm::cache

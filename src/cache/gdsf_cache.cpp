@@ -1,0 +1,80 @@
+#include "cache/gdsf_cache.hpp"
+
+#include <cassert>
+
+namespace webppm::cache {
+
+GdsfCache::GdsfCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {}
+
+CacheEntry* GdsfCache::lookup(UrlId url) {
+  ++stats_.lookups;
+  const auto it = index_.find(url);
+  if (it == index_.end()) return nullptr;
+  ++stats_.hits;
+  ++it->second.frequency;
+  requeue(url, it->second);
+  return &it->second.entry;
+}
+
+const CacheEntry* GdsfCache::peek(UrlId url) const {
+  const auto it = index_.find(url);
+  return it == index_.end() ? nullptr : &it->second.entry;
+}
+
+void GdsfCache::insert(UrlId url, std::uint32_t size_bytes,
+                       InsertClass origin) {
+  if (size_bytes > capacity_) {
+    ++stats_.rejected_too_large;
+    return;
+  }
+  if (const auto it = index_.find(url); it != index_.end()) {
+    // Refresh: adjust accounting, bump frequency, keep demand class.
+    used_bytes_ -= it->second.entry.size_bytes;
+    used_bytes_ += size_bytes;
+    it->second.entry.size_bytes = size_bytes;
+    if (origin == InsertClass::kDemand) {
+      it->second.entry.origin = InsertClass::kDemand;
+    }
+    ++it->second.frequency;
+    requeue(url, it->second);
+  } else {
+    Item item;
+    item.entry = CacheEntry{size_bytes, origin, false};
+    item.priority = priority_of(item, size_bytes);
+    item.queue_pos = queue_.emplace(item.priority, url);
+    index_.emplace(url, std::move(item));
+    used_bytes_ += size_bytes;
+    ++stats_.insertions;
+  }
+  while (used_bytes_ > capacity_) evict_one();
+}
+
+void GdsfCache::requeue(UrlId url, Item& item) {
+  queue_.erase(item.queue_pos);
+  item.priority = priority_of(item, item.entry.size_bytes);
+  item.queue_pos = queue_.emplace(item.priority, url);
+}
+
+void GdsfCache::evict_one() {
+  assert(!queue_.empty());
+  const auto victim = queue_.begin();
+  // GreedyDual inflation: future insertions start at the evicted priority.
+  inflation_ = victim->first;
+  const UrlId url = victim->second;
+  const auto it = index_.find(url);
+  assert(it != index_.end());
+  used_bytes_ -= it->second.entry.size_bytes;
+  queue_.erase(victim);
+  index_.erase(it);
+  ++stats_.evictions;
+}
+
+void GdsfCache::clear() {
+  index_.clear();
+  queue_.clear();
+  used_bytes_ = 0;
+  inflation_ = 0.0;
+}
+
+}  // namespace webppm::cache

@@ -1,0 +1,65 @@
+// GreedyDual-Size-Frequency (GDSF) document cache.
+//
+// Priority H(p) = L + frequency(p) / size(p), where L is the inflation
+// value (the priority of the last evicted document). Small, frequently
+// accessed documents are retained; large cold ones are evicted first.
+// This is the replacement family of the paper's latency-model source
+// (Jin & Bestavros, "Popularity-aware greedy-dual-size web proxy caching",
+// ICDCS 2000) and is offered as an alternative to the paper's LRU for the
+// cache-policy ablation in bench/cache_policies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "cache/document_cache.hpp"
+#include "util/types.hpp"
+
+namespace webppm::cache {
+
+class GdsfCache final : public DocumentCache {
+ public:
+  explicit GdsfCache(std::uint64_t capacity_bytes);
+
+  CacheEntry* lookup(UrlId url) override;
+  const CacheEntry* peek(UrlId url) const override;
+  void insert(UrlId url, std::uint32_t size_bytes,
+              InsertClass origin) override;
+
+  bool contains(UrlId url) const override { return index_.contains(url); }
+  std::uint64_t used_bytes() const override { return used_bytes_; }
+  std::uint64_t capacity_bytes() const override { return capacity_; }
+  std::size_t entry_count() const override { return index_.size(); }
+  const CacheStats& stats() const override { return stats_; }
+
+  void clear() override;
+
+  /// Current inflation value (exposed for tests).
+  double inflation() const { return inflation_; }
+
+ private:
+  struct Item {
+    CacheEntry entry;
+    std::uint64_t frequency = 1;
+    double priority = 0.0;
+    // Position in the eviction order (priority asc, then insertion order).
+    std::multimap<double, UrlId>::iterator queue_pos;
+  };
+
+  double priority_of(const Item& item, std::uint32_t size) const {
+    return inflation_ + static_cast<double>(item.frequency) /
+                            static_cast<double>(size == 0 ? 1 : size);
+  }
+  void requeue(UrlId url, Item& item);
+  void evict_one();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_bytes_ = 0;
+  double inflation_ = 0.0;
+  std::unordered_map<UrlId, Item> index_;
+  std::multimap<double, UrlId> queue_;  // lowest priority first
+  CacheStats stats_;
+};
+
+}  // namespace webppm::cache

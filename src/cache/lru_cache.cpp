@@ -1,0 +1,62 @@
+#include "cache/lru_cache.hpp"
+
+#include <cassert>
+
+namespace webppm::cache {
+
+LruCache::LruCache(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+LruCache::Entry* LruCache::lookup(UrlId url) {
+  ++stats_.lookups;
+  const auto it = index_.find(url);
+  if (it == index_.end()) return nullptr;
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote
+  return &it->second->entry;
+}
+
+const LruCache::Entry* LruCache::peek(UrlId url) const {
+  const auto it = index_.find(url);
+  return it == index_.end() ? nullptr : &it->second->entry;
+}
+
+void LruCache::insert(UrlId url, std::uint32_t size_bytes,
+                      InsertClass origin) {
+  if (size_bytes > capacity_) {
+    ++stats_.rejected_too_large;
+    return;
+  }
+  if (const auto it = index_.find(url); it != index_.end()) {
+    // Refresh: adjust bytes, promote, and keep the "stronger" demand class.
+    used_bytes_ -= it->second->entry.size_bytes;
+    used_bytes_ += size_bytes;
+    it->second->entry.size_bytes = size_bytes;
+    if (origin == InsertClass::kDemand) {
+      it->second->entry.origin = InsertClass::kDemand;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front({url, Entry{size_bytes, origin, false}});
+    index_.emplace(url, lru_.begin());
+    used_bytes_ += size_bytes;
+    ++stats_.insertions;
+  }
+  while (used_bytes_ > capacity_) evict_one();
+}
+
+void LruCache::evict_one() {
+  assert(!lru_.empty());
+  const auto& victim = lru_.back();
+  used_bytes_ -= victim.entry.size_bytes;
+  index_.erase(victim.url);
+  lru_.pop_back();
+  ++stats_.evictions;
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  index_.clear();
+  used_bytes_ = 0;
+}
+
+}  // namespace webppm::cache

@@ -1,0 +1,50 @@
+// Byte-capacity LRU document cache — the replacement policy the paper's
+// simulator uses for both browser caches (10 MB) and proxy disk caches
+// (16 GB) (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cache/document_cache.hpp"
+#include "util/types.hpp"
+
+namespace webppm::cache {
+
+class LruCache final : public DocumentCache {
+ public:
+  using Entry = CacheEntry;
+
+  explicit LruCache(std::uint64_t capacity_bytes);
+
+  CacheEntry* lookup(UrlId url) override;
+  const CacheEntry* peek(UrlId url) const override;
+  void insert(UrlId url, std::uint32_t size_bytes,
+              InsertClass origin) override;
+
+  bool contains(UrlId url) const override { return index_.contains(url); }
+  std::uint64_t used_bytes() const override { return used_bytes_; }
+  std::uint64_t capacity_bytes() const override { return capacity_; }
+  std::size_t entry_count() const override { return index_.size(); }
+  const CacheStats& stats() const override { return stats_; }
+
+  void clear() override;
+
+ private:
+  struct Item {
+    UrlId url;
+    CacheEntry entry;
+  };
+  using List = std::list<Item>;
+
+  void evict_one();
+
+  std::uint64_t capacity_;
+  std::uint64_t used_bytes_ = 0;
+  List lru_;  // front = most recently used
+  std::unordered_map<UrlId, List::iterator> index_;
+  CacheStats stats_;
+};
+
+}  // namespace webppm::cache

@@ -1,0 +1,77 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+namespace webppm::core {
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string day_results_csv(std::span<const DayEvalResult> results) {
+  std::string out =
+      "model,train_days,requests,hit_ratio,baseline_hit_ratio,"
+      "latency_reduction,traffic_increment,node_count,path_utilization,"
+      "prefetches_sent,prefetch_hits,prefetch_accuracy,popular_share\n";
+  for (const auto& r : results) {
+    out += r.model;
+    out += ',';
+    out += std::to_string(r.train_days);
+    out += ',';
+    out += std::to_string(r.with_prefetch.requests);
+    out += ',';
+    append_double(out, r.with_prefetch.hit_ratio());
+    out += ',';
+    append_double(out, r.baseline.hit_ratio());
+    out += ',';
+    append_double(out, r.latency_reduction);
+    out += ',';
+    append_double(out, r.with_prefetch.traffic_increment());
+    out += ',';
+    out += std::to_string(r.node_count);
+    out += ',';
+    append_double(out, r.path_utilization);
+    out += ',';
+    out += std::to_string(r.with_prefetch.prefetches_sent);
+    out += ',';
+    out += std::to_string(r.with_prefetch.prefetch_hits);
+    out += ',';
+    append_double(out, r.with_prefetch.prefetch_accuracy());
+    out += ',';
+    append_double(out, r.with_prefetch.popular_share_of_prefetch_hits());
+    out += '\n';
+  }
+  return out;
+}
+
+std::string proxy_results_csv(std::span<const ProxyEvalResult> results) {
+  std::string out =
+      "model,clients,requests,hit_ratio,browser_hits,proxy_hits,"
+      "prefetch_hits,traffic_increment\n";
+  for (const auto& r : results) {
+    out += r.model;
+    out += ',';
+    out += std::to_string(r.client_count);
+    out += ',';
+    out += std::to_string(r.metrics.requests);
+    out += ',';
+    append_double(out, r.metrics.hit_ratio());
+    out += ',';
+    out += std::to_string(r.metrics.browser_hits);
+    out += ',';
+    out += std::to_string(r.metrics.proxy_hits);
+    out += ',';
+    out += std::to_string(r.metrics.prefetch_hits);
+    out += ',';
+    append_double(out, r.metrics.traffic_increment());
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace webppm::core

@@ -1,0 +1,24 @@
+// Result export: CSV renderings of experiment results, so bench output can
+// feed plotting tools directly (the paper's figures are line charts over
+// these exact series).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace webppm::core {
+
+/// Header + one row per result. Columns:
+///   model,train_days,requests,hit_ratio,baseline_hit_ratio,
+///   latency_reduction,traffic_increment,node_count,path_utilization,
+///   prefetches_sent,prefetch_hits,prefetch_accuracy,popular_share
+std::string day_results_csv(std::span<const DayEvalResult> results);
+
+/// Header + one row per result. Columns:
+///   model,clients,requests,hit_ratio,browser_hits,proxy_hits,
+///   prefetch_hits,traffic_increment
+std::string proxy_results_csv(std::span<const ProxyEvalResult> results);
+
+}  // namespace webppm::core

@@ -1,0 +1,52 @@
+#include "net/latency.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/samplers.hpp"
+
+namespace webppm::net {
+
+LatencyModel fit_latency_model(const std::vector<LatencyObservation>& obs) {
+  assert(obs.size() >= 2);
+  std::vector<double> xs, ys;
+  xs.reserve(obs.size());
+  ys.reserve(obs.size());
+  for (const auto& o : obs) {
+    xs.push_back(o.size_bytes);
+    ys.push_back(o.latency_seconds);
+  }
+  const auto fit = util::least_squares_fit(xs, ys);
+  return LatencyModel(std::max(0.0, fit.intercept), std::max(0.0, fit.slope));
+}
+
+std::vector<LatencyObservation> sample_latency_observations(
+    const LatencySamplerConfig& config, const std::vector<double>& sizes) {
+  util::Rng rng(config.seed);
+  std::vector<LatencyObservation> obs;
+  obs.reserve(sizes.size());
+  for (const double s : sizes) {
+    const double base =
+        config.connect_seconds + s / config.bandwidth_bytes_per_sec;
+    const double noise =
+        std::exp(config.noise_sigma * util::sample_standard_normal(rng) -
+                 0.5 * config.noise_sigma * config.noise_sigma);
+    obs.push_back({s, base * noise});
+  }
+  return obs;
+}
+
+LatencyModel calibrated_latency_model(const LatencySamplerConfig& config,
+                                      std::size_t observations) {
+  util::Rng rng(config.seed ^ 0x5eedull);
+  std::vector<double> sizes;
+  sizes.reserve(observations);
+  const double lo = std::log(1024.0), hi = std::log(1024.0 * 1024.0);
+  for (std::size_t i = 0; i < observations; ++i) {
+    sizes.push_back(std::exp(lo + (hi - lo) * rng.uniform()));
+  }
+  return fit_latency_model(sample_latency_observations(config, sizes));
+}
+
+}  // namespace webppm::net

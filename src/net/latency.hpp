@@ -1,0 +1,63 @@
+// Access-latency model (paper §4.2): per-request latency estimated as
+// connection time plus size-proportional transfer time, with the two
+// coefficients obtained by a least-squares fit of measured latencies versus
+// document size — the method of Jin & Bestavros (ICDCS 2000), the paper's
+// reference [16].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/least_squares.hpp"
+#include "util/rng.hpp"
+
+namespace webppm::net {
+
+/// latency(size) = connect_seconds + size_bytes * seconds_per_byte.
+class LatencyModel {
+ public:
+  LatencyModel(double connect_seconds, double seconds_per_byte)
+      : connect_(connect_seconds), per_byte_(seconds_per_byte) {}
+
+  double latency_seconds(std::uint64_t size_bytes) const {
+    return connect_ + per_byte_ * static_cast<double>(size_bytes);
+  }
+
+  double connect_seconds() const { return connect_; }
+  double seconds_per_byte() const { return per_byte_; }
+
+ private:
+  double connect_;
+  double per_byte_;
+};
+
+/// One observed (document size, fetch latency) measurement.
+struct LatencyObservation {
+  double size_bytes = 0.0;
+  double latency_seconds = 0.0;
+};
+
+/// Fits a LatencyModel to observations by ordinary least squares, exactly
+/// as [16] calibrates connection and transfer times from traces.
+/// Negative fitted coefficients are clamped to zero (can occur with noisy
+/// observations; a negative connect time is meaningless).
+LatencyModel fit_latency_model(const std::vector<LatencyObservation>& obs);
+
+/// Synthesises latency observations from a ground-truth connect/bandwidth
+/// pair plus multiplicative lognormal noise — the substitute for the
+/// paper's measured remote-server latencies (DESIGN.md §1).
+struct LatencySamplerConfig {
+  double connect_seconds = 0.35;        ///< mid-90s WAN RTT + TCP handshake
+  double bandwidth_bytes_per_sec = 64 * 1024.0;  ///< ~0.5 Mbit effective
+  double noise_sigma = 0.25;            ///< lognormal sigma on the total
+  std::uint64_t seed = 0x1a7e0c1ull;
+};
+
+std::vector<LatencyObservation> sample_latency_observations(
+    const LatencySamplerConfig& config, const std::vector<double>& sizes);
+
+/// Convenience: sample sizes log-uniformly in [1 KB, 1 MB], observe, fit.
+LatencyModel calibrated_latency_model(const LatencySamplerConfig& config = {},
+                                      std::size_t observations = 400);
+
+}  // namespace webppm::net

@@ -1,0 +1,35 @@
+#include "popularity/popularity.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace webppm::popularity {
+
+PopularityTable PopularityTable::build(
+    std::span<const trace::Request> requests, std::size_t url_count) {
+  std::vector<std::uint32_t> counts(url_count, 0);
+  for (const auto& r : requests) {
+    assert(r.url < url_count);
+    ++counts[r.url];
+  }
+  return from_counts(std::move(counts));
+}
+
+PopularityTable PopularityTable::from_counts(
+    std::vector<std::uint32_t> counts) {
+  PopularityTable t;
+  t.counts_ = std::move(counts);
+  t.max_count_ = t.counts_.empty()
+                     ? 0
+                     : *std::max_element(t.counts_.begin(), t.counts_.end());
+  t.grades_.resize(t.counts_.size());
+  t.grade_histogram_.assign(kGradeCount, 0);
+  for (std::size_t u = 0; u < t.counts_.size(); ++u) {
+    const int g = t.counts_[u] == 0 ? 0 : grade_of(t.relative(static_cast<UrlId>(u)));
+    t.grades_[u] = static_cast<std::uint8_t>(g);
+    ++t.grade_histogram_[static_cast<std::size_t>(g)];
+  }
+  return t;
+}
+
+}  // namespace webppm::popularity

@@ -1,0 +1,74 @@
+// Relative popularity and grade ranking (paper §3.1).
+//
+// For each URL u, RP(u) = accesses(u) / accesses(most popular URL). URLs
+// are ranked into four grades on a log10 scale:
+//   grade 3: RP >= 10%     grade 2: 1% <= RP < 10%
+//   grade 1: 0.1% <= RP < 1%    grade 0: RP < 0.1%
+// The popularity-based PPM model keys branch heights, root admission and
+// special links off these grades.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/types.hpp"
+
+namespace webppm::popularity {
+
+inline constexpr int kGradeCount = 4;
+inline constexpr int kMaxGrade = 3;
+
+/// Grade for a relative popularity in [0, 1].
+constexpr int grade_of(double relative_popularity) {
+  if (relative_popularity >= 0.10) return 3;
+  if (relative_popularity >= 0.01) return 2;
+  if (relative_popularity >= 0.001) return 1;
+  return 0;
+}
+
+class PopularityTable {
+ public:
+  /// Counts accesses per URL over `requests` (url ids must be < url_count).
+  static PopularityTable build(std::span<const trace::Request> requests,
+                               std::size_t url_count);
+
+  /// Builds from raw per-URL access counts.
+  static PopularityTable from_counts(std::vector<std::uint32_t> counts);
+
+  std::uint32_t accesses(UrlId u) const { return counts_[u]; }
+  std::uint32_t max_accesses() const { return max_count_; }
+
+  /// RP(u) in [0, 1]; 0 for URLs never accessed.
+  double relative(UrlId u) const {
+    return max_count_ == 0 ? 0.0
+                           : static_cast<double>(counts_[u]) /
+                                 static_cast<double>(max_count_);
+  }
+
+  /// Popularity grade in [0, 3]. URLs beyond the table (unseen during
+  /// training) are grade 0.
+  int grade(UrlId u) const {
+    return u < grades_.size() ? grades_[u] : 0;
+  }
+
+  /// A document is "popular" for reporting purposes (Fig. 2 left) when its
+  /// grade is 2 or 3.
+  bool is_popular(UrlId u) const { return grade(u) >= 2; }
+
+  std::size_t url_count() const { return counts_.size(); }
+
+  /// Number of URLs at each grade (index = grade, size kGradeCount).
+  const std::vector<std::uint32_t>& grade_histogram() const {
+    return grade_histogram_;
+  }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint8_t> grades_;
+  std::vector<std::uint32_t> grade_histogram_;
+  std::uint32_t max_count_ = 0;
+};
+
+}  // namespace webppm::popularity

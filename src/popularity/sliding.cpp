@@ -1,0 +1,31 @@
+#include "popularity/sliding.hpp"
+
+#include <cassert>
+
+namespace webppm::popularity {
+
+SlidingPopularity::SlidingPopularity(std::size_t window_days,
+                                     std::size_t url_count)
+    : window_(window_days), totals_(url_count, 0) {
+  assert(window_days >= 1);
+}
+
+void SlidingPopularity::add_day(std::span<const trace::Request> day) {
+  std::vector<std::uint32_t> bucket(totals_.size(), 0);
+  for (const auto& r : day) {
+    assert(r.url < bucket.size());
+    ++bucket[r.url];
+    ++totals_[r.url];
+  }
+  buckets_.push_back(std::move(bucket));
+  if (buckets_.size() > window_) {
+    const auto& old = buckets_.front();
+    for (std::size_t u = 0; u < old.size(); ++u) {
+      assert(totals_[u] >= old[u]);
+      totals_[u] -= old[u];
+    }
+    buckets_.pop_front();
+  }
+}
+
+}  // namespace webppm::popularity

@@ -1,0 +1,167 @@
+#include "ppm/popularity_ppm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace webppm::ppm {
+
+PopularityPpm::PopularityPpm(const PopularityPpmConfig& config,
+                             const popularity::PopularityTable* grades)
+    : config_(config), grades_(grades) {
+  assert(grades_ != nullptr);
+}
+
+void PopularityPpm::insert_session(const session::Session& s) {
+  // Open branches currently being extended by this session.
+  struct Open {
+    NodeId tip;
+    NodeId root;
+    int head_grade;
+  };
+  std::vector<Open> open;
+  std::vector<Open> next_open;
+
+  int prev_grade = 0;
+  for (std::size_t i = 0; i < s.urls.size(); ++i) {
+    const UrlId u = s.urls[i];
+    const int g = grades_->grade(u);
+
+    next_open.clear();
+    for (const Open& b : open) {
+      const auto cap =
+          config_.height_by_grade[static_cast<std::size_t>(b.head_grade)];
+      if (tree_.node(b.tip).depth >= cap) continue;  // branch is full
+      const NodeId child = tree_.child_or_add(b.tip, u);
+      next_open.push_back({child, b.root, b.head_grade});
+      // Rule 3: special link for a popular URL deeper in the branch
+      // ("not immediately following the heading URL" => depth >= 3).
+      if (config_.special_links && tree_.node(child).depth >= 3 &&
+          (g > b.head_grade || g == popularity::kMaxGrade)) {
+        auto& targets = links_[b.root];
+        if (std::find(targets.begin(), targets.end(), child) ==
+            targets.end()) {
+          targets.push_back(child);
+        }
+      }
+    }
+    // Rule 2/4: head a new branch at session start or on a grade increase.
+    if (i == 0 || g > prev_grade) {
+      const NodeId root = tree_.root_or_add(u);
+      next_open.push_back({root, root, g});
+    }
+    open.swap(next_open);
+    prev_grade = g;
+  }
+}
+
+void PopularityPpm::train_without_optimization(
+    std::span<const session::Session> sessions) {
+  for (const auto& s : sessions) insert_session(s);
+}
+
+void PopularityPpm::train(std::span<const session::Session> sessions) {
+  train_without_optimization(sessions);
+  optimize_space();
+}
+
+void PopularityPpm::optimize_space() {
+  if (config_.min_relative_probability <= 0.0 &&
+      config_.min_absolute_count == 0) {
+    return;
+  }
+  // Collect victims root-down; prune_subtree tombstones whole subtrees, so
+  // skip nodes that died while we iterate.
+  const auto should_cut = [&](NodeId id) {
+    const TreeNode& n = tree_.node(id);
+    if (n.parent == kNoNode) return false;  // roots are never cut
+    if (config_.min_absolute_count > 0 &&
+        n.count <= config_.min_absolute_count) {
+      return true;
+    }
+    if (config_.min_relative_probability > 0.0) {
+      const auto parent_count =
+          static_cast<double>(tree_.node(n.parent).count);
+      if (parent_count > 0.0 &&
+          static_cast<double>(n.count) / parent_count <
+              config_.min_relative_probability) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<NodeId> stack;
+  for (const auto& [url, root] : tree_.roots()) stack.push_back(root);
+  // Snapshot iteration: children discovered before any pruning of them.
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (tree_.node(id).dead) continue;
+    if (should_cut(id)) {
+      tree_.prune_subtree(id);
+      continue;
+    }
+    tree_.node(id).children.for_each(
+        [&](UrlId, NodeId c) { stack.push_back(c); });
+  }
+
+  const auto remap = tree_.compact();
+  // Remap special links; drop links to pruned nodes and remap roots.
+  std::unordered_map<NodeId, std::vector<NodeId>> fresh;
+  for (const auto& [root, targets] : links_) {
+    if (remap[root] == kNoNode) continue;
+    std::vector<NodeId> alive;
+    for (const NodeId t : targets) {
+      if (remap[t] != kNoNode) alive.push_back(remap[t]);
+    }
+    if (!alive.empty()) fresh.emplace(remap[root], std::move(alive));
+  }
+  links_ = std::move(fresh);
+}
+
+void PopularityPpm::predict(std::span<const UrlId> context,
+                            std::vector<Prediction>& out) {
+  out.clear();
+  if (context.empty()) return;
+
+  const auto m = longest_match(tree_, context, config_.max_context);
+  if (m.node != kNoNode) {
+    tree_.mark_used(m.node);
+    emit_children(tree_, m.node, config_.prob_threshold, out);
+  }
+
+  // Rule 3 at prediction time: when the current click is a root, the
+  // duplicated popular nodes linked from it become additional predictions.
+  if (config_.special_links) {
+    const NodeId root = tree_.find_root(context.back());
+    if (root != kNoNode) {
+      if (const auto it = links_.find(root); it != links_.end()) {
+        const auto root_count = static_cast<double>(tree_.node(root).count);
+        // Emit the top-k targets by traversal count.
+        std::vector<NodeId> targets = it->second;
+        std::sort(targets.begin(), targets.end(),
+                  [&](NodeId a, NodeId b) {
+                    return tree_.node(a).count != tree_.node(b).count
+                               ? tree_.node(a).count > tree_.node(b).count
+                               : a < b;
+                  });
+        if (config_.link_top_k > 0 && targets.size() > config_.link_top_k) {
+          targets.resize(config_.link_top_k);
+        }
+        for (const NodeId t : targets) {
+          const double p = root_count > 0.0
+                               ? static_cast<double>(tree_.node(t).count) /
+                                     root_count
+                               : 0.0;
+          if (p >= config_.link_prob_threshold) {
+            tree_.mark_used(t);
+            out.push_back({tree_.node(t).url, static_cast<float>(p)});
+          }
+        }
+      }
+    }
+  }
+  finalize_predictions(out);
+}
+
+}  // namespace webppm::ppm

@@ -1,0 +1,79 @@
+// Common interface of the three prefetching prediction models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "ppm/tree.hpp"
+#include "util/types.hpp"
+
+namespace webppm::ppm {
+
+/// One prefetch candidate: a URL the model believes the client will request
+/// next, with its conditional probability estimate.
+struct Prediction {
+  UrlId url = kInvalidUrl;
+  float probability = 0.0f;
+
+  friend bool operator==(const Prediction&, const Prediction&) = default;
+};
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Produces prefetch candidates for a client whose recent click sequence
+  /// (oldest first, current click last) is `context`. Candidates are
+  /// deduplicated, filtered by the model's probability threshold, and
+  /// sorted by descending probability (ties by URL id, so output is
+  /// deterministic). Marks traversed tree nodes as used (for the paper's
+  /// path-utilisation metric), hence non-const.
+  virtual void predict(std::span<const UrlId> context,
+                       std::vector<Prediction>& out) = 0;
+
+  /// Live node count — the paper's "space" metric (Tables 1 and 2).
+  virtual std::size_t node_count() const = 0;
+
+  /// Fraction of root-to-leaf paths touched since the last clear_usage().
+  virtual PredictionTree::PathUsage path_usage() const = 0;
+  virtual void clear_usage() = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// How the longest-match rule treats a deepest match that has no recorded
+/// continuation (a leaf):
+///   kStrict       — the paper's §4.1 behaviour for the standard and LRS
+///                   models: "matches as many previous URLs as possible to
+///                   make a prediction"; if that match is a leaf, no
+///                   prediction is made. This is what makes the standard
+///                   model's accumulated one-off deep contexts hurt it.
+///   kSkipChildless — back off to the longest shorter suffix that can
+///                   predict. The popularity-based model uses this: its
+///                   branch heights vary per root, so a fixed context order
+///                   cannot be chosen up front.
+enum class MatchPolicy : std::uint8_t { kStrict, kSkipChildless };
+
+/// Deepest tree node whose root-path equals a suffix of `context`,
+/// considering suffixes up to `max_context` URLs, under `policy`.
+struct MatchResult {
+  NodeId node = kNoNode;
+  std::size_t context_used = 0;
+};
+MatchResult longest_match(const PredictionTree& tree,
+                          std::span<const UrlId> context,
+                          std::size_t max_context,
+                          MatchPolicy policy = MatchPolicy::kSkipChildless);
+
+/// Appends `node`'s children with conditional probability >= threshold to
+/// `out` and marks them used. Probability = child.count / node.count.
+void emit_children(PredictionTree& tree, NodeId node, double threshold,
+                   std::vector<Prediction>& out);
+
+/// Deduplicates by URL (keeping the highest probability) and sorts by
+/// (probability desc, url asc).
+void finalize_predictions(std::vector<Prediction>& out);
+
+}  // namespace webppm::ppm

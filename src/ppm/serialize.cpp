@@ -1,0 +1,156 @@
+#include "ppm/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace webppm::ppm {
+namespace {
+
+constexpr std::string_view kTreeMagic = "webppm-tree";
+constexpr std::string_view kLinksMagic = "webppm-links";
+
+bool read_header(std::istream& in, std::string_view magic,
+                 std::size_t& count) {
+  std::string word, version;
+  if (!(in >> word >> version >> count)) return false;
+  return word == magic && version == "v1";
+}
+
+}  // namespace
+
+void save_tree(std::ostream& out, const PredictionTree& tree) {
+  out << kTreeMagic << " v1 " << tree.node_count() << '\n';
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    const auto& n = tree.node(id);
+    out << n.url << ' ' << n.count << ' '
+        << (n.parent == kNoNode ? -1 : static_cast<long long>(n.parent))
+        << '\n';
+  }
+}
+
+std::optional<PredictionTree> load_tree(std::istream& in) {
+  std::size_t count = 0;
+  if (!read_header(in, kTreeMagic, count)) return std::nullopt;
+  PredictionTree tree;
+  for (std::size_t i = 0; i < count; ++i) {
+    UrlId url;
+    std::uint32_t node_count;
+    long long parent;
+    if (!(in >> url >> node_count >> parent)) return std::nullopt;
+    if (parent < 0) {
+      if (tree.find_root(url) != kNoNode) return std::nullopt;  // dup root
+      const NodeId id = tree.root_or_add(url, node_count);
+      if (id != i) return std::nullopt;
+    } else {
+      if (static_cast<std::size_t>(parent) >= i) {
+        return std::nullopt;  // parent must precede child
+      }
+      const auto p = static_cast<NodeId>(parent);
+      if (tree.find_child(p, url) != kNoNode) return std::nullopt;
+      const NodeId id = tree.child_or_add(p, url, node_count);
+      if (id != i) return std::nullopt;
+    }
+  }
+  return tree;
+}
+
+void save_model(std::ostream& out, const StandardPpm& model) {
+  out << "webppm-standard v1 " << model.config().max_height << ' '
+      << model.config().prob_threshold << ' ' << model.config().max_context
+      << '\n';
+  save_tree(out, model.tree());
+}
+
+std::optional<StandardPpm> load_standard(std::istream& in) {
+  std::string word, version;
+  StandardPpmConfig cfg;
+  if (!(in >> word >> version >> cfg.max_height >> cfg.prob_threshold >>
+        cfg.max_context) ||
+      word != "webppm-standard" || version != "v1") {
+    return std::nullopt;
+  }
+  auto tree = load_tree(in);
+  if (!tree) return std::nullopt;
+  return StandardPpm::from_parts(cfg, std::move(*tree));
+}
+
+void save_model(std::ostream& out, const LrsPpm& model) {
+  out << "webppm-lrs v1 " << model.config().min_support << ' '
+      << model.config().max_height << ' ' << model.config().prob_threshold
+      << ' ' << model.config().max_context << '\n';
+  save_tree(out, model.tree());
+}
+
+std::optional<LrsPpm> load_lrs(std::istream& in) {
+  std::string word, version;
+  LrsPpmConfig cfg;
+  if (!(in >> word >> version >> cfg.min_support >> cfg.max_height >>
+        cfg.prob_threshold >> cfg.max_context) ||
+      word != "webppm-lrs" || version != "v1") {
+    return std::nullopt;
+  }
+  auto tree = load_tree(in);
+  if (!tree) return std::nullopt;
+  return LrsPpm::from_parts(cfg, std::move(*tree));
+}
+
+void save_model(std::ostream& out, const PopularityPpm& model) {
+  const auto& cfg = model.config();
+  out << "webppm-pb v1";
+  for (const auto h : cfg.height_by_grade) out << ' ' << h;
+  out << ' ' << cfg.prob_threshold << ' ' << cfg.max_context << ' '
+      << (cfg.special_links ? 1 : 0) << ' ' << cfg.link_prob_threshold << ' '
+      << cfg.link_top_k << ' ' << cfg.min_relative_probability << ' '
+      << cfg.min_absolute_count << '\n';
+  save_tree(out, model.tree());
+  out << kLinksMagic << " v1 " << model.links().size() << '\n';
+  for (const auto& [root, targets] : model.links()) {
+    out << root << ' ' << targets.size();
+    for (const auto t : targets) out << ' ' << t;
+    out << '\n';
+  }
+}
+
+std::optional<PopularityPpm> load_popularity(
+    std::istream& in, const popularity::PopularityTable* grades) {
+  std::string word, version;
+  PopularityPpmConfig cfg;
+  int links_flag = 0;
+  if (!(in >> word >> version) || word != "webppm-pb" || version != "v1") {
+    return std::nullopt;
+  }
+  for (auto& h : cfg.height_by_grade) {
+    if (!(in >> h)) return std::nullopt;
+  }
+  if (!(in >> cfg.prob_threshold >> cfg.max_context >> links_flag >>
+        cfg.link_prob_threshold >> cfg.link_top_k >>
+        cfg.min_relative_probability >> cfg.min_absolute_count)) {
+    return std::nullopt;
+  }
+  cfg.special_links = links_flag != 0;
+
+  auto tree = load_tree(in);
+  if (!tree) return std::nullopt;
+
+  std::size_t link_roots = 0;
+  if (!read_header(in, kLinksMagic, link_roots)) return std::nullopt;
+  std::unordered_map<NodeId, std::vector<NodeId>> links;
+  for (std::size_t i = 0; i < link_roots; ++i) {
+    NodeId root;
+    std::size_t k;
+    if (!(in >> root >> k) || root >= tree->node_count()) {
+      return std::nullopt;
+    }
+    std::vector<NodeId> targets(k);
+    for (auto& t : targets) {
+      if (!(in >> t) || t >= tree->node_count()) return std::nullopt;
+    }
+    links.emplace(root, std::move(targets));
+  }
+  return PopularityPpm::from_parts(cfg, grades, std::move(*tree),
+                                   std::move(links));
+}
+
+}  // namespace webppm::ppm

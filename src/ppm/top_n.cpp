@@ -1,0 +1,41 @@
+#include "ppm/top_n.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace webppm::ppm {
+
+TopNPredictor::TopNPredictor(const TopNConfig& config) : config_(config) {}
+
+void TopNPredictor::train(std::span<const session::Session> sessions) {
+  std::unordered_map<UrlId, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& s : sessions) {
+    for (const auto u : s.urls) {
+      ++counts[u];
+      ++total;
+    }
+  }
+  std::vector<std::pair<UrlId, std::uint64_t>> ranked(counts.begin(),
+                                                      counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (ranked.size() > config_.n) ranked.resize(config_.n);
+
+  push_set_.clear();
+  for (const auto& [url, count] : ranked) {
+    push_set_.push_back(
+        {url, total > 0 ? static_cast<float>(static_cast<double>(count) /
+                                             static_cast<double>(total))
+                        : 0.0f});
+  }
+}
+
+void TopNPredictor::predict(std::span<const UrlId> /*context*/,
+                            std::vector<Prediction>& out) {
+  out = push_set_;
+  used_ = true;
+}
+
+}  // namespace webppm::ppm

@@ -1,0 +1,53 @@
+// Top-N predictor: the server-initiated "Top-10" prefetching baseline of
+// Markatos & Chronaki (paper §6, reference [20]). The server pushes its N
+// currently most popular documents regardless of the client's context.
+// Included as the zero-structure baseline the Markov models are implicitly
+// measured against: it captures pure popularity with no path information.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ppm/predictor.hpp"
+#include "session/session.hpp"
+
+namespace webppm::ppm {
+
+struct TopNConfig {
+  /// How many documents the server pushes (Markatos & Chronaki use 10).
+  std::size_t n = 10;
+};
+
+class TopNPredictor final : public Predictor {
+ public:
+  explicit TopNPredictor(const TopNConfig& config = {});
+
+  /// Counts document accesses and fixes the push set to the N most
+  /// frequent (ties broken by URL id for determinism).
+  void train(std::span<const session::Session> sessions);
+
+  /// Context-independent: always returns the push set. Probabilities are
+  /// each document's share of total training accesses.
+  void predict(std::span<const UrlId> context,
+               std::vector<Prediction>& out) override;
+
+  /// "Space" is the push list itself.
+  std::size_t node_count() const override { return push_set_.size(); }
+
+  /// No tree, hence no paths; reported as fully utilised once predictions
+  /// have been requested at least once.
+  PredictionTree::PathUsage path_usage() const override {
+    return {used_ ? push_set_.size() : 0, push_set_.size()};
+  }
+  void clear_usage() override { used_ = false; }
+  std::string_view name() const override { return "top-n"; }
+
+  const std::vector<Prediction>& push_set() const { return push_set_; }
+
+ private:
+  TopNConfig config_;
+  std::vector<Prediction> push_set_;
+  bool used_ = false;
+};
+
+}  // namespace webppm::ppm

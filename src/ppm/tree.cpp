@@ -1,0 +1,144 @@
+#include "ppm/tree.hpp"
+
+#include <cassert>
+
+namespace webppm::ppm {
+
+NodeId PredictionTree::root_or_add(UrlId url, std::uint32_t add_count) {
+  if (auto it = roots_.find(url); it != roots_.end()) {
+    nodes_[it->second].count += add_count;
+    return it->second;
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  TreeNode n;
+  n.url = url;
+  n.count = add_count;
+  n.depth = 1;
+  nodes_.push_back(std::move(n));
+  roots_.emplace(url, id);
+  ++live_count_;
+  return id;
+}
+
+NodeId PredictionTree::find_root(UrlId url) const {
+  const auto it = roots_.find(url);
+  return it == roots_.end() ? kNoNode : it->second;
+}
+
+NodeId PredictionTree::child_or_add(NodeId parent, UrlId url,
+                                    std::uint32_t add_count) {
+  assert(parent < nodes_.size() && !nodes_[parent].dead);
+  if (const NodeId* c = nodes_[parent].children.find(url)) {
+    nodes_[*c].count += add_count;
+    return *c;
+  }
+  const auto id = static_cast<NodeId>(nodes_.size());
+  TreeNode n;
+  n.url = url;
+  n.count = add_count;
+  n.parent = parent;
+  n.depth = static_cast<std::uint16_t>(nodes_[parent].depth + 1);
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children[url] = id;
+  ++live_count_;
+  return id;
+}
+
+NodeId PredictionTree::find_child(NodeId parent, UrlId url) const {
+  assert(parent < nodes_.size());
+  const NodeId* c = nodes_[parent].children.find(url);
+  return c ? *c : kNoNode;
+}
+
+NodeId PredictionTree::find_path(std::span<const UrlId> path) const {
+  if (path.empty()) return kNoNode;
+  NodeId cur = find_root(path[0]);
+  for (std::size_t i = 1; cur != kNoNode && i < path.size(); ++i) {
+    cur = find_child(cur, path[i]);
+  }
+  return cur;
+}
+
+void PredictionTree::clear_usage() {
+  for (auto& n : nodes_) n.used = false;
+}
+
+PredictionTree::PathUsage PredictionTree::path_usage() const {
+  // A root-to-leaf path counts as used when the prediction process walked
+  // all the way to its leaf — the leaf was the deepest matched context or
+  // was emitted as a prefetch candidate (paper Fig. 2: marked paths).
+  // Matching always prefers the longest suffix, so shallow duplicate
+  // branches (e.g. LRS suffix copies) accumulate as unused paths.
+  PathUsage usage;
+  for (const auto& n : nodes_) {
+    if (n.dead) continue;
+    bool has_live_child = false;
+    n.children.for_each([&](UrlId, NodeId c) {
+      if (!nodes_[c].dead) has_live_child = true;
+    });
+    if (has_live_child) continue;
+    ++usage.total;
+    if (n.used) ++usage.used;
+  }
+  return usage;
+}
+
+void PredictionTree::prune_subtree(NodeId id) {
+  assert(id < nodes_.size() && !nodes_[id].dead);
+  // Detach from parent (or root table).
+  TreeNode& n = nodes_[id];
+  if (n.parent == kNoNode) {
+    roots_.erase(n.url);
+  } else {
+    nodes_[n.parent].children.erase_if(
+        [&](UrlId, NodeId c) { return c == id; });
+  }
+  // Iterative DFS tombstoning.
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    stack.pop_back();
+    if (nodes_[cur].dead) continue;
+    nodes_[cur].dead = true;
+    --live_count_;
+    nodes_[cur].children.for_each(
+        [&](UrlId, NodeId c) { stack.push_back(c); });
+  }
+}
+
+std::vector<NodeId> PredictionTree::compact() {
+  std::vector<NodeId> remap(nodes_.size(), kNoNode);
+  std::vector<TreeNode> fresh;
+  fresh.reserve(live_count_);
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].dead) {
+      remap[i] = static_cast<NodeId>(fresh.size());
+      fresh.push_back(std::move(nodes_[i]));
+    }
+  }
+  for (auto& n : fresh) {
+    if (n.parent != kNoNode) {
+      n.parent = remap[n.parent];
+      assert(n.parent != kNoNode && "live child of dead parent");
+    }
+    util::SmallChildMap<NodeId> rebuilt;
+    n.children.for_each([&](UrlId u, NodeId c) {
+      if (remap[c] != kNoNode) rebuilt[u] = remap[c];
+    });
+    n.children = std::move(rebuilt);
+  }
+  nodes_ = std::move(fresh);
+  for (auto& [url, root] : roots_) {
+    root = remap[root];
+    assert(root != kNoNode);
+  }
+  return remap;
+}
+
+std::uint64_t PredictionTree::total_root_count() const {
+  std::uint64_t total = 0;
+  for (const auto& [url, id] : roots_) total += nodes_[id].count;
+  return total;
+}
+
+}  // namespace webppm::ppm

@@ -1,0 +1,105 @@
+// Markov prediction tree: the shared storage structure under all three PPM
+// models (standard, LRS, popularity-based).
+//
+// The tree is a forest: each distinct URL that heads a branch owns a root
+// node; a root-to-descendant path represents an observed URL sequence and
+// every node carries the number of times the path to it was traversed
+// during training. "Space" in the paper's Tables 1-2 is the node count of
+// this structure.
+//
+// Nodes live in a single arena (std::vector) and refer to each other by
+// index; children are kept in a SmallChildMap keyed by URL. Pruning
+// tombstones nodes and compact() reindexes the arena so node_count() is
+// exact after the PB-PPM space optimisation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/small_map.hpp"
+#include "util/types.hpp"
+
+namespace webppm::ppm {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+struct TreeNode {
+  UrlId url = kInvalidUrl;
+  std::uint32_t count = 0;   ///< traversals of the path ending here
+  NodeId parent = kNoNode;   ///< kNoNode for roots
+  std::uint16_t depth = 1;   ///< nodes on the path from root (root = 1)
+  bool used = false;         ///< touched while predicting (utilisation)
+  bool dead = false;         ///< tombstoned by pruning
+  util::SmallChildMap<NodeId> children;  ///< url -> child node
+};
+
+class PredictionTree {
+ public:
+  /// Root for `url`, creating it if needed. `add_count` is added to the
+  /// root's traversal count.
+  NodeId root_or_add(UrlId url, std::uint32_t add_count = 1);
+
+  /// Existing root for `url`, or kNoNode.
+  NodeId find_root(UrlId url) const;
+
+  /// Child of `parent` labelled `url`, creating it if needed; adds
+  /// `add_count` traversals.
+  NodeId child_or_add(NodeId parent, UrlId url, std::uint32_t add_count = 1);
+
+  /// Existing child or kNoNode.
+  NodeId find_child(NodeId parent, UrlId url) const;
+
+  /// Deepest node reached by matching `path` from a root; kNoNode if the
+  /// full path does not exist.
+  NodeId find_path(std::span<const UrlId> path) const;
+
+  TreeNode& node(NodeId id) { return nodes_[id]; }
+  const TreeNode& node(NodeId id) const { return nodes_[id]; }
+
+  /// Live nodes (the paper's space metric).
+  std::size_t node_count() const { return live_count_; }
+
+  std::size_t root_count() const { return roots_.size(); }
+
+  const std::unordered_map<UrlId, NodeId>& roots() const { return roots_; }
+
+  /// Marks a node (and nothing else) as used by a prediction walk.
+  void mark_used(NodeId id) { nodes_[id].used = true; }
+
+  void clear_usage();
+
+  /// Leaves = live nodes with no live children. A root-to-leaf path counts
+  /// as used when its leaf was marked. Returns {used_leaves, total_leaves}.
+  struct PathUsage {
+    std::size_t used = 0;
+    std::size_t total = 0;
+    double rate() const {
+      return total == 0 ? 0.0
+                        : static_cast<double>(used) / static_cast<double>(total);
+    }
+  };
+  PathUsage path_usage() const;
+
+  /// Tombstones `id` and its whole subtree; detaches it from its parent.
+  /// Precondition: `id` is live.
+  void prune_subtree(NodeId id);
+
+  /// Compacts the arena after pruning: reindexes live nodes, drops
+  /// tombstones. Invalidates all NodeIds held by callers except through
+  /// the returned remap (old id -> new id, kNoNode if dead).
+  std::vector<NodeId> compact();
+
+  /// Total traversal count of all roots (denominator for root-level
+  /// probabilities where needed).
+  std::uint64_t total_root_count() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::unordered_map<UrlId, NodeId> roots_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace webppm::ppm

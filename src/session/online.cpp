@@ -1,0 +1,35 @@
+#include "session/online.hpp"
+
+namespace webppm::session {
+
+std::span<const UrlId> OnlineContext::observe(UrlId url, TimeSec t) {
+  if (!urls_.empty() && t > last_ && t - last_ > opt_.idle_timeout) {
+    urls_.clear();
+  }
+  last_ = t;
+  if (opt_.dedup_consecutive && !urls_.empty() && urls_.back() == url) {
+    return urls_;
+  }
+  urls_.push_back(url);
+  if (urls_.size() > window_) {
+    urls_.erase(urls_.begin());
+  }
+  return urls_;
+}
+
+std::span<const UrlId> OnlineSessionizer::observe(const trace::Request& r) {
+  auto it = contexts_.find(r.client);
+  if (it == contexts_.end()) {
+    it = contexts_.emplace(r.client, OnlineContext(opt_, window_)).first;
+  }
+  if (opt_.skip_errors && r.status >= 400) return it->second.view();
+  return it->second.observe(r.url, r.timestamp);
+}
+
+std::span<const UrlId> OnlineSessionizer::context(ClientId client) const {
+  const auto it = contexts_.find(client);
+  return it == contexts_.end() ? std::span<const UrlId>{}
+                               : it->second.view();
+}
+
+}  // namespace webppm::session

@@ -1,0 +1,63 @@
+// Online (streaming) session context — the server-side counterpart of the
+// batch sessionizer. A prefetching server cannot wait for a session to end
+// before predicting: it keeps, per client, the rolling click context with
+// the same idle-timeout and reload-dedup rules extract_sessions applies
+// offline, so that prediction-time contexts match training-time sessions.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "session/session.hpp"
+#include "util/types.hpp"
+
+namespace webppm::session {
+
+/// Rolling context of a single client.
+class OnlineContext {
+ public:
+  explicit OnlineContext(const SessionizerOptions& opt = {},
+                         std::size_t window = 16)
+      : opt_(opt), window_(window) {}
+
+  /// Feeds one click; applies the idle-timeout reset and consecutive-
+  /// reload dedup, then returns the current context (oldest first, the
+  /// current click last). The view is valid until the next observe().
+  std::span<const UrlId> observe(UrlId url, TimeSec t);
+
+  std::span<const UrlId> view() const { return urls_; }
+  bool empty() const { return urls_.empty(); }
+  void reset() { urls_.clear(); }
+
+ private:
+  SessionizerOptions opt_;
+  std::size_t window_;
+  std::vector<UrlId> urls_;
+  TimeSec last_ = 0;
+};
+
+/// Per-client context table for a whole request stream.
+class OnlineSessionizer {
+ public:
+  explicit OnlineSessionizer(const SessionizerOptions& opt = {},
+                             std::size_t window = 16)
+      : opt_(opt), window_(window) {}
+
+  /// Feeds one request and returns the client's updated context.
+  /// Error-status requests (when opt.skip_errors) return the unchanged
+  /// context.
+  std::span<const UrlId> observe(const trace::Request& r);
+
+  /// Context of a client without feeding anything (empty if unseen).
+  std::span<const UrlId> context(ClientId client) const;
+
+  std::size_t client_count() const { return contexts_.size(); }
+
+ private:
+  SessionizerOptions opt_;
+  std::size_t window_;
+  std::unordered_map<ClientId, OnlineContext> contexts_;
+};
+
+}  // namespace webppm::session

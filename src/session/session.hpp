@@ -1,0 +1,65 @@
+// Access-session extraction (paper §1/§3.1): the requests of one client,
+// split whenever the client is idle for more than 30 minutes. Sessions are
+// the training unit for every prediction model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/types.hpp"
+
+namespace webppm::session {
+
+struct Session {
+  ClientId client = 0;
+  TimeSec start = 0;
+  TimeSec end = 0;
+  std::vector<UrlId> urls;    ///< page clicks, in order
+  std::vector<TimeSec> times; ///< parallel to urls
+
+  std::size_t length() const { return urls.size(); }
+};
+
+struct SessionizerOptions {
+  /// Idle gap that starts a new session (paper: 30 minutes).
+  TimeSec idle_timeout = 30 * 60;
+  /// Collapse immediately repeated URLs (reload clicks) into one step.
+  bool dedup_consecutive = true;
+  /// Drop requests with HTTP status >= 400 (they were never delivered).
+  bool skip_errors = true;
+};
+
+/// Extracts sessions from a page-level request stream. Requests must be in
+/// non-decreasing timestamp order (Trace::finalize guarantees this).
+/// Sessions are returned grouped by client, ordered by start time within a
+/// client.
+std::vector<Session> extract_sessions(std::span<const trace::Request> requests,
+                                      const SessionizerOptions& opt = {});
+
+/// Browser/proxy classification (paper §2.2): a client issuing more than
+/// `threshold` requests per day on average is considered a proxy.
+struct ClientClassification {
+  std::vector<bool> is_proxy;        ///< indexed by ClientId
+  std::uint32_t proxy_count = 0;
+  std::uint32_t browser_count = 0;
+};
+
+ClientClassification classify_clients(const trace::Trace& trace,
+                                      double requests_per_day_threshold = 100.0);
+
+/// Aggregate statistics over a set of sessions (used by the trace analyser
+/// example and by the workload statistical tests).
+struct SessionStats {
+  std::uint64_t session_count = 0;
+  std::uint64_t click_count = 0;
+  double mean_length = 0.0;
+  double p95_length = 0.0;
+  /// Fraction of sessions with <= 9 clicks (paper: > 95%).
+  double frac_at_most_9 = 0.0;
+};
+
+SessionStats compute_session_stats(std::span<const Session> sessions);
+
+}  // namespace webppm::session

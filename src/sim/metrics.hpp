@@ -1,0 +1,71 @@
+// Performance metrics of one simulation run (paper §2.3):
+//   hit ratio            — cache hits / total requests
+//   latency reduction    — computed by the caller against a no-prefetch run
+//   traffic increment    — (transferred - useful) / useful bytes
+// plus the model-behaviour counters behind Fig. 2 (popular share of
+// prefetch hits).
+#pragma once
+
+#include <cstdint>
+
+namespace webppm::sim {
+
+struct Metrics {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;                  ///< all cache hits
+  std::uint64_t browser_hits = 0;          ///< proxy mode: hits at browsers
+  std::uint64_t proxy_hits = 0;            ///< proxy mode: hits at the proxy
+  std::uint64_t prefetch_hits = 0;         ///< first hits on prefetched docs
+  std::uint64_t popular_prefetch_hits = 0; ///< ... whose URL has grade >= 2
+  std::uint64_t demand_misses = 0;
+  std::uint64_t prefetches_sent = 0;
+
+  std::uint64_t bytes_demand = 0;          ///< server->client demand bytes
+  std::uint64_t bytes_prefetched = 0;      ///< server->client prefetch bytes
+  std::uint64_t bytes_prefetch_used = 0;   ///< prefetched bytes later hit
+
+  double latency_seconds = 0.0;            ///< summed per-request latency
+
+  double hit_ratio() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(requests);
+  }
+
+  /// (total transferred bytes / useful bytes) - 1 (paper §2.3). Useful =
+  /// demand bytes + prefetched bytes that were eventually used.
+  double traffic_increment() const {
+    const auto useful = bytes_demand + bytes_prefetch_used;
+    if (useful == 0) return 0.0;
+    const auto transferred = bytes_demand + bytes_prefetched;
+    return static_cast<double>(transferred) / static_cast<double>(useful) -
+           1.0;
+  }
+
+  /// Fraction of prefetch hits on popular (grade >= 2) documents
+  /// (Fig. 2 left).
+  double popular_share_of_prefetch_hits() const {
+    return prefetch_hits == 0
+               ? 0.0
+               : static_cast<double>(popular_prefetch_hits) /
+                     static_cast<double>(prefetch_hits);
+  }
+
+  /// Prefetch precision: fraction of sent prefetches that were used.
+  double prefetch_accuracy() const {
+    return prefetches_sent == 0
+               ? 0.0
+               : static_cast<double>(prefetch_hits) /
+                     static_cast<double>(prefetches_sent);
+  }
+};
+
+/// Latency-reduction rate of a prefetching run against its no-prefetch
+/// baseline (identical caches, prediction disabled).
+inline double latency_reduction(const Metrics& with_prefetch,
+                                const Metrics& baseline) {
+  if (baseline.latency_seconds <= 0.0) return 0.0;
+  return 1.0 - with_prefetch.latency_seconds / baseline.latency_seconds;
+}
+
+}  // namespace webppm::sim

@@ -1,0 +1,177 @@
+#include "sim/simulator.hpp"
+
+#include "session/online.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace webppm::sim {
+namespace {
+
+/// The server keeps a rolling per-client session context with the same
+/// rules the batch sessionizer applies to training data.
+session::OnlineContext make_context(const EndpointConfig& cfg) {
+  session::SessionizerOptions opt;
+  opt.idle_timeout = cfg.idle_timeout;
+  opt.dedup_consecutive = cfg.dedup_consecutive;
+  return session::OnlineContext(opt, cfg.context_window);
+}
+
+/// Accounts a hit on `entry`, tracking first use of prefetched documents.
+void account_hit(cache::CacheEntry& entry, UrlId url,
+                 const popularity::PopularityTable& popularity, Metrics& m) {
+  ++m.hits;
+  if (entry.origin == cache::InsertClass::kPrefetch && !entry.prefetch_used) {
+    entry.prefetch_used = true;
+    ++m.prefetch_hits;
+    m.bytes_prefetch_used += entry.size_bytes;
+    if (popularity.is_popular(url)) ++m.popular_prefetch_hits;
+  }
+}
+
+/// Issues prefetches for the given context into `target` cache.
+void issue_prefetches(const trace::Trace& trace, ppm::Predictor& model,
+                      std::span<const UrlId> context, UrlId current,
+                      cache::DocumentCache& target, const SimulationConfig& cfg,
+                      std::vector<ppm::Prediction>& scratch, Metrics& m) {
+  if (!cfg.policy.enabled || context.empty()) return;
+  model.predict(context, scratch);
+  std::size_t sent = 0;
+  for (const auto& p : scratch) {
+    if (sent >= cfg.policy.max_prefetch_per_request) break;
+    if (p.url == current) continue;  // just delivered
+    const std::uint32_t size = trace.url_size(p.url);
+    if (size == 0 || size > cfg.policy.size_threshold_bytes) continue;
+    if (target.contains(p.url)) continue;  // already cached
+    target.insert(p.url, size, cache::InsertClass::kPrefetch);
+    m.bytes_prefetched += size;
+    ++m.prefetches_sent;
+    ++sent;
+  }
+}
+
+}  // namespace
+
+Metrics simulate_direct(const trace::Trace& trace,
+                        std::span<const trace::Request> eval,
+                        ppm::Predictor& model,
+                        const popularity::PopularityTable& popularity,
+                        const session::ClientClassification& classes,
+                        const SimulationConfig& config) {
+  Metrics m;
+  struct ClientState {
+    std::unique_ptr<cache::DocumentCache> cache;
+    session::OnlineContext context;
+    ClientState(cache::Policy policy, std::uint64_t bytes,
+                const EndpointConfig& endpoints)
+        : cache(cache::make_cache(policy, bytes)),
+          context(make_context(endpoints)) {}
+  };
+  std::unordered_map<ClientId, ClientState> clients;
+  std::vector<ppm::Prediction> scratch;
+
+  for (const auto& r : eval) {
+    if (r.status >= 400) continue;
+    ++m.requests;
+
+    auto it = clients.find(r.client);
+    if (it == clients.end()) {
+      const bool proxy =
+          r.client < classes.is_proxy.size() && classes.is_proxy[r.client];
+      it = clients
+               .emplace(r.client,
+                        ClientState(config.endpoints.cache_policy,
+                                    proxy ? config.endpoints.proxy_cache_bytes
+                                          : config.endpoints.browser_cache_bytes,
+                                    config.endpoints))
+               .first;
+    }
+    ClientState& state = it->second;
+
+    const std::uint32_t size =
+        r.size_bytes > 0 ? r.size_bytes : trace.url_size(r.url);
+    if (auto* entry = state.cache->lookup(r.url)) {
+      account_hit(*entry, r.url, popularity, m);
+    } else {
+      ++m.demand_misses;
+      m.bytes_demand += size;
+      m.latency_seconds += config.latency.latency_seconds(size);
+      state.cache->insert(r.url, size, cache::InsertClass::kDemand);
+    }
+
+    state.context.observe(r.url, r.timestamp);
+    issue_prefetches(trace, model, state.context.view(), r.url, *state.cache,
+                     config, scratch, m);
+  }
+  return m;
+}
+
+Metrics simulate_proxy_group(const trace::Trace& trace,
+                             std::span<const trace::Request> eval,
+                             ppm::Predictor& model,
+                             const popularity::PopularityTable& popularity,
+                             std::span<const ClientId> clients,
+                             const SimulationConfig& config) {
+  Metrics m;
+  const std::unordered_set<ClientId> members(clients.begin(), clients.end());
+
+  const auto proxy_cache = cache::make_cache(
+      config.endpoints.cache_policy, config.endpoints.proxy_cache_bytes);
+  struct BrowserState {
+    std::unique_ptr<cache::DocumentCache> cache;
+    session::OnlineContext context;
+    BrowserState(cache::Policy policy, std::uint64_t bytes,
+                 const EndpointConfig& endpoints)
+        : cache(cache::make_cache(policy, bytes)),
+          context(make_context(endpoints)) {}
+  };
+  std::unordered_map<ClientId, BrowserState> browsers;
+  std::vector<ppm::Prediction> scratch;
+
+  for (const auto& r : eval) {
+    if (r.status >= 400 || !members.contains(r.client)) continue;
+    ++m.requests;
+
+    auto it = browsers.find(r.client);
+    if (it == browsers.end()) {
+      it = browsers
+               .emplace(r.client,
+                        BrowserState(config.endpoints.cache_policy,
+                                     config.endpoints.browser_cache_bytes,
+                                     config.endpoints))
+               .first;
+    }
+    BrowserState& state = it->second;
+
+    const std::uint32_t size =
+        r.size_bytes > 0 ? r.size_bytes : trace.url_size(r.url);
+    if (auto* entry = state.cache->lookup(r.url)) {
+      ++m.browser_hits;
+      account_hit(*entry, r.url, popularity, m);
+    } else if (auto* pentry = proxy_cache->lookup(r.url)) {
+      ++m.proxy_hits;
+      account_hit(*pentry, r.url, popularity, m);
+      // LAN hop from proxy to browser; far cheaper than a server fetch.
+      m.latency_seconds += config.proxy_hit_connect_fraction *
+                           config.latency.connect_seconds();
+      state.cache->insert(r.url, size, cache::InsertClass::kDemand);
+    } else {
+      ++m.demand_misses;
+      m.bytes_demand += size;
+      m.latency_seconds += config.latency.latency_seconds(size);
+      proxy_cache->insert(r.url, size, cache::InsertClass::kDemand);
+      state.cache->insert(r.url, size, cache::InsertClass::kDemand);
+    }
+
+    // The server predicts per end-client session (the proxy forwards the
+    // client's requests); prefetched documents are pushed to the proxy.
+    state.context.observe(r.url, r.timestamp);
+    issue_prefetches(trace, model, state.context.view(), r.url, *proxy_cache,
+                     config, scratch, m);
+  }
+  return m;
+}
+
+}  // namespace webppm::sim

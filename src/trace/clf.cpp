@@ -1,0 +1,250 @@
+#include "trace/clf.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace webppm::trace {
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+std::optional<int> month_index(std::string_view m) {
+  for (int i = 0; i < 12; ++i) {
+    if (kMonths[static_cast<std::size_t>(i)] == m) return i;
+  }
+  return std::nullopt;
+}
+
+bool is_leap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+constexpr std::array<int, 12> kCumDays = {0,   31,  59,  90,  120, 151,
+                                          181, 212, 243, 273, 304, 334};
+
+/// Civil date/time -> seconds since Unix epoch (UTC), no leap seconds.
+std::int64_t to_epoch(int year, int month, int day, int hh, int mm, int ss) {
+  std::int64_t days = 0;
+  for (int y = 1970; y < year; ++y) days += is_leap(y) ? 366 : 365;
+  days += kCumDays[static_cast<std::size_t>(month)];
+  if (month > 1 && is_leap(year)) days += 1;
+  days += day - 1;
+  return ((days * 24 + hh) * 60 + mm) * 60 + ss;
+}
+
+/// Seconds since epoch -> civil date/time (UTC).
+void from_epoch(std::int64_t t, int& year, int& month, int& day, int& hh,
+                int& mm, int& ss) {
+  std::int64_t days = t / 86400;
+  std::int64_t rem = t % 86400;
+  hh = static_cast<int>(rem / 3600);
+  mm = static_cast<int>((rem % 3600) / 60);
+  ss = static_cast<int>(rem % 60);
+  year = 1970;
+  for (;;) {
+    const int len = is_leap(year) ? 366 : 365;
+    if (days < len) break;
+    days -= len;
+    ++year;
+  }
+  month = 11;
+  while (month > 0) {
+    int start = kCumDays[static_cast<std::size_t>(month)];
+    if (month > 1 && is_leap(year)) start += 1;
+    if (days >= start) {
+      days -= start;
+      break;
+    }
+    --month;
+  }
+  if (month == 0) {
+    // days already relative to Jan 1
+  }
+  day = static_cast<int>(days) + 1;
+}
+
+template <typename Int>
+bool parse_int(std::string_view s, Int& out) {
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+Method parse_method(std::string_view m) {
+  if (m == "GET") return Method::kGet;
+  if (m == "HEAD") return Method::kHead;
+  if (m == "POST") return Method::kPost;
+  return Method::kOther;
+}
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kOther: return "OTHER";
+  }
+  return "GET";
+}
+
+}  // namespace
+
+std::optional<ClfEntry> parse_clf_line(std::string_view line) {
+  // host ident authuser [date] "request" status bytes
+  const auto host_end = line.find(' ');
+  if (host_end == std::string_view::npos || host_end == 0) return std::nullopt;
+
+  const auto lbr = line.find('[', host_end);
+  const auto rbr = line.find(']', lbr == std::string_view::npos ? 0 : lbr);
+  if (lbr == std::string_view::npos || rbr == std::string_view::npos) {
+    return std::nullopt;
+  }
+  const auto date = line.substr(lbr + 1, rbr - lbr - 1);
+  // dd/Mon/yyyy:HH:MM:SS zone  (zone = +HHMM or -HHMM)
+  if (date.size() < 20 || date[2] != '/' || date[6] != '/' ||
+      date[11] != ':' || date[14] != ':' || date[17] != ':') {
+    return std::nullopt;
+  }
+  int day = 0, year = 0, hh = 0, mm = 0, ss = 0;
+  if (!parse_int(date.substr(0, 2), day) ||
+      !parse_int(date.substr(7, 4), year) ||
+      !parse_int(date.substr(12, 2), hh) ||
+      !parse_int(date.substr(15, 2), mm) ||
+      !parse_int(date.substr(18, 2), ss)) {
+    return std::nullopt;
+  }
+  const auto mon = month_index(date.substr(3, 3));
+  if (!mon || day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) {
+    return std::nullopt;
+  }
+  std::int64_t zone_offset = 0;
+  if (const auto sp = date.find(' '); sp != std::string_view::npos) {
+    const auto zone = date.substr(sp + 1);
+    if (zone.size() == 5 && (zone[0] == '+' || zone[0] == '-')) {
+      int zh = 0, zm = 0;
+      if (parse_int(zone.substr(1, 2), zh) && parse_int(zone.substr(3, 2), zm)) {
+        zone_offset = (zh * 60 + zm) * 60;
+        if (zone[0] == '-') zone_offset = -zone_offset;
+      }
+    }
+  }
+
+  const auto q1 = line.find('"', rbr);
+  if (q1 == std::string_view::npos) return std::nullopt;
+  const auto q2 = line.find('"', q1 + 1);
+  if (q2 == std::string_view::npos) return std::nullopt;
+  const auto req = line.substr(q1 + 1, q2 - q1 - 1);
+
+  // "METHOD path [proto]" — 1995 logs contain HTTP/0.9 lines without proto.
+  const auto m_end = req.find(' ');
+  if (m_end == std::string_view::npos) return std::nullopt;
+  auto path_part = req.substr(m_end + 1);
+  if (const auto p_end = path_part.rfind(' ');
+      p_end != std::string_view::npos &&
+      path_part.substr(p_end + 1).starts_with("HTTP/")) {
+    path_part = path_part.substr(0, p_end);
+  }
+  if (path_part.empty()) return std::nullopt;
+
+  // status bytes
+  auto rest = line.substr(q2 + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const auto s_end = rest.find(' ');
+  if (s_end == std::string_view::npos) return std::nullopt;
+  std::uint16_t status = 0;
+  if (!parse_int(rest.substr(0, s_end), status)) return std::nullopt;
+  auto bytes_str = rest.substr(s_end + 1);
+  while (!bytes_str.empty() && bytes_str.back() == ' ') {
+    bytes_str.remove_suffix(1);
+  }
+  std::uint32_t bytes = 0;
+  if (bytes_str != "-" && !parse_int(bytes_str, bytes)) return std::nullopt;
+
+  ClfEntry e;
+  e.host = std::string(line.substr(0, host_end));
+  const std::int64_t local =
+      to_epoch(year, *mon, day, hh, mm, std::min(ss, 59));
+  const std::int64_t utc = local - zone_offset;
+  e.timestamp = utc < 0 ? 0 : static_cast<TimeSec>(utc);
+  e.method = parse_method(req.substr(0, m_end));
+  e.path = std::string(path_part);
+  e.status = status;
+  e.size_bytes = bytes;
+  return e;
+}
+
+std::string format_clf_line(const ClfEntry& entry) {
+  int year, month, day, hh, mm, ss;
+  from_epoch(static_cast<std::int64_t>(entry.timestamp), year, month, day, hh,
+             mm, ss);
+  char date[64];
+  std::snprintf(date, sizeof date, "%02d/%s/%04d:%02d:%02d:%02d +0000", day,
+                std::string(kMonths[static_cast<std::size_t>(month)]).c_str(),
+                year, hh, mm, ss);
+  std::string out;
+  out.reserve(entry.host.size() + entry.path.size() + 64);
+  out += entry.host;
+  out += " - - [";
+  out += date;
+  out += "] \"";
+  out += method_name(entry.method);
+  out += ' ';
+  out += entry.path;
+  out += " HTTP/1.0\" ";
+  out += std::to_string(entry.status);
+  out += ' ';
+  out += std::to_string(entry.size_bytes);
+  return out;
+}
+
+ClfReadStats read_clf(std::istream& in, Trace& out) {
+  ClfReadStats stats;
+  std::string line;
+  TimeSec min_ts = ~TimeSec{0};
+  while (std::getline(in, line)) {
+    ++stats.lines;
+    const auto entry = parse_clf_line(line);
+    if (!entry) {
+      ++stats.skipped;
+      continue;
+    }
+    ++stats.parsed;
+    Request r;
+    r.timestamp = entry->timestamp;
+    r.client = out.clients.intern(entry->host);
+    r.url = out.urls.intern(entry->path);
+    r.size_bytes = entry->size_bytes;
+    r.status = entry->status;
+    r.method = entry->method;
+    out.requests.push_back(r);
+    min_ts = std::min(min_ts, r.timestamp);
+  }
+  if (!out.requests.empty()) {
+    // Rebase to the start of the first request's UTC day so day_of() gives
+    // calendar-style day indexes.
+    const TimeSec epoch = (min_ts / kSecondsPerDay) * kSecondsPerDay;
+    for (auto& r : out.requests) r.timestamp -= epoch;
+  }
+  out.finalize();
+  return stats;
+}
+
+void write_clf(std::ostream& os, const Trace& trace) {
+  for (const auto& r : trace.requests) {
+    ClfEntry e;
+    e.host = std::string(trace.clients.name(r.client));
+    e.timestamp = r.timestamp;
+    e.method = r.method;
+    e.path = std::string(trace.urls.name(r.url));
+    e.status = r.status;
+    e.size_bytes = r.size_bytes;
+    os << format_clf_line(e) << '\n';
+  }
+}
+
+}  // namespace webppm::trace

@@ -1,0 +1,53 @@
+// Common Log Format reader/writer.
+//
+// Both traces the paper uses (NASA-KSC and UCB-CS) are distributed as CLF:
+//   host ident authuser [dd/Mon/yyyy:HH:MM:SS zone] "METHOD path proto" status bytes
+// The reader is tolerant of the malformed lines real 1995-era logs contain
+// (missing quotes, "-" byte counts, junk requests) and reports per-line
+// outcomes so callers can account for skips.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trace/record.hpp"
+
+namespace webppm::trace {
+
+/// A parsed CLF line before interning.
+struct ClfEntry {
+  std::string host;
+  TimeSec timestamp = 0;  ///< seconds since Unix epoch (UTC)
+  Method method = Method::kGet;
+  std::string path;
+  std::uint16_t status = 0;
+  std::uint32_t size_bytes = 0;
+};
+
+/// Parses one CLF line; returns nullopt for malformed lines.
+std::optional<ClfEntry> parse_clf_line(std::string_view line);
+
+/// Formats an entry back to a CLF line (UTC, "+0000" zone). Inverse of
+/// parse_clf_line up to ident/authuser fields, which CLF logs leave as "-".
+std::string format_clf_line(const ClfEntry& entry);
+
+struct ClfReadStats {
+  std::uint64_t lines = 0;
+  std::uint64_t parsed = 0;
+  std::uint64_t skipped = 0;
+};
+
+/// Reads an entire CLF stream into a Trace. Timestamps are rebased so the
+/// first chronological request defines the trace epoch (start of its day).
+/// Non-GET and error-status (>= 400) requests are kept in the trace; the
+/// session extractor decides what to include, mirroring the paper's
+/// simulator which models what the server actually logged.
+ClfReadStats read_clf(std::istream& in, Trace& out);
+
+/// Writes a trace as CLF lines (for interchange with external tools).
+void write_clf(std::ostream& out, const Trace& trace);
+
+}  // namespace webppm::trace

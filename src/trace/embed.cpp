@@ -1,0 +1,57 @@
+#include "trace/embed.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace webppm::trace {
+
+EmbedFoldStats fold_embedded_objects(const Trace& in, Trace& out,
+                                     const EmbedFoldOptions& opt) {
+  EmbedFoldStats stats;
+
+  // Classify URLs once (by interned id).
+  std::vector<ResourceKind> kind(in.urls.size());
+  for (std::uint32_t u = 0; u < in.urls.size(); ++u) {
+    kind[u] = classify_resource(in.urls.name(u));
+  }
+
+  struct LastPage {
+    std::size_t out_index = 0;  // index into out.requests
+    TimeSec time = 0;
+    bool valid = false;
+  };
+  std::unordered_map<ClientId, LastPage> last_page;
+
+  out.requests.clear();
+  out.requests.reserve(in.requests.size());
+  for (const auto& r : in.requests) {
+    const ResourceKind k = kind[r.url];
+    if (k == ResourceKind::kImage) {
+      if (auto it = last_page.find(r.client);
+          it != last_page.end() && it->second.valid &&
+          r.timestamp >= it->second.time &&
+          r.timestamp - it->second.time <= opt.window_seconds) {
+        out.requests[it->second.out_index].size_bytes += r.size_bytes;
+        ++stats.folded_images;
+        continue;
+      }
+      ++stats.orphan_images;
+    } else if (k == ResourceKind::kOther) {
+      ++stats.other;
+    }
+
+    Request nr = r;
+    nr.client = out.clients.intern(in.clients.name(r.client));
+    nr.url = out.urls.intern(in.urls.name(r.url));
+    out.requests.push_back(nr);
+
+    if (k == ResourceKind::kHtml) {
+      ++stats.pages;
+      last_page[r.client] = {out.requests.size() - 1, r.timestamp, true};
+    }
+  }
+  out.finalize();
+  return stats;
+}
+
+}  // namespace webppm::trace

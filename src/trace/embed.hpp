@@ -1,0 +1,31 @@
+// Embedded-object folding (paper §2.2): if an image request from a client
+// arrives within 10 seconds of an HTML request from the same client, the
+// image is treated as embedded in that page — its bytes are folded into the
+// page record and the image request is dropped. The models then predict
+// page-level navigation, not per-image fetches.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+
+namespace webppm::trace {
+
+struct EmbedFoldOptions {
+  /// Maximum gap between the HTML request and an embedded image (seconds).
+  TimeSec window_seconds = 10;
+};
+
+struct EmbedFoldStats {
+  std::uint64_t pages = 0;           ///< HTML requests kept
+  std::uint64_t folded_images = 0;   ///< image requests merged into pages
+  std::uint64_t orphan_images = 0;   ///< images with no recent page (kept)
+  std::uint64_t other = 0;           ///< non-HTML/non-image requests (kept)
+};
+
+/// Produces a page-level trace from a raw request trace. URL and client
+/// intern tables are rebuilt (only surviving records are interned).
+EmbedFoldStats fold_embedded_objects(const Trace& in, Trace& out,
+                                     const EmbedFoldOptions& opt = {});
+
+}  // namespace webppm::trace

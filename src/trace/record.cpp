@@ -1,0 +1,95 @@
+#include "trace/record.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+namespace webppm::trace {
+namespace {
+
+// Paper §2.2's embedded-image extension list.
+constexpr std::array<std::string_view, 20> kImageExts = {
+    ".gif",  ".xbm", ".jpg", ".jpeg", ".gif89", ".tif", ".tiff",
+    ".bmp",  ".ief", ".jpe", ".ras",  ".pnm",   ".pgm", ".ppm",
+    ".rgb",  ".xpm", ".xwd", ".pcx",  ".pbm",   ".pic"};
+
+constexpr std::array<std::string_view, 3> kHtmlExts = {".html", ".htm",
+                                                       ".shtml"};
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? char(a[i] + 32) : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? char(b[i] + 32) : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResourceKind classify_resource(std::string_view url_path) {
+  // Strip query string / fragment.
+  if (const auto q = url_path.find_first_of("?#");
+      q != std::string_view::npos) {
+    url_path = url_path.substr(0, q);
+  }
+  if (url_path.empty() || url_path.back() == '/') return ResourceKind::kHtml;
+  const auto slash = url_path.find_last_of('/');
+  const auto base =
+      slash == std::string_view::npos ? url_path : url_path.substr(slash + 1);
+  const auto dot = base.find_last_of('.');
+  if (dot == std::string_view::npos) return ResourceKind::kHtml;  // index page
+  const auto ext = base.substr(dot);
+  for (const auto e : kHtmlExts) {
+    if (iequals(ext, e)) return ResourceKind::kHtml;
+  }
+  for (const auto e : kImageExts) {
+    if (iequals(ext, e)) return ResourceKind::kImage;
+  }
+  return ResourceKind::kOther;
+}
+
+void Trace::finalize() {
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  url_sizes_.assign(urls.size(), 0);
+  for (const auto& r : requests) {
+    assert(r.url < urls.size());
+    url_sizes_[r.url] = std::max(url_sizes_[r.url], r.size_bytes);
+  }
+  // Build day index.
+  day_offsets_.clear();
+  const std::uint32_t days =
+      requests.empty() ? 0 : day_of(requests.back().timestamp) + 1;
+  day_offsets_.reserve(days + 1);
+  std::size_t i = 0;
+  for (std::uint32_t d = 0; d < days; ++d) {
+    day_offsets_.push_back(i);
+    while (i < requests.size() && day_of(requests[i].timestamp) == d) ++i;
+  }
+  day_offsets_.push_back(requests.size());
+}
+
+std::uint32_t Trace::day_count() const {
+  return day_offsets_.empty()
+             ? 0
+             : static_cast<std::uint32_t>(day_offsets_.size() - 1);
+}
+
+std::span<const Request> Trace::day_slice(std::uint32_t day) const {
+  return day_range(day, day);
+}
+
+std::span<const Request> Trace::day_range(std::uint32_t first_day,
+                                          std::uint32_t last_day) const {
+  assert(first_day <= last_day);
+  if (day_offsets_.empty() || first_day >= day_count()) return {};
+  const auto last = std::min<std::size_t>(last_day + 1, day_count());
+  return {requests.data() + day_offsets_[first_day],
+          requests.data() + day_offsets_[last]};
+}
+
+}  // namespace webppm::trace

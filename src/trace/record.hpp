@@ -1,0 +1,77 @@
+// Core trace representation: a time-ordered sequence of HTTP requests with
+// interned URL and client identifiers, as produced by the CLF reader or the
+// synthetic workload generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/intern.hpp"
+#include "util/types.hpp"
+
+namespace webppm::trace {
+
+enum class Method : std::uint8_t { kGet, kHead, kPost, kOther };
+
+/// One logged HTTP request (one Common Log Format line).
+struct Request {
+  TimeSec timestamp = 0;        ///< seconds since trace epoch
+  ClientId client = 0;          ///< interned remote host
+  UrlId url = 0;                ///< interned request path
+  std::uint32_t size_bytes = 0; ///< response body size
+  std::uint16_t status = 200;   ///< HTTP status code
+  Method method = Method::kGet;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Resource classes relevant to the paper's embedded-object folding rule.
+enum class ResourceKind : std::uint8_t { kHtml, kImage, kOther };
+
+/// Classifies a URL path by extension using the paper's lists (§2.2):
+/// HTML = .html/.htm/.shtml (plus a bare or directory path, which servers
+/// resolve to an index page); images = .gif/.jpg/.jpeg/... (full list).
+ResourceKind classify_resource(std::string_view url_path);
+
+/// A complete trace: requests in non-decreasing timestamp order plus the
+/// intern tables and per-URL metadata the models and simulator need.
+class Trace {
+ public:
+  std::vector<Request> requests;
+  util::InternTable urls;
+  util::InternTable clients;
+
+  /// Sorts requests by (timestamp, client) and rebuilds the per-URL size
+  /// table. Call after bulk construction and before analysis.
+  void finalize();
+
+  /// Representative (maximum observed) response size for a URL; the server
+  /// uses this when deciding whether a document fits the prefetch size
+  /// threshold. Returns 0 for URLs never seen with a body.
+  std::uint32_t url_size(UrlId url) const {
+    return url < url_sizes_.size() ? url_sizes_[url] : 0;
+  }
+
+  /// Day index (0-based) of a timestamp relative to the trace epoch.
+  static std::uint32_t day_of(TimeSec t) {
+    return static_cast<std::uint32_t>(t / kSecondsPerDay);
+  }
+
+  /// Number of whole days covered: 1 + day_of(last timestamp); 0 if empty.
+  std::uint32_t day_count() const;
+
+  /// Requests whose day index is exactly `day`.
+  std::span<const Request> day_slice(std::uint32_t day) const;
+
+  /// Requests with day index in [first_day, last_day] inclusive.
+  std::span<const Request> day_range(std::uint32_t first_day,
+                                     std::uint32_t last_day) const;
+
+ private:
+  std::vector<std::uint32_t> url_sizes_;
+  std::vector<std::size_t> day_offsets_;  // day_offsets_[d] = first index of day d
+};
+
+}  // namespace webppm::trace

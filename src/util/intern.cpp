@@ -1,0 +1,26 @@
+#include "util/intern.hpp"
+
+#include <cassert>
+
+namespace webppm::util {
+
+std::uint32_t InternTable::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  // string_view key must reference the stored string, not the argument.
+  index_.emplace(std::string_view{names_.back()}, id);
+  return id;
+}
+
+std::uint32_t InternTable::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? npos : it->second;
+}
+
+std::string_view InternTable::name(std::uint32_t id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace webppm::util

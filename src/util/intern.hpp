@@ -1,0 +1,39 @@
+// String interning: bidirectional mapping between strings (URLs, client
+// addresses) and dense 32-bit ids. Dense ids let the prediction trees and
+// caches use vectors instead of hash maps on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace webppm::util {
+
+class InternTable {
+ public:
+  /// Returns the id for `s`, inserting it if unseen. Ids are assigned
+  /// densely starting at 0 in first-seen order.
+  std::uint32_t intern(std::string_view s);
+
+  /// Returns the id for `s` if present, or `npos` otherwise.
+  std::uint32_t find(std::string_view s) const;
+
+  /// Returns the string for a previously returned id.
+  /// Precondition: id < size().
+  std::string_view name(std::uint32_t id) const;
+
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+  static constexpr std::uint32_t npos = 0xffffffffu;
+
+ private:
+  // Keys view into names_ storage. A deque never moves existing elements,
+  // so views into short (SSO) strings stay valid as the table grows.
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+  std::deque<std::string> names_;
+};
+
+}  // namespace webppm::util

@@ -1,0 +1,39 @@
+#include "util/least_squares.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace webppm::util {
+
+LinearFit least_squares_fit(std::span<const double> xs,
+                            std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  assert(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+
+  double sum_x = 0.0, sum_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  assert(sxx > 0.0 && "need at least two distinct x values");
+
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace webppm::util

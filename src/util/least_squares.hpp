@@ -1,0 +1,29 @@
+// Ordinary least-squares fit of y = intercept + slope * x.
+//
+// This is the calibration method of Jin & Bestavros (ICDCS 2000) that the
+// paper uses (its reference [16]) to derive per-request latency from
+// document size: a least-squares fit of measured latency versus size yields
+// a connection-time intercept and a per-byte transfer-time slope.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace webppm::util {
+
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination in [0,1]; 1 means a perfect fit.
+  double r_squared = 0.0;
+
+  double operator()(double x) const { return intercept + slope * x; }
+};
+
+/// Fits y = a + b x by ordinary least squares.
+/// Precondition: xs.size() == ys.size() and xs.size() >= 2 with at least two
+/// distinct x values.
+LinearFit least_squares_fit(std::span<const double> xs,
+                            std::span<const double> ys);
+
+}  // namespace webppm::util

@@ -1,0 +1,81 @@
+// Deterministic, seedable PRNG used throughout the workload generator and
+// simulator. xoshiro256** seeded via splitmix64: fast, high quality, and
+// fully reproducible across platforms (unlike std::mt19937's distributions,
+// whose output is implementation-defined for some adaptors).
+#pragma once
+
+#include <cstdint>
+
+namespace webppm::util {
+
+/// splitmix64 step; used for seeding and as a standalone hash-like generator.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x9e3779b9u) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  constexpr std::uint64_t operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free approximation is fine here:
+    // n is always tiny relative to 2^64 so bias is negligible, but we use
+    // the unbiased variant for reproducible statistical tests.
+    const std::uint64_t threshold = (-n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child stream (for per-client determinism that is
+  /// insensitive to generation order).
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t sm = (*this)() ^ (salt * 0x9e3779b97f4a7c15ull);
+    return Rng{splitmix64(sm)};
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace webppm::util

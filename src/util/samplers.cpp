@@ -1,0 +1,72 @@
+#include "util/samplers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace webppm::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double alpha) : alpha_(alpha) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  assert(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  cdf_.resize(weights.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    assert(weights[i] >= 0.0);
+    sum += weights[i];
+    cdf_[i] = sum;
+  }
+  assert(sum > 0.0);
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double sample_standard_normal(Rng& rng) {
+  // Box-Muller; discard the second variate for simplicity and stream
+  // reproducibility (two uniforms consumed per normal, always).
+  double u1 = rng.uniform();
+  const double u2 = rng.uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double LogNormalSampler::operator()(Rng& rng) const {
+  return std::exp(mu_ + sigma_ * sample_standard_normal(rng));
+}
+
+double ParetoSampler::operator()(Rng& rng) const {
+  double u = rng.uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+}  // namespace webppm::util

@@ -1,0 +1,70 @@
+// Random samplers for the statistical properties web traces exhibit:
+// Zipf-distributed document popularity, lognormal body / Pareto tail file
+// sizes, and lognormal think times (Barford & Crovella; Huberman et al.).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace webppm::util {
+
+/// Samples ranks 0..n-1 with P(rank k) proportional to 1/(k+1)^alpha.
+/// Uses a precomputed CDF + binary search: O(log n) per sample, exact.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double alpha);
+
+  std::size_t operator()(Rng& rng) const;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double alpha() const { return alpha_; }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+  double alpha_;
+};
+
+/// Samples from an arbitrary discrete distribution given non-negative
+/// weights (not necessarily normalised).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Lognormal sampler (parameterised by the underlying normal's mu/sigma).
+class LogNormalSampler {
+ public:
+  LogNormalSampler(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  double operator()(Rng& rng) const;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Pareto sampler with scale x_m and shape alpha (heavy-tailed file sizes).
+class ParetoSampler {
+ public:
+  ParetoSampler(double xm, double alpha) : xm_(xm), alpha_(alpha) {}
+  double operator()(Rng& rng) const;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Standard normal via Box-Muller (deterministic given the Rng stream).
+double sample_standard_normal(Rng& rng);
+
+}  // namespace webppm::util

@@ -1,0 +1,18 @@
+#include "util/stats.hpp"
+
+#include <cassert>
+
+namespace webppm::util {
+
+double quantile(std::vector<double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace webppm::util

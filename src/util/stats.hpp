@@ -1,0 +1,82 @@
+// Streaming statistics helpers used by the trace analyser, the statistical
+// workload tests, and the benchmark reporters.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace webppm::util {
+
+/// Welford running mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [0, bucket_width * bucket_count); values
+/// beyond the last bucket land in an overflow bucket.
+class Histogram {
+ public:
+  Histogram(double bucket_width, std::size_t bucket_count)
+      : width_(bucket_width), counts_(bucket_count + 1, 0) {}
+
+  void add(double x) {
+    auto idx = x < 0 ? 0 : static_cast<std::size_t>(x / width_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  std::size_t buckets() const { return counts_.size(); }
+
+  /// Fraction of samples with value < x (bucket-resolution approximation).
+  double cdf_below(double x) const {
+    if (total_ == 0) return 0.0;
+    const auto limit =
+        std::min(static_cast<std::size_t>(x / width_), counts_.size());
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < limit; ++i) below += counts_[i];
+    return static_cast<double>(below) / static_cast<double>(total_);
+  }
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact quantile of a sample (copies and sorts; for tests/reports only).
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace webppm::util

@@ -1,0 +1,49 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The experiment harnesses sweep independent configurations (training-day
+// counts, models, client counts); each configuration is an independent
+// simulation, so the sweep parallelises trivially across cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace webppm::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, n), distributing iterations across the pool and
+/// blocking until all complete. Exceptions from any iteration propagate
+/// (the first one encountered is rethrown).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace webppm::util

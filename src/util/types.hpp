@@ -1,0 +1,26 @@
+// Fundamental identifier and time types shared across all webppm modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace webppm {
+
+/// Interned URL identifier. URLs are interned once per trace via
+/// util::InternTable; all models and the simulator operate on UrlId only.
+using UrlId = std::uint32_t;
+
+/// Interned client identifier (an IP address or synthetic client name).
+using ClientId = std::uint32_t;
+
+/// Seconds since the trace epoch. Web server logs carry 1-second resolution
+/// timestamps, which is all the paper's session logic requires.
+using TimeSec = std::uint64_t;
+
+/// Sentinel for "no URL" / "no node".
+inline constexpr UrlId kInvalidUrl = std::numeric_limits<UrlId>::max();
+
+/// One simulated day, the paper's training/evaluation granularity.
+inline constexpr TimeSec kSecondsPerDay = 24 * 3600;
+
+}  // namespace webppm

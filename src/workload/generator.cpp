@@ -1,0 +1,291 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "trace/embed.hpp"
+#include "util/samplers.hpp"
+
+namespace webppm::workload {
+namespace {
+
+struct WalkContext {
+  const SiteModel& site;
+  const TrafficProfile& profile;
+  const util::ZipfSampler& entry_sampler;
+};
+
+/// Session length sample; optionally discounted for unpopular entries so
+/// that long sessions concentrate under popular heads (Regularity 2).
+std::uint32_t sample_session_length(const WalkContext& ctx,
+                                    std::uint32_t entry_rank,
+                                    util::Rng& rng) {
+  const util::LogNormalSampler len(ctx.profile.len_mu, ctx.profile.len_sigma);
+  double l = 1.0 + std::floor(len(rng));
+  if (ctx.profile.long_sessions_from_popular) {
+    // Entries outside the top quartile get their tail shortened: popularity
+    // rank r in [0,1) scales lengths above 3 by (1 - 0.75 r).
+    const double r = static_cast<double>(entry_rank) /
+                     static_cast<double>(ctx.site.entry_count());
+    if (l > 3.0) l = 3.0 + (l - 3.0) * (1.0 - 0.75 * r);
+  }
+  return static_cast<std::uint32_t>(
+      std::clamp<double>(l, 1.0, ctx.profile.max_len));
+}
+
+PageId pick_child(const Page& page, double zipf_alpha, util::Rng& rng) {
+  assert(!page.children.empty());
+  // Rank-skewed child choice without per-page sampler allocation: inverse
+  // CDF of a truncated power law via rejection over ranks.
+  const auto n = page.children.size();
+  if (n == 1) return page.children[0];
+  // Weight rank k by 1/(k+1)^alpha using cumulative sum (n is small).
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_alpha);
+  }
+  double u = rng.uniform() * total;
+  for (std::size_t k = 0; k < n; ++k) {
+    u -= 1.0 / std::pow(static_cast<double>(k + 1), zipf_alpha);
+    if (u <= 0.0) return page.children[k];
+  }
+  return page.children[n - 1];
+}
+
+/// One surfing session: returns the sequence of pages viewed.
+std::vector<PageId> walk_session(const WalkContext& ctx, util::Rng& rng) {
+  const auto& site = ctx.site;
+  const auto& prof = ctx.profile;
+
+  PageId entry;
+  std::uint32_t entry_rank;
+  if (rng.chance(prof.random_entry_prob)) {
+    entry = static_cast<PageId>(rng.below(site.pages().size()));
+    entry_rank = site.entry_count() - 1;  // treated as unpopular for R2
+  } else {
+    entry_rank = static_cast<std::uint32_t>(ctx.entry_sampler(rng));
+    entry = site.entry(entry_rank);
+  }
+
+  const std::uint32_t length = sample_session_length(ctx, entry_rank, rng);
+  std::vector<PageId> path;
+  path.reserve(length);
+  PageId cur = entry;
+  path.push_back(cur);
+
+  while (path.size() < length) {
+    const Page& page = site.page(cur);
+    const bool can_descend = !page.children.empty();
+    const bool can_up = page.parent != kNoPage;
+    const Page* parent = can_up ? &site.page(page.parent) : nullptr;
+    const bool can_sibling = parent && parent->children.size() > 1;
+
+    double w_descend = can_descend ? prof.descend_weight : 0.0;
+    double w_sibling = can_sibling ? prof.sibling_weight : 0.0;
+    double w_up = can_up ? prof.up_weight : 0.0;
+    double w_home = cur != entry ? prof.home_weight : 0.0;
+    double w_random = prof.random_jump_weight;
+    const double total = w_descend + w_sibling + w_up + w_home + w_random;
+    if (total <= 0.0) break;
+
+    double u = rng.uniform() * total;
+    PageId next;
+    if ((u -= w_descend) < 0.0) {
+      next = pick_child(page, prof.child_zipf_alpha, rng);
+    } else if ((u -= w_sibling) < 0.0) {
+      const auto& sibs = parent->children;
+      PageId s;
+      do {
+        s = sibs[rng.below(sibs.size())];
+      } while (s == cur && sibs.size() > 1);
+      next = s;
+    } else if ((u -= w_up) < 0.0) {
+      next = page.parent;
+    } else if ((u -= w_home) < 0.0) {
+      next = entry;
+    } else {
+      next = static_cast<PageId>(rng.below(site.pages().size()));
+    }
+    if (next == cur) continue;  // no self-loops in the click stream
+    cur = next;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+/// Session start offset within a day, optionally shaped by the diurnal
+/// curve 1 + A*sin(pi*(x - 1/4)*2) (trough ~03:00, peak ~15:00), sampled
+/// by rejection.
+TimeSec sample_start_offset(const TrafficProfile& prof, TimeSec span,
+                            util::Rng& rng) {
+  if (prof.diurnal_amplitude <= 0.0) return rng.below(span);
+  const double a = std::min(prof.diurnal_amplitude, 1.0);
+  for (;;) {
+    const double x = rng.uniform();  // fraction of the day
+    const double weight =
+        1.0 + a * std::sin(2.0 * 3.14159265358979323846 * (x - 0.25));
+    if (rng.uniform() * (1.0 + a) <= weight) {
+      return static_cast<TimeSec>(x * static_cast<double>(span));
+    }
+  }
+}
+
+void emit_session(const SiteModel& site, const std::vector<PageId>& pages,
+                  TimeSec start, ClientId client,
+                  const TrafficProfile& prof, util::Rng& rng,
+                  trace::Trace& out,
+                  const std::vector<UrlId>& html_ids,
+                  const std::vector<std::vector<UrlId>>& image_ids) {
+  const util::LogNormalSampler think(prof.think_mu, prof.think_sigma);
+  TimeSec t = start;
+  for (const PageId pid : pages) {
+    const Page& page = site.page(pid);
+    trace::Request r;
+    r.timestamp = t;
+    r.client = client;
+    r.url = html_ids[pid];
+    r.size_bytes = page.html_bytes;
+    if (prof.error_rate > 0.0 && rng.chance(prof.error_rate)) {
+      r.status = 404;
+      r.size_bytes = 0;
+    }
+    out.requests.push_back(r);
+    // Embedded images land within the 10 s folding window. An error page
+    // delivers no body, hence no embedded images.
+    for (std::size_t i = 0; r.status < 400 && i < page.image_paths.size();
+         ++i) {
+      trace::Request ir;
+      ir.timestamp = t + 1 + (i % 2);
+      ir.client = client;
+      ir.url = image_ids[pid][i];
+      ir.size_bytes = page.image_bytes[i];
+      out.requests.push_back(ir);
+    }
+    const auto gap = static_cast<TimeSec>(
+        std::clamp<double>(think(rng), 2.0,
+                           static_cast<double>(prof.think_cap)));
+    t += gap;
+  }
+}
+
+}  // namespace
+
+GeneratorConfig nasa_like(std::uint32_t days, double scale) {
+  GeneratorConfig cfg;
+  cfg.site.entry_pages = 30;
+  // Density matters: the NASA server saw tens of accesses per active page
+  // per day, which is what lets repeating-subsequence models find repeats.
+  cfg.site.total_pages = 4000;
+  cfg.site.max_children = 8;
+  cfg.site.seed = 0x0a5a0001ull;
+  cfg.traffic = TrafficProfile{};  // defaults are the regular NASA-like walk
+  cfg.traffic.child_zipf_alpha = 1.6;  // concentrated hyperlink choices
+  cfg.population.browsers = static_cast<std::uint32_t>(1400 * scale);
+  cfg.population.browser_sessions_per_day = 2.2;
+  cfg.population.proxies =
+      static_cast<std::uint32_t>(std::max(1.0, 8 * scale));
+  cfg.population.proxy_sessions_per_day = 150.0;
+  cfg.population.days = days;
+  cfg.population.seed = 0x0a5a0002ull;
+  return cfg;
+}
+
+GeneratorConfig ucb_like(std::uint32_t days, double scale) {
+  GeneratorConfig cfg;
+  cfg.site.entry_pages = 200;      // many comparably-popular entry points
+  cfg.site.total_pages = 2400;
+  cfg.site.max_depth = 7;
+  cfg.site.seed = 0x0cb00001ull;
+  auto& t = cfg.traffic;
+  t.entry_zipf_alpha = 0.35;       // evenly distributed starting URLs (§4.3)
+  t.random_entry_prob = 0.25;
+  t.descend_weight = 0.42;
+  t.sibling_weight = 0.16;
+  t.up_weight = 0.10;
+  t.home_weight = 0.04;
+  t.random_jump_weight = 0.28;     // irregular navigation
+  t.long_sessions_from_popular = false;  // popular entries != long sessions
+  cfg.population.browsers = static_cast<std::uint32_t>(1600 * scale);
+  cfg.population.browser_sessions_per_day = 2.0;
+  cfg.population.proxies =
+      static_cast<std::uint32_t>(std::max(1.0, 15 * scale));
+  cfg.population.proxy_sessions_per_day = 120.0;
+  cfg.population.days = days;
+  cfg.population.seed = 0x0cb00002ull;
+  return cfg;
+}
+
+trace::Trace generate_trace(const GeneratorConfig& config) {
+  const SiteModel site = SiteModel::build(config.site);
+  const util::ZipfSampler entry_sampler(site.entry_count(),
+                                        config.traffic.entry_zipf_alpha);
+  const WalkContext ctx{site, config.traffic, entry_sampler};
+
+  trace::Trace out;
+  // Pre-intern all URLs so ids are stable regardless of access order.
+  std::vector<UrlId> html_ids(site.pages().size());
+  std::vector<std::vector<UrlId>> image_ids(site.pages().size());
+  for (PageId p = 0; p < site.pages().size(); ++p) {
+    html_ids[p] = out.urls.intern(site.page(p).path);
+    for (const auto& ip : site.page(p).image_paths) {
+      image_ids[p].push_back(out.urls.intern(ip));
+    }
+  }
+
+  util::Rng master(config.population.seed);
+  const auto& pop = config.population;
+
+  struct Actor {
+    ClientId client;
+    double sessions_per_day;
+    util::Rng rng;
+  };
+  std::vector<Actor> actors;
+  actors.reserve(pop.browsers + pop.proxies);
+  for (std::uint32_t b = 0; b < pop.browsers; ++b) {
+    const auto id = out.clients.intern("browser-" + std::to_string(b));
+    actors.push_back({id, pop.browser_sessions_per_day, master.fork(b)});
+  }
+  for (std::uint32_t p = 0; p < pop.proxies; ++p) {
+    const auto id = out.clients.intern("proxy-" + std::to_string(p));
+    actors.push_back(
+        {id, pop.proxy_sessions_per_day, master.fork(0x10000u + p)});
+  }
+
+  for (std::uint32_t day = 0; day < pop.days; ++day) {
+    const TimeSec day_start = static_cast<TimeSec>(day) * kSecondsPerDay;
+    for (auto& actor : actors) {
+      // Poisson-approximate session count: floor(mean) + Bernoulli(frac).
+      const double mean = actor.sessions_per_day;
+      auto n = static_cast<std::uint32_t>(mean);
+      if (actor.rng.chance(mean - std::floor(mean))) ++n;
+      for (std::uint32_t s = 0; s < n; ++s) {
+        // Start early enough that the longest session stays within the day.
+        const TimeSec margin = static_cast<TimeSec>(config.traffic.max_len) *
+                               config.traffic.think_cap;
+        const TimeSec span = kSecondsPerDay > margin
+                                 ? kSecondsPerDay - margin
+                                 : kSecondsPerDay / 2;
+        const TimeSec start =
+            day_start + sample_start_offset(config.traffic, span, actor.rng);
+        const auto pages = walk_session(ctx, actor.rng);
+        emit_session(site, pages, start, actor.client, config.traffic,
+                     actor.rng, out, html_ids, image_ids);
+      }
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+trace::Trace generate_page_trace(const GeneratorConfig& config) {
+  const trace::Trace raw = generate_trace(config);
+  trace::Trace folded;
+  trace::fold_embedded_objects(raw, folded);
+  return folded;
+}
+
+}  // namespace webppm::workload

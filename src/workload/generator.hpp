@@ -1,0 +1,95 @@
+// Trace generator: simulates a population of browsers and proxies surfing a
+// SiteModel over a number of days, emitting a raw CLF-equivalent request
+// trace (HTML requests followed by their embedded image requests).
+//
+// The surfing walk is engineered to reproduce the paper's three observed
+// regularities (§1):
+//   R1: sessions mostly start at a few popular (entry) URLs;
+//   R2: long sessions are mostly headed by popular URLs;
+//   R3: paths move from popular to less popular documents and exit at the
+//       least popular ones.
+// The `nasa_like` profile makes these regularities strong; `ucb_like`
+// weakens them (flat entry distribution, noisy transitions) to reproduce the
+// "irregular surfing pattern" the paper blames for PB-PPM's slightly lower
+// hit ratio on the UCB-CS trace.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/record.hpp"
+#include "workload/site_model.hpp"
+
+namespace webppm::workload {
+
+/// Transition behaviour of one surfing step and session shape parameters.
+struct TrafficProfile {
+  double entry_zipf_alpha = 1.5;   ///< skew of entry-page choice
+  double random_entry_prob = 0.04; ///< P(session starts at a random page)
+
+  // Per-click action weights (renormalised over available actions).
+  double descend_weight = 0.70;    ///< follow a child link
+  double sibling_weight = 0.12;    ///< lateral move within the level
+  double up_weight = 0.07;         ///< back to parent
+  double home_weight = 0.05;       ///< back to the session's entry page
+  double random_jump_weight = 0.06;///< jump to an arbitrary page (noise)
+
+  double child_zipf_alpha = 1.0;   ///< skew when choosing among children
+
+  // Session length: 1 + floor(lognormal(len_mu, len_sigma)), clamped.
+  // Defaults give ~95% of sessions <= 9 clicks (paper §3.4 / Huberman).
+  double len_mu = 0.7;
+  double len_sigma = 0.75;
+  std::uint32_t max_len = 30;
+  /// If true, long sessions are biased toward popular entry ranks (R2):
+  /// the sampled length is discounted for entries outside the top ranks.
+  bool long_sessions_from_popular = true;
+
+  // Think time between clicks: lognormal seconds, clamped below the
+  // 30-minute session timeout so generated sessions never split.
+  double think_mu = 3.2;           ///< median ~ 25 s
+  double think_sigma = 0.9;
+  TimeSec think_cap = 900;
+
+  /// Diurnal load shape: 0 = uniform session starts (default, used by the
+  /// calibrated profiles); up to 1 = strongly peaked around mid-day, as
+  /// real server logs are. Sampled by rejection against
+  /// 1 + amplitude * sin(...) over the day.
+  double diurnal_amplitude = 0.0;
+
+  /// Fraction of page requests logged with an error status (404) — real
+  /// logs carry dead links; the sessionizer and simulator must skip them.
+  /// Default 0 keeps the calibrated profiles noise-free.
+  double error_rate = 0.0;
+};
+
+struct PopulationConfig {
+  std::uint32_t browsers = 500;
+  double browser_sessions_per_day = 1.6;  ///< mean, per browser
+  std::uint32_t proxies = 6;
+  double proxy_sessions_per_day = 90.0;   ///< mean, per proxy (aggregated users)
+  std::uint32_t days = 8;
+  std::uint64_t seed = 0xb5d4f00dull;
+};
+
+struct GeneratorConfig {
+  SiteConfig site;
+  TrafficProfile traffic;
+  PopulationConfig population;
+};
+
+/// Profile approximating the NASA-KSC July-1995 trace's regular surfing
+/// patterns. `scale` multiplies the client population (request volume).
+GeneratorConfig nasa_like(std::uint32_t days, double scale = 1.0);
+
+/// Profile approximating the UCB-CS trace: evenly distributed starting-URL
+/// popularity and noisier navigation (paper §4.3).
+GeneratorConfig ucb_like(std::uint32_t days, double scale = 1.0);
+
+/// Generates the raw request trace (HTML + embedded images, time-sorted).
+/// Deterministic for a given config (including seed).
+trace::Trace generate_trace(const GeneratorConfig& config);
+
+/// Generates and page-folds in one step (what the models consume).
+trace::Trace generate_page_trace(const GeneratorConfig& config);
+
+}  // namespace webppm::workload

@@ -1,0 +1,94 @@
+#include "workload/site_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "util/samplers.hpp"
+
+namespace webppm::workload {
+namespace {
+
+std::uint32_t sample_html_size(const SiteConfig& cfg, util::Rng& rng) {
+  const util::LogNormalSampler s(cfg.html_size_mu, cfg.html_size_sigma);
+  const double v = s(rng);
+  return static_cast<std::uint32_t>(
+      std::min<double>(std::max(256.0, v), cfg.html_size_cap));
+}
+
+std::uint32_t sample_image_size(const SiteConfig& cfg, util::Rng& rng) {
+  const util::ParetoSampler s(cfg.image_size_xm, cfg.image_size_alpha);
+  const double v = s(rng);
+  return static_cast<std::uint32_t>(
+      std::min<double>(std::max(128.0, v), cfg.image_size_cap));
+}
+
+}  // namespace
+
+SiteModel SiteModel::build(const SiteConfig& cfg) {
+  assert(cfg.entry_pages > 0);
+  assert(cfg.total_pages >= cfg.entry_pages);
+  util::Rng rng(cfg.seed);
+
+  SiteModel site;
+  site.entry_count_ = cfg.entry_pages;
+  site.pages_.reserve(cfg.total_pages + cfg.max_children);
+
+  auto add_page = [&](PageId parent, std::uint32_t depth,
+                      const std::string& path) {
+    Page p;
+    p.path = path;
+    p.parent = parent;
+    p.depth = depth;
+    p.html_bytes = sample_html_size(cfg, rng);
+    const auto n_images = std::min<std::uint64_t>(
+        cfg.image_count_max,
+        // Geometric-ish: mean-matched by sampling uniform in [0, 2*mean].
+        rng.below(static_cast<std::uint64_t>(2.0 * cfg.image_count_mean) + 1));
+    const std::string dir = path.substr(0, path.find_last_of('/') + 1);
+    const auto page_tag = std::to_string(site.pages_.size());
+    for (std::uint64_t i = 0; i < n_images; ++i) {
+      p.image_paths.push_back(dir + "img" + page_tag + "_" +
+                              std::to_string(i) + ".gif");
+      p.image_bytes.push_back(sample_image_size(cfg, rng));
+    }
+    site.pages_.push_back(std::move(p));
+    return static_cast<PageId>(site.pages_.size() - 1);
+  };
+
+  // Entry pages.
+  std::deque<PageId> frontier;
+  for (std::uint32_t e = 0; e < cfg.entry_pages; ++e) {
+    const auto id =
+        add_page(kNoPage, 0, "/e" + std::to_string(e) + "/index.html");
+    site.entries_.push_back(id);
+    frontier.push_back(id);
+  }
+
+  // Breadth-first growth until the page budget is spent. Fan-out is sampled
+  // uniformly in [1, 2*mean_children-1] (mean = mean_children) capped at
+  // max_children; depth is capped at max_depth.
+  while (!frontier.empty() && site.pages_.size() < cfg.total_pages) {
+    const PageId pid = frontier.front();
+    frontier.pop_front();
+    const std::uint32_t depth = site.pages_[pid].depth;
+    if (depth + 1 >= cfg.max_depth) continue;
+    const auto span =
+        static_cast<std::uint64_t>(2.0 * cfg.mean_children) - 1;
+    auto fanout = static_cast<std::uint32_t>(1 + rng.below(span + 1));
+    fanout = std::min(fanout, cfg.max_children);
+    const std::string base = site.pages_[pid].path.substr(
+        0, site.pages_[pid].path.find_last_of('/'));
+    for (std::uint32_t c = 0;
+         c < fanout && site.pages_.size() < cfg.total_pages; ++c) {
+      const std::string path = base + "/d" + std::to_string(depth + 1) + "_" +
+                               std::to_string(site.pages_.size()) + ".html";
+      const auto cid = add_page(pid, depth + 1, path);
+      site.pages_[pid].children.push_back(cid);
+      frontier.push_back(cid);
+    }
+  }
+  return site;
+}
+
+}  // namespace webppm::workload

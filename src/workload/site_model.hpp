@@ -1,0 +1,81 @@
+// Synthetic web-site model: a hierarchy of HTML pages with embedded images.
+//
+// This is the substitute for the paper's NASA-KSC and UCB-CS server content
+// (DESIGN.md §1). Pages form a forest rooted at "entry" pages; deeper pages
+// correspond to the less popular documents surfers reach mid-session
+// (Regularity 3). Page and image sizes follow the lognormal-body /
+// Pareto-tail distributions measured for real web content (Barford &
+// Crovella).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace webppm::workload {
+
+/// Index of a page within a SiteModel.
+using PageId = std::uint32_t;
+
+inline constexpr PageId kNoPage = 0xffffffffu;
+
+struct Page {
+  std::string path;                       ///< URL path of the HTML document
+  PageId parent = kNoPage;                ///< kNoPage for entry pages
+  std::uint32_t depth = 0;                ///< 0 for entry pages
+  std::uint32_t html_bytes = 0;
+  std::vector<std::string> image_paths;   ///< embedded image URLs
+  std::vector<std::uint32_t> image_bytes; ///< parallel to image_paths
+  std::vector<PageId> children;
+
+  /// Total bytes a browser fetches when viewing this page.
+  std::uint64_t view_bytes() const {
+    std::uint64_t b = html_bytes;
+    for (const auto ib : image_bytes) b += ib;
+    return b;
+  }
+};
+
+struct SiteConfig {
+  std::uint32_t entry_pages = 40;    ///< top-level documents
+  std::uint32_t total_pages = 2000;  ///< target page count (approximate)
+  std::uint32_t max_depth = 8;       ///< deepest directory level
+  std::uint32_t max_children = 12;   ///< fan-out cap per page
+  double mean_children = 3.0;        ///< average fan-out of non-leaf pages
+
+  // Mid-90s web content was light: a few-KB HTML body plus small inline
+  // GIFs, with a heavy but capped tail (Barford & Crovella). The paper's
+  // 30 KB PB-PPM prefetch threshold presumes most documents fit under it.
+  double html_size_mu = 8.0;         ///< lognormal mu  (median ~ 3 KB)
+  double html_size_sigma = 0.7;
+  std::uint32_t html_size_cap = 200 * 1024;
+
+  double image_count_mean = 1.8;     ///< mean embedded images per page
+  std::uint32_t image_count_max = 6;
+  double image_size_xm = 600.0;      ///< Pareto scale (bytes)
+  double image_size_alpha = 1.4;     ///< Pareto shape (heavy tail)
+  std::uint32_t image_size_cap = 64 * 1024;
+
+  std::uint64_t seed = 0x5173e5eedull;
+};
+
+/// Immutable once built; shared by every generated day so document
+/// popularity stays stable across days (the paper's §1 closing observation).
+class SiteModel {
+ public:
+  static SiteModel build(const SiteConfig& config);
+
+  const std::vector<Page>& pages() const { return pages_; }
+  const Page& page(PageId id) const { return pages_[id]; }
+  std::uint32_t entry_count() const { return entry_count_; }
+  PageId entry(std::uint32_t rank) const { return entries_[rank]; }
+
+ private:
+  std::vector<Page> pages_;
+  std::vector<PageId> entries_;
+  std::uint32_t entry_count_ = 0;
+};
+
+}  // namespace webppm::workload

@@ -1,0 +1,169 @@
+#include "cache/gdsf_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/document_cache.hpp"
+#include "cache/lru_cache.hpp"
+#include "util/rng.hpp"
+
+namespace webppm::cache {
+namespace {
+
+TEST(GdsfCache, BasicHitMiss) {
+  GdsfCache c(1000);
+  EXPECT_EQ(c.lookup(1), nullptr);
+  c.insert(1, 100, InsertClass::kDemand);
+  ASSERT_NE(c.lookup(1), nullptr);
+  EXPECT_EQ(c.used_bytes(), 100u);
+}
+
+TEST(GdsfCache, EvictsLowestPriorityFirst) {
+  // Equal frequency: priority = L + 1/size, so the LARGEST document has
+  // the lowest priority and goes first.
+  GdsfCache c(300);
+  c.insert(1, 200, InsertClass::kDemand);  // priority 1/200
+  c.insert(2, 50, InsertClass::kDemand);   // priority 1/50
+  c.insert(3, 100, InsertClass::kDemand);  // overflow -> evict url 1
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(GdsfCache, FrequencyProtectsDocuments) {
+  // url 1 is large but hot: frequency lifts its priority (11/200 = 0.055)
+  // above both url 2 (1/50 = 0.02) and the incoming url 3 (1/100 = 0.01),
+  // so the newcomer itself is the eviction victim.
+  GdsfCache c(300);
+  c.insert(1, 200, InsertClass::kDemand);
+  for (int i = 0; i < 10; ++i) c.lookup(1);
+  c.insert(2, 50, InsertClass::kDemand);
+  c.insert(3, 100, InsertClass::kDemand);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_FALSE(c.contains(3));
+}
+
+TEST(GdsfCache, ColdLargeDocumentEvictedForHotSmallOnes) {
+  // Without frequency on its side, the large document goes first even
+  // though it was inserted most recently before the overflow.
+  GdsfCache c(300);
+  c.insert(1, 200, InsertClass::kDemand);  // priority 1/200 = 0.005
+  c.insert(2, 50, InsertClass::kDemand);   // 0.02
+  c.lookup(2);
+  c.insert(3, 100, InsertClass::kDemand);  // 0.01 > url 1's 0.005
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(GdsfCache, InflationRatchets) {
+  GdsfCache c(100);
+  c.insert(1, 100, InsertClass::kDemand);
+  EXPECT_DOUBLE_EQ(c.inflation(), 0.0);
+  c.insert(2, 100, InsertClass::kDemand);  // evicts 1 at priority 1/100
+  EXPECT_DOUBLE_EQ(c.inflation(), 0.01);
+  // New entries start above the evicted priority (GreedyDual aging).
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(GdsfCache, RejectsOversized) {
+  GdsfCache c(100);
+  c.insert(1, 101, InsertClass::kDemand);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.stats().rejected_too_large, 1u);
+}
+
+TEST(GdsfCache, RefreshKeepsDemandClass) {
+  GdsfCache c(1000);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(1, 100, InsertClass::kPrefetch);
+  EXPECT_EQ(c.peek(1)->origin, InsertClass::kDemand);
+  c.insert(1, 200, InsertClass::kDemand);
+  EXPECT_EQ(c.used_bytes(), 200u);
+  EXPECT_EQ(c.entry_count(), 1u);
+}
+
+TEST(GdsfCache, PeekDoesNotBumpFrequency) {
+  GdsfCache c(250);
+  c.insert(1, 200, InsertClass::kDemand);
+  for (int i = 0; i < 10; ++i) c.peek(1);  // must not protect url 1
+  c.insert(2, 50, InsertClass::kDemand);
+  c.insert(3, 100, InsertClass::kDemand);
+  EXPECT_FALSE(c.contains(1));  // still lowest priority despite peeks
+}
+
+TEST(GdsfCache, ClearResets) {
+  GdsfCache c(1000);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(2, 100, InsertClass::kDemand);
+  c.clear();
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_EQ(c.used_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(c.inflation(), 0.0);
+}
+
+TEST(GdsfCache, AccountingInvariantUnderRandomOps) {
+  util::Rng rng(7);
+  GdsfCache c(20'000);
+  for (int op = 0; op < 20000; ++op) {
+    const auto url = static_cast<UrlId>(rng.below(400));
+    if (rng.chance(0.6)) {
+      c.lookup(url);
+    } else {
+      c.insert(url, static_cast<std::uint32_t>(64 + rng.below(3000)),
+               rng.chance(0.3) ? InsertClass::kPrefetch
+                               : InsertClass::kDemand);
+    }
+    ASSERT_LE(c.used_bytes(), c.capacity_bytes());
+  }
+  std::uint64_t total = 0;
+  std::size_t entries = 0;
+  for (UrlId u = 0; u < 400; ++u) {
+    if (const auto* e = c.peek(u)) {
+      total += e->size_bytes;
+      ++entries;
+    }
+  }
+  EXPECT_EQ(total, c.used_bytes());
+  EXPECT_EQ(entries, c.entry_count());
+}
+
+TEST(MakeCache, FactoryProducesRequestedPolicy) {
+  const auto lru = make_cache(Policy::kLru, 1000);
+  const auto gdsf = make_cache(Policy::kGdsf, 1000);
+  ASSERT_NE(dynamic_cast<LruCache*>(lru.get()), nullptr);
+  ASSERT_NE(dynamic_cast<GdsfCache*>(gdsf.get()), nullptr);
+  EXPECT_EQ(lru->capacity_bytes(), 1000u);
+  EXPECT_EQ(gdsf->capacity_bytes(), 1000u);
+}
+
+TEST(MakeCache, PoliciesDivergeOnSizeSkewedWorkload) {
+  // Scan of large one-shot documents with a recurring small hot set:
+  // GDSF keeps the hot set, LRU churns.
+  const auto run = [](Policy p) {
+    auto c = make_cache(p, 6'000);
+    std::uint64_t hot_hits = 0;
+    for (int round = 0; round < 200; ++round) {
+      for (UrlId hot = 0; hot < 5; ++hot) {
+        if (c->lookup(hot)) {
+          ++hot_hits;
+        } else {
+          c->insert(hot, 400, InsertClass::kDemand);
+        }
+      }
+      // Three large one-shot documents per round force evictions between
+      // consecutive hot-set passes.
+      for (int k = 0; k < 3; ++k) {
+        const auto cold = static_cast<UrlId>(1000 + round * 3 + k);
+        c->lookup(cold);
+        c->insert(cold, 4000, InsertClass::kDemand);
+      }
+    }
+    return hot_hits;
+  };
+  EXPECT_GT(run(Policy::kGdsf), run(Policy::kLru));
+}
+
+}  // namespace
+}  // namespace webppm::cache

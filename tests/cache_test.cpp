@@ -1,0 +1,150 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace webppm::cache {
+namespace {
+
+TEST(LruCache, MissOnEmpty) {
+  LruCache c(1000);
+  EXPECT_EQ(c.lookup(1), nullptr);
+  EXPECT_EQ(c.stats().lookups, 1u);
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(LruCache, HitAfterInsert) {
+  LruCache c(1000);
+  c.insert(1, 100, InsertClass::kDemand);
+  auto* e = c.lookup(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->size_bytes, 100u);
+  EXPECT_EQ(e->origin, InsertClass::kDemand);
+  EXPECT_EQ(c.used_bytes(), 100u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(300);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(2, 100, InsertClass::kDemand);
+  c.insert(3, 100, InsertClass::kDemand);
+  c.lookup(1);  // promote 1; LRU order now 2, 3, 1
+  c.insert(4, 100, InsertClass::kDemand);
+  EXPECT_FALSE(c.contains(2));  // evicted
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(LruCache, EvictsMultipleForLargeInsert) {
+  LruCache c(300);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(2, 100, InsertClass::kDemand);
+  c.insert(3, 100, InsertClass::kDemand);
+  c.insert(4, 250, InsertClass::kDemand);
+  EXPECT_TRUE(c.contains(4));
+  EXPECT_LE(c.used_bytes(), 300u);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(LruCache, RejectsOversizedDocument) {
+  LruCache c(100);
+  c.insert(1, 101, InsertClass::kDemand);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_EQ(c.stats().rejected_too_large, 1u);
+  EXPECT_EQ(c.used_bytes(), 0u);
+}
+
+TEST(LruCache, ExactCapacityFits) {
+  LruCache c(100);
+  c.insert(1, 100, InsertClass::kDemand);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.used_bytes(), 100u);
+}
+
+TEST(LruCache, RefreshUpdatesSizeAndAccounting) {
+  LruCache c(1000);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(1, 400, InsertClass::kDemand);
+  EXPECT_EQ(c.used_bytes(), 400u);
+  EXPECT_EQ(c.entry_count(), 1u);
+  EXPECT_EQ(c.stats().insertions, 1u);  // refresh is not a new insertion
+}
+
+TEST(LruCache, PrefetchRefreshedByDemandBecomesDemand) {
+  LruCache c(1000);
+  c.insert(1, 100, InsertClass::kPrefetch);
+  c.insert(1, 100, InsertClass::kDemand);
+  EXPECT_EQ(c.peek(1)->origin, InsertClass::kDemand);
+}
+
+TEST(LruCache, DemandNotDowngradedByPrefetch) {
+  LruCache c(1000);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(1, 100, InsertClass::kPrefetch);
+  EXPECT_EQ(c.peek(1)->origin, InsertClass::kDemand);
+}
+
+TEST(LruCache, PeekDoesNotPromoteOrCount) {
+  LruCache c(200);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.insert(2, 100, InsertClass::kDemand);
+  c.peek(1);  // no promotion
+  const auto lookups_before = c.stats().lookups;
+  c.insert(3, 100, InsertClass::kDemand);
+  EXPECT_FALSE(c.contains(1));  // still LRU despite the peek
+  EXPECT_EQ(c.stats().lookups, lookups_before);
+}
+
+TEST(LruCache, PrefetchUsedFlagPersists) {
+  LruCache c(1000);
+  c.insert(1, 100, InsertClass::kPrefetch);
+  auto* e = c.lookup(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->prefetch_used);
+  e->prefetch_used = true;
+  EXPECT_TRUE(c.lookup(1)->prefetch_used);
+}
+
+TEST(LruCache, ClearResets) {
+  LruCache c(1000);
+  c.insert(1, 100, InsertClass::kDemand);
+  c.clear();
+  EXPECT_EQ(c.used_bytes(), 0u);
+  EXPECT_EQ(c.entry_count(), 0u);
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(LruCache, InvariantUnderRandomWorkload) {
+  util::Rng rng(99);
+  LruCache c(10'000);
+  for (int op = 0; op < 20000; ++op) {
+    const auto url = static_cast<UrlId>(rng.below(500));
+    if (rng.chance(0.5)) {
+      c.lookup(url);
+    } else {
+      const auto size = static_cast<std::uint32_t>(64 + rng.below(2000));
+      c.insert(url, size,
+               rng.chance(0.3) ? InsertClass::kPrefetch
+                               : InsertClass::kDemand);
+    }
+    ASSERT_LE(c.used_bytes(), c.capacity_bytes());
+  }
+  // Recompute used bytes from entries via peek of all URLs.
+  std::uint64_t total = 0;
+  std::size_t entries = 0;
+  for (UrlId u = 0; u < 500; ++u) {
+    if (const auto* e = c.peek(u)) {
+      total += e->size_bytes;
+      ++entries;
+    }
+  }
+  EXPECT_EQ(total, c.used_bytes());
+  EXPECT_EQ(entries, c.entry_count());
+}
+
+}  // namespace
+}  // namespace webppm::cache

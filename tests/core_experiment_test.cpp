@@ -1,0 +1,145 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hpp"
+
+namespace webppm::core {
+namespace {
+
+const trace::Trace& small_trace() {
+  static const trace::Trace t = [] {
+    auto cfg = workload::nasa_like(/*days=*/3, /*scale=*/0.25);
+    cfg.site.total_pages = 600;
+    return workload::generate_page_trace(cfg);
+  }();
+  return t;
+}
+
+TEST(ModelSpec, PresetsMatchPaperParameters) {
+  const auto std_spec = ModelSpec::standard_unbounded();
+  EXPECT_EQ(std_spec.kind, ModelKind::kStandard);
+  EXPECT_EQ(std_spec.standard.max_height, 0u);
+  EXPECT_EQ(std_spec.size_threshold_bytes, 100u * 1024u);
+
+  const auto three = ModelSpec::standard_fixed(3);
+  EXPECT_EQ(three.standard.max_height, 3u);
+  EXPECT_EQ(three.label, "3-ppm");
+
+  const auto lrs = ModelSpec::lrs_model();
+  EXPECT_EQ(lrs.kind, ModelKind::kLrs);
+  EXPECT_EQ(lrs.lrs.min_support, 2u);
+
+  const auto pb = ModelSpec::pb_model();
+  EXPECT_EQ(pb.kind, ModelKind::kPopularity);
+  EXPECT_EQ(pb.size_threshold_bytes, 30u * 1024u);
+  EXPECT_DOUBLE_EQ(pb.pb.min_relative_probability, 0.05);
+  EXPECT_EQ(pb.pb.min_absolute_count, 0u);
+  const std::array<std::uint32_t, 4> heights{1, 3, 5, 7};
+  EXPECT_EQ(pb.pb.height_by_grade, heights);
+
+  const auto pba = ModelSpec::pb_model_aggressive();
+  EXPECT_EQ(pba.pb.min_absolute_count, 1u);
+}
+
+TEST(TrainModel, ProducesNonEmptyModelAndPopularity) {
+  const auto trained =
+      train_model(ModelSpec::pb_model(), small_trace(), 0, 1);
+  ASSERT_NE(trained.predictor, nullptr);
+  EXPECT_GT(trained.predictor->node_count(), 0u);
+  EXPECT_GT(trained.training_sessions, 0u);
+  EXPECT_GT(trained.training_requests, 0u);
+  EXPECT_GT(trained.popularity.max_accesses(), 0u);
+}
+
+TEST(TrainModel, WindowRestrictsData) {
+  const auto one_day =
+      train_model(ModelSpec::standard_unbounded(), small_trace(), 0, 0);
+  const auto two_days =
+      train_model(ModelSpec::standard_unbounded(), small_trace(), 0, 1);
+  EXPECT_LT(one_day.training_requests, two_days.training_requests);
+  EXPECT_LT(one_day.predictor->node_count(),
+            two_days.predictor->node_count());
+}
+
+class DayExperimentTest : public ::testing::TestWithParam<ModelKind> {
+ protected:
+  static ModelSpec spec_for(ModelKind k) {
+    switch (k) {
+      case ModelKind::kStandard: return ModelSpec::standard_unbounded();
+      case ModelKind::kLrs: return ModelSpec::lrs_model();
+      case ModelKind::kPopularity: return ModelSpec::pb_model();
+      case ModelKind::kTopN: return ModelSpec::top_n_model();
+    }
+    return {};
+  }
+};
+
+TEST_P(DayExperimentTest, MetricsWithinDomain) {
+  const auto res =
+      run_day_experiment(small_trace(), spec_for(GetParam()), 2);
+  EXPECT_EQ(res.train_days, 2u);
+  EXPECT_GT(res.with_prefetch.requests, 0u);
+  EXPECT_EQ(res.with_prefetch.requests, res.baseline.requests);
+  EXPECT_GE(res.with_prefetch.hit_ratio(), 0.0);
+  EXPECT_LE(res.with_prefetch.hit_ratio(), 1.0);
+  EXPECT_GE(res.with_prefetch.traffic_increment(), 0.0);
+  EXPECT_GE(res.path_utilization, 0.0);
+  EXPECT_LE(res.path_utilization, 1.0);
+  EXPECT_GT(res.node_count, 0u);
+  EXPECT_LE(res.latency_reduction, 1.0);
+}
+
+TEST_P(DayExperimentTest, PrefetchingNeverHurtsHitRatio) {
+  const auto res =
+      run_day_experiment(small_trace(), spec_for(GetParam()), 2);
+  EXPECT_GE(res.with_prefetch.hit_ratio(), res.baseline.hit_ratio());
+  EXPECT_GE(res.latency_reduction, 0.0);
+}
+
+TEST_P(DayExperimentTest, BaselineSendsNoPrefetches) {
+  const auto res =
+      run_day_experiment(small_trace(), spec_for(GetParam()), 2);
+  EXPECT_EQ(res.baseline.prefetches_sent, 0u);
+  EXPECT_EQ(res.baseline.bytes_prefetched, 0u);
+  EXPECT_DOUBLE_EQ(res.baseline.traffic_increment(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, DayExperimentTest,
+                         ::testing::Values(ModelKind::kStandard,
+                                           ModelKind::kLrs,
+                                           ModelKind::kPopularity));
+
+TEST(RunDayExperiment, LabelPropagates) {
+  const auto res =
+      run_day_experiment(small_trace(), ModelSpec::standard_fixed(3), 1);
+  EXPECT_EQ(res.model, "3-ppm");
+}
+
+TEST(RunProxyExperiment, ClientCountRespected) {
+  const auto res = run_proxy_experiment(small_trace(),
+                                        ModelSpec::pb_model(), 2, 8);
+  EXPECT_LE(res.client_count, 8u);
+  EXPECT_GT(res.client_count, 0u);
+  EXPECT_GT(res.metrics.requests, 0u);
+}
+
+TEST(RunProxyExperiment, MoreClientsMoreRequests) {
+  const auto small = run_proxy_experiment(small_trace(),
+                                          ModelSpec::pb_model(), 2, 2);
+  const auto large = run_proxy_experiment(small_trace(),
+                                          ModelSpec::pb_model(), 2, 32);
+  EXPECT_GT(large.metrics.requests, small.metrics.requests);
+}
+
+TEST(RunProxyExperiment, DeterministicSelection) {
+  const auto a = run_proxy_experiment(small_trace(), ModelSpec::pb_model(),
+                                      2, 8, /*seed=*/7);
+  const auto b = run_proxy_experiment(small_trace(), ModelSpec::pb_model(),
+                                      2, 8, /*seed=*/7);
+  EXPECT_EQ(a.metrics.requests, b.metrics.requests);
+  EXPECT_EQ(a.metrics.hits, b.metrics.hits);
+}
+
+}  // namespace
+}  // namespace webppm::core

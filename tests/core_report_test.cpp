@@ -1,0 +1,92 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace webppm::core {
+namespace {
+
+DayEvalResult sample_day_result() {
+  DayEvalResult r;
+  r.model = "pb-ppm";
+  r.train_days = 3;
+  r.with_prefetch.requests = 100;
+  r.with_prefetch.hits = 50;
+  r.with_prefetch.prefetch_hits = 20;
+  r.with_prefetch.popular_prefetch_hits = 15;
+  r.with_prefetch.prefetches_sent = 40;
+  r.with_prefetch.bytes_demand = 1000;
+  r.with_prefetch.bytes_prefetched = 500;
+  r.with_prefetch.bytes_prefetch_used = 250;
+  r.baseline.requests = 100;
+  r.baseline.hits = 30;
+  r.latency_reduction = 0.25;
+  r.path_utilization = 0.5;
+  r.node_count = 1234;
+  return r;
+}
+
+std::vector<std::string> lines_of(const std::string& csv) {
+  std::vector<std::string> lines;
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Report, DayCsvHeaderAndRow) {
+  const DayEvalResult r = sample_day_result();
+  const auto csv = day_results_csv({&r, 1});
+  const auto lines = lines_of(csv);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].starts_with("model,train_days,requests,hit_ratio"));
+  EXPECT_TRUE(lines[1].starts_with("pb-ppm,3,100,0.500000,0.300000"));
+  EXPECT_NE(lines[1].find(",1234,"), std::string::npos);
+}
+
+TEST(Report, DayCsvColumnCountConsistent) {
+  const DayEvalResult r = sample_day_result();
+  const auto lines = lines_of(day_results_csv({&r, 1}));
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(lines[0]), commas(lines[1]));
+  EXPECT_EQ(commas(lines[0]), 12);
+}
+
+TEST(Report, EmptyInputsYieldHeaderOnly) {
+  EXPECT_EQ(lines_of(day_results_csv({})).size(), 1u);
+  EXPECT_EQ(lines_of(proxy_results_csv({})).size(), 1u);
+}
+
+TEST(Report, ProxyCsvRow) {
+  ProxyEvalResult r;
+  r.model = "pb-ppm-40KB";
+  r.client_count = 16;
+  r.metrics.requests = 200;
+  r.metrics.hits = 120;
+  r.metrics.browser_hits = 70;
+  r.metrics.proxy_hits = 50;
+  r.metrics.prefetch_hits = 30;
+  r.metrics.bytes_demand = 4000;
+  r.metrics.bytes_prefetched = 1000;
+  r.metrics.bytes_prefetch_used = 600;
+  const auto lines = lines_of(proxy_results_csv({&r, 1}));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[1].starts_with("pb-ppm-40KB,16,200,0.600000,70,50,30"));
+}
+
+TEST(Report, MultipleRowsKeepOrder) {
+  std::vector<DayEvalResult> rs(3, sample_day_result());
+  rs[0].train_days = 1;
+  rs[1].train_days = 2;
+  rs[2].train_days = 3;
+  const auto lines = lines_of(day_results_csv(rs));
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find(",1,"), std::string::npos);
+  EXPECT_NE(lines[3].find(",3,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace webppm::core

@@ -1,0 +1,68 @@
+#include "net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webppm::net {
+namespace {
+
+TEST(LatencyModel, LinearInSize) {
+  const LatencyModel m(0.5, 0.001);
+  EXPECT_DOUBLE_EQ(m.latency_seconds(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.latency_seconds(1000), 1.5);
+  EXPECT_LT(m.latency_seconds(100), m.latency_seconds(200));
+}
+
+TEST(FitLatencyModel, ExactRecoveryWithoutNoise) {
+  LatencySamplerConfig cfg;
+  cfg.noise_sigma = 0.0;
+  std::vector<double> sizes{1000, 5000, 20000, 80000, 200000};
+  const auto obs = sample_latency_observations(cfg, sizes);
+  const auto m = fit_latency_model(obs);
+  EXPECT_NEAR(m.connect_seconds(), cfg.connect_seconds, 1e-9);
+  EXPECT_NEAR(m.seconds_per_byte(), 1.0 / cfg.bandwidth_bytes_per_sec, 1e-12);
+}
+
+TEST(FitLatencyModel, ApproximateRecoveryWithNoise) {
+  const auto m = calibrated_latency_model({}, 2000);
+  const LatencySamplerConfig truth;
+  EXPECT_NEAR(m.connect_seconds(), truth.connect_seconds,
+              truth.connect_seconds * 0.3);
+  EXPECT_NEAR(m.seconds_per_byte(), 1.0 / truth.bandwidth_bytes_per_sec,
+              0.3 / truth.bandwidth_bytes_per_sec);
+}
+
+TEST(FitLatencyModel, CoefficientsNeverNegative) {
+  // Pathological observations with negative empirical slope.
+  std::vector<LatencyObservation> obs{{1000, 2.0}, {2000, 1.0}, {3000, 0.5}};
+  const auto m = fit_latency_model(obs);
+  EXPECT_GE(m.connect_seconds(), 0.0);
+  EXPECT_GE(m.seconds_per_byte(), 0.0);
+}
+
+TEST(SampleObservations, DeterministicForSeed) {
+  LatencySamplerConfig cfg;
+  const std::vector<double> sizes{1000, 2000, 3000};
+  const auto a = sample_latency_observations(cfg, sizes);
+  const auto b = sample_latency_observations(cfg, sizes);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].latency_seconds, b[i].latency_seconds);
+  }
+}
+
+TEST(SampleObservations, AllPositive) {
+  LatencySamplerConfig cfg;
+  cfg.noise_sigma = 1.0;
+  std::vector<double> sizes(200, 10000.0);
+  for (const auto& o : sample_latency_observations(cfg, sizes)) {
+    EXPECT_GT(o.latency_seconds, 0.0);
+  }
+}
+
+TEST(CalibratedModel, BiggerDocsSlower) {
+  const auto m = calibrated_latency_model();
+  EXPECT_LT(m.latency_seconds(1024), m.latency_seconds(1024 * 1024));
+}
+
+}  // namespace
+}  // namespace webppm::net

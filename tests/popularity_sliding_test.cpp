@@ -1,0 +1,90 @@
+#include "popularity/sliding.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webppm::popularity {
+namespace {
+
+std::vector<trace::Request> day_of(UrlId url, std::uint32_t count) {
+  std::vector<trace::Request> reqs;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    trace::Request r;
+    r.url = url;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+TEST(SlidingPopularity, AccumulatesWithinWindow) {
+  SlidingPopularity s(3, 5);
+  s.add_day(day_of(1, 10));
+  s.add_day(day_of(1, 5));
+  EXPECT_EQ(s.accesses(1), 15u);
+  EXPECT_EQ(s.days_tracked(), 2u);
+}
+
+TEST(SlidingPopularity, RetiresOldDays) {
+  SlidingPopularity s(2, 5);
+  s.add_day(day_of(1, 10));
+  s.add_day(day_of(2, 20));
+  s.add_day(day_of(3, 30));  // retires day 1
+  EXPECT_EQ(s.accesses(1), 0u);
+  EXPECT_EQ(s.accesses(2), 20u);
+  EXPECT_EQ(s.accesses(3), 30u);
+  EXPECT_EQ(s.days_tracked(), 2u);
+}
+
+TEST(SlidingPopularity, WindowOfOneTracksOnlyToday) {
+  SlidingPopularity s(1, 5);
+  s.add_day(day_of(1, 7));
+  EXPECT_EQ(s.accesses(1), 7u);
+  s.add_day(day_of(2, 3));
+  EXPECT_EQ(s.accesses(1), 0u);
+  EXPECT_EQ(s.accesses(2), 3u);
+}
+
+TEST(SlidingPopularity, TableGradesReflectWindow) {
+  SlidingPopularity s(2, 3);
+  auto day = day_of(0, 1000);
+  const auto hot = day_of(1, 50);
+  day.insert(day.end(), hot.begin(), hot.end());
+  s.add_day(day);
+  const auto t1 = s.table();
+  EXPECT_EQ(t1.grade(0), 3);
+  EXPECT_EQ(t1.grade(1), 2);  // 5% of max
+
+  // Two days later url 1 vanished; url 0 still hot.
+  s.add_day(day_of(0, 1000));
+  s.add_day(day_of(0, 1000));
+  const auto t2 = s.table();
+  EXPECT_EQ(t2.grade(1), 0);
+  EXPECT_EQ(t2.accesses(1), 0u);
+}
+
+TEST(SlidingPopularity, MatchesBatchTableForWindowContent) {
+  SlidingPopularity s(2, 4);
+  s.add_day(day_of(1, 100));
+  auto day2 = day_of(2, 10);
+  const auto extra = day_of(3, 1);
+  day2.insert(day2.end(), extra.begin(), extra.end());
+  s.add_day(day2);
+
+  const auto table = s.table();
+  EXPECT_EQ(table.accesses(1), 100u);
+  EXPECT_EQ(table.accesses(2), 10u);
+  EXPECT_EQ(table.accesses(3), 1u);
+  EXPECT_EQ(table.max_accesses(), 100u);
+  EXPECT_EQ(table.grade(2), 3);  // exactly 10% of max
+  EXPECT_EQ(table.grade(3), 2);  // exactly 1% of max (boundary inclusive)
+}
+
+TEST(SlidingPopularity, EmptyDaysAreDays) {
+  SlidingPopularity s(2, 3);
+  s.add_day(day_of(1, 10));
+  s.add_day({});
+  s.add_day({});
+  EXPECT_EQ(s.accesses(1), 0u);  // the populated day slid out
+}
+
+}  // namespace
+}  // namespace webppm::popularity

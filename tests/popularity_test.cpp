@@ -1,0 +1,88 @@
+#include "popularity/popularity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webppm::popularity {
+namespace {
+
+TEST(GradeOf, Boundaries) {
+  EXPECT_EQ(grade_of(1.0), 3);
+  EXPECT_EQ(grade_of(0.10), 3);
+  EXPECT_EQ(grade_of(0.0999), 2);
+  EXPECT_EQ(grade_of(0.01), 2);
+  EXPECT_EQ(grade_of(0.00999), 1);
+  EXPECT_EQ(grade_of(0.001), 1);
+  EXPECT_EQ(grade_of(0.000999), 0);
+  EXPECT_EQ(grade_of(0.0), 0);
+}
+
+TEST(PopularityTable, FromCountsBasics) {
+  // counts: url0=1000, url1=100, url2=10, url3=1, url4=0
+  const auto t = PopularityTable::from_counts({1000, 100, 10, 1, 0});
+  EXPECT_EQ(t.max_accesses(), 1000u);
+  EXPECT_DOUBLE_EQ(t.relative(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.relative(1), 0.1);
+  EXPECT_DOUBLE_EQ(t.relative(4), 0.0);
+  EXPECT_EQ(t.grade(0), 3);
+  EXPECT_EQ(t.grade(1), 3);   // exactly 10%
+  EXPECT_EQ(t.grade(2), 2);   // 1%
+  EXPECT_EQ(t.grade(3), 1);   // 0.1%
+  EXPECT_EQ(t.grade(4), 0);
+}
+
+TEST(PopularityTable, IsPopularIsGradeTwoPlus) {
+  const auto t = PopularityTable::from_counts({1000, 100, 10, 1});
+  EXPECT_TRUE(t.is_popular(0));
+  EXPECT_TRUE(t.is_popular(1));
+  EXPECT_TRUE(t.is_popular(2));
+  EXPECT_FALSE(t.is_popular(3));
+}
+
+TEST(PopularityTable, UnseenUrlIsGradeZero) {
+  const auto t = PopularityTable::from_counts({10});
+  EXPECT_EQ(t.grade(99), 0);
+  EXPECT_FALSE(t.is_popular(99));
+}
+
+TEST(PopularityTable, GradeHistogramSums) {
+  const auto t = PopularityTable::from_counts({1000, 100, 10, 1, 0, 500});
+  std::uint64_t total = 0;
+  for (const auto c : t.grade_histogram()) total += c;
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(t.grade_histogram()[3], 3u);  // 1000, 500, 100
+}
+
+TEST(PopularityTable, BuildFromRequests) {
+  trace::Trace tr;
+  const auto c = tr.clients.intern("c");
+  const auto a = tr.urls.intern("/a");
+  const auto b = tr.urls.intern("/b");
+  for (int i = 0; i < 9; ++i) {
+    tr.requests.push_back({static_cast<TimeSec>(i), c, a, 1, 200,
+                           trace::Method::kGet});
+  }
+  tr.requests.push_back({100, c, b, 1, 200, trace::Method::kGet});
+  tr.finalize();
+  const auto t = PopularityTable::build(tr.requests, tr.urls.size());
+  EXPECT_EQ(t.accesses(a), 9u);
+  EXPECT_EQ(t.accesses(b), 1u);
+  EXPECT_EQ(t.grade(a), 3);
+  EXPECT_EQ(t.grade(b), 3);  // 1/9 > 10%
+}
+
+TEST(PopularityTable, ZeroCountUrlHasGradeZeroEvenWhenMaxIsZero) {
+  const auto t = PopularityTable::from_counts({0, 0});
+  EXPECT_EQ(t.max_accesses(), 0u);
+  EXPECT_EQ(t.grade(0), 0);
+  EXPECT_DOUBLE_EQ(t.relative(0), 0.0);
+}
+
+TEST(PopularityTable, EmptyTable) {
+  const auto t = PopularityTable::from_counts({});
+  EXPECT_EQ(t.url_count(), 0u);
+  EXPECT_EQ(t.max_accesses(), 0u);
+  EXPECT_EQ(t.grade(0), 0);  // out-of-range query
+}
+
+}  // namespace
+}  // namespace webppm::popularity

@@ -1,0 +1,119 @@
+// Incremental-training semantics: the paper's models are "dynamically
+// maintained and updated based on historical data" (§2.2). These tests pin
+// down which of our models support incremental train() calls and what the
+// equivalence guarantees are.
+#include <gtest/gtest.h>
+
+#include "ppm/lrs_ppm.hpp"
+#include "ppm/popularity_ppm.hpp"
+#include "ppm/standard_ppm.hpp"
+#include "util/rng.hpp"
+
+namespace webppm::ppm {
+namespace {
+
+std::vector<session::Session> random_sessions(std::uint64_t seed,
+                                              std::size_t count) {
+  util::Rng rng(seed);
+  std::vector<session::Session> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    session::Session s;
+    const auto len = 2 + rng.below(6);
+    UrlId prev = kInvalidUrl;
+    for (std::size_t k = 0; k < len; ++k) {
+      const auto u = static_cast<UrlId>(rng.below(25));
+      if (u == prev) continue;
+      s.urls.push_back(u);
+      prev = u;
+    }
+    if (s.urls.empty()) s.urls.push_back(0);
+    s.times.assign(s.urls.size(), 0);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(IncrementalTraining, StandardBatchEqualsIncremental) {
+  const auto day1 = random_sessions(1, 40);
+  const auto day2 = random_sessions(2, 40);
+  auto all = day1;
+  all.insert(all.end(), day2.begin(), day2.end());
+
+  StandardPpm batch, incremental;
+  batch.train(all);
+  incremental.train(day1);
+  incremental.train(day2);
+
+  EXPECT_EQ(batch.node_count(), incremental.node_count());
+  std::vector<Prediction> pa, pb;
+  for (const auto& s : random_sessions(3, 10)) {
+    batch.predict(s.urls, pa);
+    incremental.predict(s.urls, pb);
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+TEST(IncrementalTraining, PopularityBatchEqualsIncrementalWithoutOpt) {
+  // The tree-building rules are per-session, so incremental insertion with
+  // fixed grades is exactly equivalent — as long as the space optimisation
+  // runs only once at the end (it is a destructive batch pass).
+  const auto day1 = random_sessions(4, 40);
+  const auto day2 = random_sessions(5, 40);
+  auto all = day1;
+  all.insert(all.end(), day2.begin(), day2.end());
+
+  std::vector<std::uint32_t> counts(30, 0);
+  for (const auto& s : all) {
+    for (const auto u : s.urls) ++counts[u];
+  }
+  const auto pop = popularity::PopularityTable::from_counts(counts);
+
+  PopularityPpmConfig cfg;
+  cfg.min_relative_probability = 0.0;  // defer optimisation
+  PopularityPpm batch(cfg, &pop), incremental(cfg, &pop);
+  batch.train_without_optimization(all);
+  incremental.train_without_optimization(day1);
+  incremental.train_without_optimization(day2);
+
+  EXPECT_EQ(batch.node_count(), incremental.node_count());
+  EXPECT_EQ(batch.links().size(), incremental.links().size());
+  std::vector<Prediction> pa, pb;
+  for (const auto& s : random_sessions(6, 10)) {
+    batch.predict(s.urls, pa);
+    incremental.predict(s.urls, pb);
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+TEST(IncrementalTraining, OptimizeSpaceIsIdempotent) {
+  const auto data = random_sessions(7, 80);
+  std::vector<std::uint32_t> counts(30, 0);
+  for (const auto& s : data) {
+    for (const auto u : s.urls) ++counts[u];
+  }
+  const auto pop = popularity::PopularityTable::from_counts(counts);
+  PopularityPpm m(PopularityPpmConfig{}, &pop);
+  m.train(data);
+  const auto after_first = m.node_count();
+  m.optimize_space();
+  EXPECT_EQ(m.node_count(), after_first);
+  m.optimize_space();
+  EXPECT_EQ(m.node_count(), after_first);
+}
+
+TEST(IncrementalTraining, LrsRetrainIsNotIncremental) {
+  // LRS is a two-phase batch algorithm: calling train() again re-extracts
+  // patterns from only the new sessions and merges them into the existing
+  // tree. Document the semantics: node counts never shrink, and patterns
+  // present in both phases keep the counts of the *latest* support pass
+  // for new nodes while existing nodes are left as-is.
+  const auto day1 = random_sessions(8, 60);
+  LrsPpm m;
+  m.train(day1);
+  const auto after_one = m.node_count();
+  m.train(day1);  // same data again
+  EXPECT_GE(m.node_count(), after_one);
+}
+
+}  // namespace
+}  // namespace webppm::ppm

@@ -1,0 +1,168 @@
+#include "ppm/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.hpp"
+
+namespace webppm::ppm {
+namespace {
+
+session::Session make_session(std::vector<UrlId> urls) {
+  session::Session s;
+  s.urls = std::move(urls);
+  s.times.assign(s.urls.size(), 0);
+  return s;
+}
+
+std::vector<session::Session> small_training() {
+  return {make_session({1, 2, 3}), make_session({1, 2, 3}),
+          make_session({1, 2, 4}), make_session({5, 2, 3})};
+}
+
+void expect_same_predictions(Predictor& a, Predictor& b,
+                             std::span<const UrlId> ctx) {
+  std::vector<Prediction> pa, pb;
+  a.predict(ctx, pa);
+  b.predict(ctx, pb);
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(SerializeTree, RoundTripSmall) {
+  PredictionTree t;
+  const auto a = t.root_or_add(10, 3);
+  const auto b = t.child_or_add(a, 20, 2);
+  t.child_or_add(b, 30, 1);
+  t.root_or_add(20, 5);
+
+  std::stringstream ss;
+  save_tree(ss, t);
+  const auto back = load_tree(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node_count(), 4u);
+  EXPECT_EQ(back->root_count(), 2u);
+  const UrlId path[] = {10, 20, 30};
+  const auto leaf = back->find_path(path);
+  ASSERT_NE(leaf, kNoNode);
+  EXPECT_EQ(back->node(leaf).count, 1u);
+  EXPECT_EQ(back->node(back->find_root(20)).count, 5u);
+}
+
+TEST(SerializeTree, EmptyTree) {
+  PredictionTree t;
+  std::stringstream ss;
+  save_tree(ss, t);
+  const auto back = load_tree(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node_count(), 0u);
+}
+
+TEST(SerializeTree, RejectsGarbage) {
+  std::stringstream ss("not a tree at all");
+  EXPECT_FALSE(load_tree(ss).has_value());
+}
+
+TEST(SerializeTree, RejectsTruncated) {
+  PredictionTree t;
+  t.root_or_add(1);
+  t.child_or_add(t.find_root(1), 2);
+  std::stringstream ss;
+  save_tree(ss, t);
+  const auto full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_FALSE(load_tree(truncated).has_value());
+}
+
+TEST(SerializeTree, RejectsForwardParentReference) {
+  std::stringstream ss("webppm-tree v1 2\n1 1 1\n2 1 -1\n");
+  EXPECT_FALSE(load_tree(ss).has_value());
+}
+
+TEST(SerializeModel, StandardRoundTrip) {
+  StandardPpmConfig cfg;
+  cfg.max_height = 3;
+  StandardPpm m(cfg);
+  m.train(small_training());
+
+  std::stringstream ss;
+  save_model(ss, m);
+  auto back = load_standard(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node_count(), m.node_count());
+  EXPECT_EQ(back->config().max_height, 3u);
+  const UrlId ctx1[] = {1};
+  const UrlId ctx2[] = {1, 2};
+  expect_same_predictions(m, *back, ctx1);
+  expect_same_predictions(m, *back, ctx2);
+}
+
+TEST(SerializeModel, LrsRoundTrip) {
+  LrsPpm m;
+  m.train(small_training());
+  std::stringstream ss;
+  save_model(ss, m);
+  auto back = load_lrs(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node_count(), m.node_count());
+  const UrlId ctx[] = {1, 2};
+  expect_same_predictions(m, *back, ctx);
+}
+
+TEST(SerializeModel, PopularityRoundTripWithLinks) {
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 1000, 50, 5, 5, 1000});
+  PopularityPpmConfig cfg;
+  cfg.min_relative_probability = 0.0;
+  PopularityPpm m(cfg, &pop);
+  const std::vector<session::Session> train{make_session({1, 2, 3, 5}),
+                                            make_session({1, 2, 3, 5})};
+  m.train(train);
+  ASSERT_FALSE(m.links().empty());
+
+  std::stringstream ss;
+  save_model(ss, m);
+  auto back = load_popularity(ss, &pop);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->node_count(), m.node_count());
+  EXPECT_EQ(back->links().size(), m.links().size());
+  const UrlId ctx[] = {1};
+  expect_same_predictions(m, *back, ctx);  // includes link predictions
+}
+
+TEST(SerializeModel, WrongModelKindRejected) {
+  StandardPpm m;
+  m.train(small_training());
+  std::stringstream ss;
+  save_model(ss, m);
+  EXPECT_FALSE(load_lrs(ss).has_value());
+}
+
+TEST(SerializeModel, FullPipelineRoundTrip) {
+  // A realistically sized PB model from the generator round-trips and
+  // predicts identically on every training context.
+  const auto trace =
+      workload::generate_page_trace(workload::nasa_like(2, 0.2));
+  const auto sessions = session::extract_sessions(trace.day_slice(0));
+  const auto pop = popularity::PopularityTable::build(trace.day_slice(0),
+                                                      trace.urls.size());
+  PopularityPpm m(PopularityPpmConfig{}, &pop);
+  m.train(sessions);
+
+  std::stringstream ss;
+  save_model(ss, m);
+  auto back = load_popularity(ss, &pop);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->node_count(), m.node_count());
+
+  std::vector<Prediction> pa, pb;
+  for (std::size_t i = 0; i < std::min<std::size_t>(200, sessions.size());
+       ++i) {
+    m.predict(sessions[i].urls, pa);
+    back->predict(sessions[i].urls, pb);
+    ASSERT_EQ(pa, pb) << "session " << i;
+  }
+}
+
+}  // namespace
+}  // namespace webppm::ppm

@@ -1,0 +1,120 @@
+#include "session/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace webppm::session {
+namespace {
+
+std::vector<UrlId> to_vec(std::span<const UrlId> s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(OnlineContext, AccumulatesClicks) {
+  OnlineContext c;
+  c.observe(1, 0);
+  c.observe(2, 10);
+  const auto ctx = c.observe(3, 20);
+  EXPECT_EQ(to_vec(ctx), (std::vector<UrlId>{1, 2, 3}));
+}
+
+TEST(OnlineContext, IdleTimeoutResets) {
+  OnlineContext c;
+  c.observe(1, 0);
+  const auto ctx = c.observe(2, 1801);
+  EXPECT_EQ(to_vec(ctx), (std::vector<UrlId>{2}));
+}
+
+TEST(OnlineContext, ExactTimeoutKeepsSession) {
+  OnlineContext c;
+  c.observe(1, 0);
+  const auto ctx = c.observe(2, 1800);
+  EXPECT_EQ(to_vec(ctx), (std::vector<UrlId>{1, 2}));
+}
+
+TEST(OnlineContext, ReloadDedup) {
+  OnlineContext c;
+  c.observe(1, 0);
+  c.observe(1, 5);
+  const auto ctx = c.observe(2, 10);
+  EXPECT_EQ(to_vec(ctx), (std::vector<UrlId>{1, 2}));
+}
+
+TEST(OnlineContext, WindowBoundsContext) {
+  OnlineContext c({}, /*window=*/3);
+  for (UrlId u = 1; u <= 6; ++u) {
+    c.observe(u, u * 10);
+  }
+  EXPECT_EQ(to_vec(c.view()), (std::vector<UrlId>{4, 5, 6}));
+}
+
+TEST(OnlineContext, ResetClears) {
+  OnlineContext c;
+  c.observe(1, 0);
+  c.reset();
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(OnlineSessionizer, PerClientIsolation) {
+  OnlineSessionizer s;
+  trace::Request a{0, 1, 10, 100, 200, trace::Method::kGet};
+  trace::Request b{1, 2, 20, 100, 200, trace::Method::kGet};
+  s.observe(a);
+  s.observe(b);
+  EXPECT_EQ(to_vec(s.context(1)), (std::vector<UrlId>{10}));
+  EXPECT_EQ(to_vec(s.context(2)), (std::vector<UrlId>{20}));
+  EXPECT_TRUE(s.context(99).empty());
+  EXPECT_EQ(s.client_count(), 2u);
+}
+
+TEST(OnlineSessionizer, ErrorsDoNotTouchContext) {
+  OnlineSessionizer s;
+  trace::Request ok{0, 1, 10, 100, 200, trace::Method::kGet};
+  trace::Request err{1, 1, 11, 100, 404, trace::Method::kGet};
+  s.observe(ok);
+  const auto ctx = s.observe(err);
+  EXPECT_EQ(to_vec(ctx), (std::vector<UrlId>{10}));
+}
+
+TEST(OnlineSessionizer, MatchesBatchSessionizerOnRandomStream) {
+  // Property: after feeding a client's full request stream, the online
+  // context equals the tail (up to the window) of the last batch session.
+  util::Rng rng(17);
+  std::vector<trace::Request> requests;
+  TimeSec t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.chance(0.05) ? 4000 : rng.between(1, 300);
+    trace::Request r;
+    r.timestamp = t;
+    r.client = static_cast<ClientId>(rng.below(4));
+    r.url = static_cast<UrlId>(rng.below(30));
+    r.status = rng.chance(0.05) ? 404 : 200;
+    requests.push_back(r);
+  }
+
+  constexpr std::size_t kWindow = 16;
+  OnlineSessionizer online({}, kWindow);
+  for (const auto& r : requests) online.observe(r);
+
+  const auto sessions = extract_sessions(requests);
+  for (ClientId c = 0; c < 4; ++c) {
+    // Find the client's last batch session.
+    const Session* last = nullptr;
+    for (const auto& s : sessions) {
+      if (s.client == c) last = &s;
+    }
+    if (last == nullptr) {
+      EXPECT_TRUE(online.context(c).empty());
+      continue;
+    }
+    const auto& urls = last->urls;
+    const std::size_t n = std::min(urls.size(), kWindow);
+    const std::vector<UrlId> expected(urls.end() - static_cast<long>(n),
+                                      urls.end());
+    EXPECT_EQ(to_vec(online.context(c)), expected) << "client " << c;
+  }
+}
+
+}  // namespace
+}  // namespace webppm::session

@@ -1,0 +1,269 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ppm/standard_ppm.hpp"
+
+namespace webppm::sim {
+namespace {
+
+using trace::Method;
+using trace::Request;
+using trace::Trace;
+
+struct Req {
+  TimeSec t;
+  const char* client;
+  const char* url;
+  std::uint32_t bytes = 1000;
+};
+
+Trace make_trace(std::initializer_list<Req> reqs) {
+  Trace t;
+  for (const auto& q : reqs) {
+    Request r;
+    r.timestamp = q.t;
+    r.client = t.clients.intern(q.client);
+    r.url = t.urls.intern(q.url);
+    r.size_bytes = q.bytes;
+    t.requests.push_back(r);
+  }
+  t.finalize();
+  return t;
+}
+
+// Trains a standard model on day 0 and returns it; the trace has /a -> /b
+// as a perfectly predictable pattern.
+struct Fixture {
+  Trace trace;
+  ppm::StandardPpm model;
+  popularity::PopularityTable popularity;
+  session::ClientClassification classes;
+
+  explicit Fixture(std::initializer_list<Req> reqs) : trace(make_trace(reqs)) {
+    const auto train_window = trace.day_slice(0);
+    const auto sessions = session::extract_sessions(train_window);
+    model.train(sessions);
+    popularity = popularity::PopularityTable::build(train_window,
+                                                    trace.urls.size());
+    classes = session::classify_clients(trace);
+  }
+};
+
+constexpr TimeSec kDay = kSecondsPerDay;
+
+TEST(SimulateDirect, PrefetchTurnsMissIntoHit) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             // eval day: same pattern from a fresh client
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/b", 1000}});
+  SimulationConfig cfg;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.requests, 2u);
+  EXPECT_EQ(m.hits, 1u);           // /b was prefetched after /a
+  EXPECT_EQ(m.prefetch_hits, 1u);
+  EXPECT_EQ(m.demand_misses, 1u);  // only /a fetched on demand
+  EXPECT_EQ(m.bytes_prefetched, 1000u);
+  EXPECT_EQ(m.bytes_prefetch_used, 1000u);
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(m.traffic_increment(), 0.0);  // every byte was useful
+}
+
+TEST(SimulateDirect, NoPrefetchWhenDisabled) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/b", 1000}});
+  SimulationConfig cfg;
+  cfg.policy.enabled = false;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.hits, 0u);
+  EXPECT_EQ(m.prefetches_sent, 0u);
+  EXPECT_EQ(m.bytes_prefetched, 0u);
+  EXPECT_EQ(m.demand_misses, 2u);
+}
+
+TEST(SimulateDirect, SizeThresholdBlocksLargePrefetch) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/big", 200000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/big", 200000}});
+  SimulationConfig cfg;
+  cfg.policy.size_threshold_bytes = 100 * 1024;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.prefetches_sent, 0u);
+  EXPECT_EQ(m.hits, 0u);
+}
+
+TEST(SimulateDirect, WastedPrefetchCountsAsTraffic) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             // eval: client requests /a then leaves; /b prefetch is wasted
+             {kDay + 0, "eval", "/a", 1000}});
+  SimulationConfig cfg;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.prefetches_sent, 1u);
+  EXPECT_EQ(m.bytes_prefetched, 1000u);
+  EXPECT_EQ(m.bytes_prefetch_used, 0u);
+  EXPECT_DOUBLE_EQ(m.traffic_increment(), 1.0);  // 2000 sent / 1000 useful
+}
+
+TEST(SimulateDirect, RepeatVisitHitsCacheWithoutPrefetch) {
+  Fixture f({{0, "train", "/a", 1000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 500, "eval", "/a", 1000}});
+  SimulationConfig cfg;
+  cfg.policy.enabled = false;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.requests, 2u);
+  EXPECT_EQ(m.hits, 1u);  // plain LRU caching hit, no prefetch involved
+  EXPECT_EQ(m.prefetch_hits, 0u);
+}
+
+TEST(SimulateDirect, LatencyAccumulatesOnMissesOnly) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/b", 1000}});
+  SimulationConfig with, without;
+  without.policy.enabled = false;
+  const auto m_with = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                      f.popularity, f.classes, with);
+  const auto m_without = simulate_direct(f.trace, f.trace.day_slice(1),
+                                         f.model, f.popularity, f.classes,
+                                         without);
+  EXPECT_LT(m_with.latency_seconds, m_without.latency_seconds);
+  const double red = latency_reduction(m_with, m_without);
+  EXPECT_GT(red, 0.0);
+  EXPECT_LE(red, 1.0);
+}
+
+TEST(SimulateDirect, ErrorRequestsIgnored) {
+  Trace t = make_trace({{kDay, "c", "/a", 1000}});
+  t.requests[0].status = 404;
+  t.finalize();
+  Fixture f({{0, "train", "/a", 1000}});
+  SimulationConfig cfg;
+  const auto m = simulate_direct(f.trace, t.requests, f.model, f.popularity,
+                                 f.classes, cfg);
+  EXPECT_EQ(m.requests, 0u);
+}
+
+TEST(SimulateDirect, PrefetchHitCountedOnceThenActsAsCached) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/b", 1000},
+             {kDay + 20, "eval", "/b", 1000}});
+  // Note: consecutive /b dedups in context, but both requests count.
+  SimulationConfig cfg;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.requests, 3u);
+  EXPECT_EQ(m.hits, 2u);
+  EXPECT_EQ(m.prefetch_hits, 1u);  // only the first /b hit is a prefetch hit
+  EXPECT_EQ(m.bytes_prefetch_used, 1000u);
+}
+
+TEST(SimulateDirect, PopularPrefetchHitTracked) {
+  // /b dominates training, so it is grade >= 2 ("popular").
+  Fixture f({{0, "t1", "/a", 1000},
+             {10, "t1", "/b", 1000},
+             {100, "t2", "/b", 1000},
+             {200, "t3", "/b", 1000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/b", 1000}});
+  SimulationConfig cfg;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg);
+  EXPECT_EQ(m.prefetch_hits, 1u);
+  EXPECT_EQ(m.popular_prefetch_hits, 1u);
+  EXPECT_DOUBLE_EQ(m.popular_share_of_prefetch_hits(), 1.0);
+}
+
+TEST(SimulateProxyGroup, SharedProxyCacheServesSecondClient) {
+  Fixture f({{0, "train", "/a", 1000},
+             {kDay + 0, "c1", "/a", 1000},
+             {kDay + 50, "c2", "/a", 1000}});
+  SimulationConfig cfg;
+  cfg.policy.enabled = false;
+  const ClientId members[] = {f.trace.clients.find("c1"),
+                              f.trace.clients.find("c2")};
+  const auto m = simulate_proxy_group(f.trace, f.trace.day_slice(1), f.model,
+                                      f.popularity, members, cfg);
+  EXPECT_EQ(m.requests, 2u);
+  EXPECT_EQ(m.demand_misses, 1u);  // c1 misses; c2 hits the proxy
+  EXPECT_EQ(m.proxy_hits, 1u);
+  EXPECT_EQ(m.hits, 1u);
+}
+
+TEST(SimulateProxyGroup, BrowserHitPreferredOverProxy) {
+  Fixture f({{0, "train", "/a", 1000},
+             {kDay + 0, "c1", "/a", 1000},
+             {kDay + 50, "c1", "/a", 1000}});
+  SimulationConfig cfg;
+  cfg.policy.enabled = false;
+  const ClientId members[] = {f.trace.clients.find("c1")};
+  const auto m = simulate_proxy_group(f.trace, f.trace.day_slice(1), f.model,
+                                      f.popularity, members, cfg);
+  EXPECT_EQ(m.browser_hits, 1u);
+  EXPECT_EQ(m.proxy_hits, 0u);
+}
+
+TEST(SimulateProxyGroup, PrefetchLandsInProxyNotBrowser) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             {kDay + 0, "c1", "/a", 1000},
+             {kDay + 10, "c1", "/b", 1000}});
+  SimulationConfig cfg;
+  const ClientId members[] = {f.trace.clients.find("c1")};
+  const auto m = simulate_proxy_group(f.trace, f.trace.day_slice(1), f.model,
+                                      f.popularity, members, cfg);
+  EXPECT_EQ(m.prefetch_hits, 1u);
+  EXPECT_EQ(m.proxy_hits, 1u);     // /b found in the proxy cache
+  EXPECT_EQ(m.browser_hits, 0u);
+}
+
+TEST(SimulateProxyGroup, NonMembersIgnored) {
+  Fixture f({{0, "train", "/a", 1000},
+             {kDay + 0, "outsider", "/a", 1000},
+             {kDay + 10, "c1", "/a", 1000}});
+  SimulationConfig cfg;
+  const ClientId members[] = {f.trace.clients.find("c1")};
+  const auto m = simulate_proxy_group(f.trace, f.trace.day_slice(1), f.model,
+                                      f.popularity, members, cfg);
+  EXPECT_EQ(m.requests, 1u);
+}
+
+TEST(Metrics, DerivedQuantities) {
+  Metrics m;
+  m.requests = 10;
+  m.hits = 4;
+  m.prefetch_hits = 2;
+  m.popular_prefetch_hits = 1;
+  m.prefetches_sent = 5;
+  m.bytes_demand = 6000;
+  m.bytes_prefetched = 5000;
+  m.bytes_prefetch_used = 2000;
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.4);
+  EXPECT_DOUBLE_EQ(m.traffic_increment(), 11000.0 / 8000.0 - 1.0);
+  EXPECT_DOUBLE_EQ(m.popular_share_of_prefetch_hits(), 0.5);
+  EXPECT_DOUBLE_EQ(m.prefetch_accuracy(), 0.4);
+}
+
+TEST(Metrics, ZeroSafeDerived) {
+  const Metrics m;
+  EXPECT_DOUBLE_EQ(m.hit_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(m.traffic_increment(), 0.0);
+  EXPECT_DOUBLE_EQ(m.popular_share_of_prefetch_hits(), 0.0);
+  EXPECT_DOUBLE_EQ(latency_reduction(m, m), 0.0);
+}
+
+}  // namespace
+}  // namespace webppm::sim

@@ -1,0 +1,144 @@
+#include "trace/clf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace webppm::trace {
+namespace {
+
+TEST(ClfParse, StandardLine) {
+  const auto e = parse_clf_line(
+      R"(host1 - - [01/Jul/1995:00:00:01 -0400] "GET /history/apollo/ HTTP/1.0" 200 6245)");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->host, "host1");
+  EXPECT_EQ(e->path, "/history/apollo/");
+  EXPECT_EQ(e->method, Method::kGet);
+  EXPECT_EQ(e->status, 200);
+  EXPECT_EQ(e->size_bytes, 6245u);
+  // 1995-07-01 00:00:01 -0400 == 04:00:01 UTC == 804571201.
+  EXPECT_EQ(e->timestamp, 804571201u);
+}
+
+TEST(ClfParse, UtcZone) {
+  const auto e = parse_clf_line(
+      R"(h - - [01/Jan/1970:00/00:00 +0000] "GET / HTTP/1.0" 200 1)");
+  EXPECT_FALSE(e.has_value());  // malformed time separator
+  const auto ok = parse_clf_line(
+      R"(h - - [01/Jan/1970:00:00:00 +0000] "GET / HTTP/1.0" 200 1)");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->timestamp, 0u);
+}
+
+TEST(ClfParse, PositiveZoneOffset) {
+  const auto e = parse_clf_line(
+      R"(h - - [01/Jan/1970:05:00:00 +0500] "GET / HTTP/1.0" 200 1)");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->timestamp, 0u);  // 05:00 at +0500 is midnight UTC
+}
+
+TEST(ClfParse, DashByteCountMeansZero) {
+  const auto e = parse_clf_line(
+      R"(h - - [01/Jul/1995:00:00:01 -0400] "GET /x.html HTTP/1.0" 304 -)");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->size_bytes, 0u);
+  EXPECT_EQ(e->status, 304);
+}
+
+TEST(ClfParse, Http09RequestWithoutProtocol) {
+  const auto e = parse_clf_line(
+      R"(h - - [01/Jul/1995:00:00:01 -0400] "GET /x.html" 200 99)");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->path, "/x.html");
+}
+
+TEST(ClfParse, HeadAndPostMethods) {
+  const auto h = parse_clf_line(
+      R"(h - - [01/Jul/1995:00:00:01 -0400] "HEAD /x HTTP/1.0" 200 0)");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->method, Method::kHead);
+  const auto p = parse_clf_line(
+      R"(h - - [01/Jul/1995:00:00:01 -0400] "POST /cgi/x HTTP/1.0" 200 0)");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->method, Method::kPost);
+}
+
+TEST(ClfParse, MalformedLinesRejected) {
+  EXPECT_FALSE(parse_clf_line(""));
+  EXPECT_FALSE(parse_clf_line("garbage"));
+  EXPECT_FALSE(parse_clf_line("h - - [not-a-date] \"GET / HTTP/1.0\" 200 1"));
+  EXPECT_FALSE(parse_clf_line("h - - [01/Jul/1995:00:00:01 -0400] 200 1"));
+  EXPECT_FALSE(parse_clf_line(
+      R"(h - - [01/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" abc 1)"));
+  EXPECT_FALSE(parse_clf_line(
+      R"(h - - [99/Jul/1995:00:00:01 -0400] "GET / HTTP/1.0" 200 1)"));
+  EXPECT_FALSE(parse_clf_line(
+      R"(h - - [01/Xyz/1995:00:00:01 -0400] "GET / HTTP/1.0" 200 1)"));
+}
+
+TEST(ClfParse, LeapYearFebruary) {
+  const auto e = parse_clf_line(
+      R"(h - - [29/Feb/1996:00:00:00 +0000] "GET / HTTP/1.0" 200 1)");
+  ASSERT_TRUE(e.has_value());
+  // 1996-02-29 00:00 UTC = 825552000
+  EXPECT_EQ(e->timestamp, 825552000u);
+}
+
+TEST(ClfFormat, RoundTripsThroughParse) {
+  ClfEntry e;
+  e.host = "client-7";
+  e.timestamp = 804571201;
+  e.method = Method::kGet;
+  e.path = "/a/b.html";
+  e.status = 200;
+  e.size_bytes = 1234;
+  const auto line = format_clf_line(e);
+  const auto back = parse_clf_line(line);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->host, e.host);
+  EXPECT_EQ(back->timestamp, e.timestamp);
+  EXPECT_EQ(back->path, e.path);
+  EXPECT_EQ(back->status, e.status);
+  EXPECT_EQ(back->size_bytes, e.size_bytes);
+}
+
+TEST(ClfRead, BuildsTraceAndRebasesEpoch) {
+  std::istringstream in(
+      "h1 - - [02/Jul/1995:10:00:00 +0000] \"GET /a.html HTTP/1.0\" 200 100\n"
+      "h2 - - [02/Jul/1995:10:00:05 +0000] \"GET /b.html HTTP/1.0\" 200 200\n"
+      "junk line\n"
+      "h1 - - [03/Jul/1995:09:00:00 +0000] \"GET /c.html HTTP/1.0\" 200 300\n");
+  Trace t;
+  const auto stats = read_clf(in, t);
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.parsed, 3u);
+  EXPECT_EQ(stats.skipped, 1u);
+  ASSERT_EQ(t.requests.size(), 3u);
+  // Rebased to the start of July 2: first request at 10:00:00.
+  EXPECT_EQ(t.requests[0].timestamp, 10u * 3600u);
+  EXPECT_EQ(t.day_count(), 2u);
+  EXPECT_EQ(t.day_slice(1).size(), 1u);
+  EXPECT_EQ(t.clients.size(), 2u);
+  EXPECT_EQ(t.urls.size(), 3u);
+}
+
+TEST(ClfWrite, RoundTripsTrace) {
+  std::istringstream in(
+      "h1 - - [02/Jul/1995:10:00:00 +0000] \"GET /a.html HTTP/1.0\" 200 100\n"
+      "h2 - - [02/Jul/1995:10:00:05 +0000] \"GET /b.gif HTTP/1.0\" 200 200\n");
+  Trace t;
+  read_clf(in, t);
+  std::ostringstream out;
+  write_clf(out, t);
+  std::istringstream in2(out.str());
+  Trace t2;
+  const auto stats = read_clf(in2, t2);
+  EXPECT_EQ(stats.parsed, 2u);
+  ASSERT_EQ(t2.requests.size(), 2u);
+  EXPECT_EQ(t2.requests[0].size_bytes, 100u);
+  EXPECT_EQ(t2.requests[1].size_bytes, 200u);
+  EXPECT_EQ(t2.requests[1].timestamp - t2.requests[0].timestamp, 5u);
+}
+
+}  // namespace
+}  // namespace webppm::trace

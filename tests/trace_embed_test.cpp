@@ -1,0 +1,135 @@
+#include "trace/embed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webppm::trace {
+namespace {
+
+struct Req {
+  TimeSec t;
+  const char* client;
+  const char* url;
+  std::uint32_t bytes;
+};
+
+Trace make_trace(std::initializer_list<Req> reqs) {
+  Trace t;
+  for (const auto& q : reqs) {
+    Request r;
+    r.timestamp = q.t;
+    r.client = t.clients.intern(q.client);
+    r.url = t.urls.intern(q.url);
+    r.size_bytes = q.bytes;
+    t.requests.push_back(r);
+  }
+  t.finalize();
+  return t;
+}
+
+TEST(EmbedFold, FoldsImageIntoPrecedingPage) {
+  const Trace in = make_trace({{0, "c", "/p.html", 1000},
+                               {2, "c", "/i1.gif", 300},
+                               {3, "c", "/i2.jpg", 200}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.pages, 1u);
+  EXPECT_EQ(stats.folded_images, 2u);
+  ASSERT_EQ(out.requests.size(), 1u);
+  EXPECT_EQ(out.requests[0].size_bytes, 1500u);
+}
+
+TEST(EmbedFold, ImageOutsideWindowKept) {
+  const Trace in = make_trace({{0, "c", "/p.html", 1000},
+                               {11, "c", "/late.gif", 300}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.folded_images, 0u);
+  EXPECT_EQ(stats.orphan_images, 1u);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(EmbedFold, ImageAtWindowBoundaryFolds) {
+  const Trace in = make_trace({{0, "c", "/p.html", 1000},
+                               {10, "c", "/edge.gif", 300}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.folded_images, 1u);
+  ASSERT_EQ(out.requests.size(), 1u);
+  EXPECT_EQ(out.requests[0].size_bytes, 1300u);
+}
+
+TEST(EmbedFold, DifferentClientImageNotFolded) {
+  const Trace in = make_trace({{0, "alice", "/p.html", 1000},
+                               {1, "bob", "/i.gif", 300}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.folded_images, 0u);
+  EXPECT_EQ(stats.orphan_images, 1u);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(EmbedFold, SecondPageResetsWindow) {
+  const Trace in = make_trace({{0, "c", "/a.html", 100},
+                               {5, "c", "/b.html", 200},
+                               {6, "c", "/i.gif", 50}});
+  Trace out;
+  fold_embedded_objects(in, out);
+  ASSERT_EQ(out.requests.size(), 2u);
+  // Image folds into /b.html, the most recent page.
+  EXPECT_EQ(out.requests[0].size_bytes, 100u);
+  EXPECT_EQ(out.requests[1].size_bytes, 250u);
+}
+
+TEST(EmbedFold, OrphanImageBeforeAnyPageKept) {
+  const Trace in = make_trace({{0, "c", "/i.gif", 50},
+                               {1, "c", "/p.html", 100}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.orphan_images, 1u);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(EmbedFold, OtherResourcesPassThrough) {
+  const Trace in = make_trace({{0, "c", "/p.html", 100},
+                               {1, "c", "/data.zip", 9999}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.other, 1u);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(EmbedFold, InternTablesRebuilt) {
+  const Trace in = make_trace({{0, "c", "/p.html", 100},
+                               {1, "c", "/i.gif", 50}});
+  Trace out;
+  fold_embedded_objects(in, out);
+  EXPECT_EQ(out.urls.size(), 1u);  // the folded image URL is not interned
+  EXPECT_EQ(out.clients.size(), 1u);
+}
+
+TEST(EmbedFold, CustomWindow) {
+  const Trace in = make_trace({{0, "c", "/p.html", 100},
+                               {4, "c", "/i.gif", 50}});
+  Trace out;
+  EmbedFoldOptions opt;
+  opt.window_seconds = 3;
+  const auto stats = fold_embedded_objects(in, out, opt);
+  EXPECT_EQ(stats.folded_images, 0u);
+  EXPECT_EQ(out.requests.size(), 2u);
+}
+
+TEST(EmbedFold, ManyClientsInterleaved) {
+  const Trace in = make_trace({{0, "a", "/p1.html", 100},
+                               {1, "b", "/p2.html", 200},
+                               {2, "a", "/ia.gif", 10},
+                               {3, "b", "/ib.gif", 20}});
+  Trace out;
+  const auto stats = fold_embedded_objects(in, out);
+  EXPECT_EQ(stats.folded_images, 2u);
+  ASSERT_EQ(out.requests.size(), 2u);
+  EXPECT_EQ(out.requests[0].size_bytes, 110u);
+  EXPECT_EQ(out.requests[1].size_bytes, 220u);
+}
+
+}  // namespace
+}  // namespace webppm::trace

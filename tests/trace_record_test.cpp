@@ -1,0 +1,128 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace webppm::trace {
+namespace {
+
+TEST(ClassifyResource, HtmlExtensions) {
+  EXPECT_EQ(classify_resource("/a/index.html"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/a/page.htm"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/a/page.shtml"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/a/PAGE.HTML"), ResourceKind::kHtml);
+}
+
+TEST(ClassifyResource, DirectoryAndBarePathsAreHtml) {
+  EXPECT_EQ(classify_resource("/"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/dir/"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/dir/noext"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource(""), ResourceKind::kHtml);
+}
+
+TEST(ClassifyResource, ImageExtensions) {
+  EXPECT_EQ(classify_resource("/img/logo.gif"), ResourceKind::kImage);
+  EXPECT_EQ(classify_resource("/img/photo.jpeg"), ResourceKind::kImage);
+  EXPECT_EQ(classify_resource("/img/x.JPG"), ResourceKind::kImage);
+  EXPECT_EQ(classify_resource("/img/x.xbm"), ResourceKind::kImage);
+  EXPECT_EQ(classify_resource("/img/x.pcx"), ResourceKind::kImage);
+}
+
+TEST(ClassifyResource, OtherExtensions) {
+  EXPECT_EQ(classify_resource("/download.zip"), ResourceKind::kOther);
+  EXPECT_EQ(classify_resource("/video.mpg"), ResourceKind::kOther);
+  EXPECT_EQ(classify_resource("/script.cgi"), ResourceKind::kOther);
+}
+
+TEST(ClassifyResource, StripsQueryString) {
+  EXPECT_EQ(classify_resource("/page.html?x=1"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/pic.gif?cache=no"), ResourceKind::kImage);
+}
+
+TEST(ClassifyResource, DotInDirectoryNotExtension) {
+  EXPECT_EQ(classify_resource("/v1.2/page.html"), ResourceKind::kHtml);
+  EXPECT_EQ(classify_resource("/v1.2/file"), ResourceKind::kHtml);
+}
+
+Trace make_trace(std::initializer_list<std::pair<TimeSec, const char*>> reqs) {
+  Trace t;
+  const auto client = t.clients.intern("c1");
+  for (const auto& [ts, url] : reqs) {
+    Request r;
+    r.timestamp = ts;
+    r.client = client;
+    r.url = t.urls.intern(url);
+    r.size_bytes = 100;
+    t.requests.push_back(r);
+  }
+  t.finalize();
+  return t;
+}
+
+TEST(Trace, FinalizeSortsByTimestamp) {
+  Trace t = make_trace({{50, "/b"}, {10, "/a"}, {30, "/c"}});
+  EXPECT_EQ(t.requests[0].timestamp, 10u);
+  EXPECT_EQ(t.requests[1].timestamp, 30u);
+  EXPECT_EQ(t.requests[2].timestamp, 50u);
+}
+
+TEST(Trace, UrlSizeIsMaxObserved) {
+  Trace t;
+  const auto c = t.clients.intern("c");
+  const auto u = t.urls.intern("/a");
+  t.requests.push_back({0, c, u, 100, 200, Method::kGet});
+  t.requests.push_back({1, c, u, 300, 200, Method::kGet});
+  t.requests.push_back({2, c, u, 50, 200, Method::kGet});
+  t.finalize();
+  EXPECT_EQ(t.url_size(u), 300u);
+}
+
+TEST(Trace, UrlSizeUnknownIsZero) {
+  Trace t = make_trace({{0, "/a"}});
+  EXPECT_EQ(t.url_size(999), 0u);
+}
+
+TEST(Trace, DayCountSpansTrace) {
+  Trace t = make_trace({{0, "/a"}, {kSecondsPerDay * 2 + 5, "/b"}});
+  EXPECT_EQ(t.day_count(), 3u);
+}
+
+TEST(Trace, EmptyTraceDayHandling) {
+  Trace t;
+  t.finalize();
+  EXPECT_EQ(t.day_count(), 0u);
+  EXPECT_TRUE(t.day_slice(0).empty());
+}
+
+TEST(Trace, DaySliceSelectsExactDay) {
+  Trace t = make_trace({{10, "/a"},
+                        {kSecondsPerDay + 1, "/b"},
+                        {kSecondsPerDay + 2, "/c"},
+                        {2 * kSecondsPerDay + 3, "/d"}});
+  EXPECT_EQ(t.day_slice(0).size(), 1u);
+  EXPECT_EQ(t.day_slice(1).size(), 2u);
+  EXPECT_EQ(t.day_slice(2).size(), 1u);
+  EXPECT_TRUE(t.day_slice(3).empty());
+}
+
+TEST(Trace, DayRangeInclusive) {
+  Trace t = make_trace({{10, "/a"},
+                        {kSecondsPerDay + 1, "/b"},
+                        {2 * kSecondsPerDay + 3, "/c"}});
+  EXPECT_EQ(t.day_range(0, 1).size(), 2u);
+  EXPECT_EQ(t.day_range(0, 2).size(), 3u);
+  EXPECT_EQ(t.day_range(1, 1).size(), 1u);
+  EXPECT_EQ(t.day_range(0, 99).size(), 3u);  // clamped
+}
+
+TEST(Trace, DaySliceContiguousWithGapDays) {
+  // A day with no requests must yield an empty slice, not misaligned data.
+  Trace t = make_trace({{10, "/a"}, {3 * kSecondsPerDay + 7, "/b"}});
+  EXPECT_EQ(t.day_count(), 4u);
+  EXPECT_EQ(t.day_slice(0).size(), 1u);
+  EXPECT_TRUE(t.day_slice(1).empty());
+  EXPECT_TRUE(t.day_slice(2).empty());
+  EXPECT_EQ(t.day_slice(3).size(), 1u);
+}
+
+}  // namespace
+}  // namespace webppm::trace

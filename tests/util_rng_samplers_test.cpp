@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/samplers.hpp"
+#include "util/stats.hpp"
+
+namespace webppm::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStat st;
+  for (int i = 0; i < 100000; ++i) st.add(rng.uniform());
+  EXPECT_NEAR(st.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng base(1);
+  Rng a = base.fork(10);
+  Rng b = base.fork(11);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfSampler, RankZeroIsMostLikely) {
+  Rng rng(21);
+  ZipfSampler z(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler z(50, 0.8);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < 50; ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  Rng rng(33);
+  ZipfSampler z(20, 1.2);
+  std::vector<int> counts(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z(rng)];
+  for (std::size_t k = 0; k < 20; ++k) {
+    const double expected = z.pmf(k) * n;
+    if (expected < 50) continue;  // skip tail buckets with high rel. error
+    EXPECT_NEAR(counts[k], expected, 5 * std::sqrt(expected)) << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+  Rng rng(55);
+  ZipfSampler z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[z(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(ZipfSampler, HigherAlphaMoreSkew) {
+  Rng rng(66);
+  ZipfSampler flat(100, 0.4), steep(100, 1.6);
+  int flat_top = 0, steep_top = 0;
+  for (int i = 0; i < 20000; ++i) {
+    flat_top += (flat(rng) == 0);
+    steep_top += (steep(rng) == 0);
+  }
+  EXPECT_GT(steep_top, 2 * flat_top);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  Rng rng(77);
+  DiscreteSampler d({1.0, 0.0, 3.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[d(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(LogNormalSampler, MedianNearExpMu) {
+  Rng rng(88);
+  LogNormalSampler s(2.0, 0.5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(s(rng));
+  EXPECT_NEAR(quantile(xs, 0.5), std::exp(2.0), 0.25);
+}
+
+TEST(LogNormalSampler, AllPositive) {
+  Rng rng(99);
+  LogNormalSampler s(0.0, 2.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(s(rng), 0.0);
+}
+
+TEST(ParetoSampler, RespectsScaleMinimum) {
+  Rng rng(111);
+  ParetoSampler s(100.0, 1.5);
+  for (int i = 0; i < 5000; ++i) EXPECT_GE(s(rng), 100.0);
+}
+
+TEST(ParetoSampler, HeavyTailQuantiles) {
+  Rng rng(222);
+  ParetoSampler s(1.0, 1.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(s(rng));
+  // For alpha=1: P(X > x) = 1/x, so the 99th percentile is ~100.
+  EXPECT_GT(quantile(xs, 0.99), 50.0);
+  EXPECT_LT(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Normal, StandardNormalMoments) {
+  Rng rng(333);
+  RunningStat st;
+  for (int i = 0; i < 100000; ++i) st.add(sample_standard_normal(rng));
+  EXPECT_NEAR(st.mean(), 0.0, 0.02);
+  EXPECT_NEAR(st.stddev(), 1.0, 0.02);
+}
+
+}  // namespace
+}  // namespace webppm::util

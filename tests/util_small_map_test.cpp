@@ -1,0 +1,124 @@
+#include "util/small_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace webppm::util {
+namespace {
+
+TEST(SmallChildMap, EmptyMap) {
+  SmallChildMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(7), nullptr);
+}
+
+TEST(SmallChildMap, InsertAndFindInline) {
+  SmallChildMap<int> m;
+  m[3] = 30;
+  m[1] = 10;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(3), nullptr);
+  EXPECT_EQ(*m.find(3), 30);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_EQ(m.find(2), nullptr);
+}
+
+TEST(SmallChildMap, OperatorBracketDefaultConstructs) {
+  SmallChildMap<int> m;
+  EXPECT_EQ(m[5], 0);
+  m[5] += 7;
+  EXPECT_EQ(m[5], 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SmallChildMap, SpillsBeyondInlineCapacity) {
+  SmallChildMap<int, 4> m;
+  for (std::uint32_t k = 0; k < 20; ++k) m[k * 7] = static_cast<int>(k);
+  EXPECT_EQ(m.size(), 20u);
+  for (std::uint32_t k = 0; k < 20; ++k) {
+    ASSERT_NE(m.find(k * 7), nullptr) << k;
+    EXPECT_EQ(*m.find(k * 7), static_cast<int>(k));
+  }
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(SmallChildMap, ValuesSurviveSpillPromotion) {
+  SmallChildMap<int, 4> m;
+  for (std::uint32_t k = 0; k < 4; ++k) m[k] = static_cast<int>(100 + k);
+  m[99] = 500;  // triggers promotion
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    ASSERT_NE(m.find(k), nullptr);
+    EXPECT_EQ(*m.find(k), static_cast<int>(100 + k));
+  }
+  EXPECT_EQ(*m.find(99), 500);
+}
+
+TEST(SmallChildMap, ForEachVisitsAllEntriesOnce) {
+  SmallChildMap<int, 4> m;
+  for (std::uint32_t k = 0; k < 13; ++k) m[k] = static_cast<int>(k * k);
+  std::set<std::uint32_t> seen;
+  m.for_each([&](std::uint32_t k, int v) {
+    EXPECT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+    EXPECT_EQ(v, static_cast<int>(k * k));
+  });
+  EXPECT_EQ(seen.size(), 13u);
+}
+
+TEST(SmallChildMap, MutableForEach) {
+  SmallChildMap<int, 4> m;
+  for (std::uint32_t k = 0; k < 3; ++k) m[k] = 1;
+  m.for_each([](std::uint32_t, int& v) { v *= 5; });
+  for (std::uint32_t k = 0; k < 3; ++k) EXPECT_EQ(*m.find(k), 5);
+}
+
+TEST(SmallChildMap, EraseIfInline) {
+  SmallChildMap<int, 8> m;
+  for (std::uint32_t k = 0; k < 6; ++k) m[k] = static_cast<int>(k);
+  const auto removed = m.erase_if([](std::uint32_t k, int) { return k % 2 == 0; });
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.find(0), nullptr);
+  EXPECT_NE(m.find(1), nullptr);
+  EXPECT_EQ(m.find(2), nullptr);
+  EXPECT_NE(m.find(5), nullptr);
+}
+
+TEST(SmallChildMap, EraseIfSpilled) {
+  SmallChildMap<int, 2> m;
+  for (std::uint32_t k = 0; k < 50; ++k) m[k] = static_cast<int>(k);
+  const auto removed = m.erase_if([](std::uint32_t, int v) { return v >= 25; });
+  EXPECT_EQ(removed, 25u);
+  EXPECT_EQ(m.size(), 25u);
+  EXPECT_EQ(m.find(30), nullptr);
+  EXPECT_NE(m.find(24), nullptr);
+}
+
+TEST(SmallChildMap, AgreesWithStdMapUnderRandomOps) {
+  Rng rng(123);
+  SmallChildMap<std::uint64_t, 4> m;
+  std::map<std::uint32_t, std::uint64_t> ref;
+  for (int op = 0; op < 5000; ++op) {
+    const auto key = static_cast<std::uint32_t>(rng.below(300));
+    if (rng.chance(0.8)) {
+      m[key] += 1;
+      ref[key] += 1;
+    } else {
+      m.erase_if([&](std::uint32_t k, std::uint64_t) { return k == key; });
+      ref.erase(key);
+    }
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), v);
+  }
+}
+
+}  // namespace
+}  // namespace webppm::util

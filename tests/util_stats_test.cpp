@@ -1,0 +1,109 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/least_squares.hpp"
+#include "util/rng.hpp"
+
+namespace webppm::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_EQ(st.mean(), 0.0);
+  EXPECT_EQ(st.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat st;
+  st.add(4.0);
+  EXPECT_EQ(st.count(), 1u);
+  EXPECT_EQ(st.mean(), 4.0);
+  EXPECT_EQ(st.variance(), 0.0);
+  EXPECT_EQ(st.min(), 4.0);
+  EXPECT_EQ(st.max(), 4.0);
+}
+
+TEST(RunningStat, KnownSequence) {
+  RunningStat st;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(x);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(1.0, 5);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(4.9);
+  h.add(100.0);  // overflow bucket
+  h.add(-1.0);   // clamps to first bucket
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(4), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+}
+
+TEST(Histogram, CdfBelow) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.cdf_below(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.cdf_below(0.0), 0.0);
+}
+
+TEST(Quantile, Endpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(LeastSquares, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4}, ys;
+  for (const double x : xs) ys.push_back(3.0 + 2.0 * x);
+  const auto fit = least_squares_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(LeastSquares, FlatLine) {
+  std::vector<double> xs{1, 2, 3}, ys{5, 5, 5};
+  const auto fit = least_squares_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 5.0, 1e-12);
+}
+
+TEST(LeastSquares, RecoversSlopeUnderNoise) {
+  Rng rng(4);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = rng.uniform() * 100.0;
+    xs.push_back(x);
+    ys.push_back(1.5 + 0.25 * x + (rng.uniform() - 0.5));
+  }
+  const auto fit = least_squares_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.25, 0.01);
+  EXPECT_NEAR(fit.intercept, 1.5, 0.5);
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(LeastSquares, EvaluateOperator) {
+  const LinearFit fit{2.0, 3.0, 1.0};
+  EXPECT_DOUBLE_EQ(fit(4.0), 14.0);
+}
+
+}  // namespace
+}  // namespace webppm::util

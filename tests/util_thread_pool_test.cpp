@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace webppm::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTask) {
+  ThreadPool pool(2);
+  std::atomic<int> x{0};
+  pool.submit([&] { x = 42; }).get();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter, 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { ++counter; });
+    }
+  }  // destructor joins after draining
+  EXPECT_EQ(counter, 50);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::logic_error("bad");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelFor, ComputesPartialSums) {
+  ThreadPool pool(4);
+  std::vector<long> out(1000, 0);
+  parallel_for(pool, out.size(),
+               [&](std::size_t i) { out[i] = static_cast<long>(i) * 2; });
+  const long sum = std::accumulate(out.begin(), out.end(), 0L);
+  EXPECT_EQ(sum, 999L * 1000L);
+}
+
+}  // namespace
+}  // namespace webppm::util

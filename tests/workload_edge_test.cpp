@@ -1,0 +1,94 @@
+// Generator and site-model edge cases: degenerate configurations a user
+// could plausibly construct.
+#include <gtest/gtest.h>
+
+#include "session/session.hpp"
+#include "workload/generator.hpp"
+
+namespace webppm::workload {
+namespace {
+
+TEST(WorkloadEdge, SingleDayTrace) {
+  auto cfg = nasa_like(1, 0.05);
+  cfg.site.total_pages = 120;
+  const auto t = generate_page_trace(cfg);
+  EXPECT_EQ(t.day_count(), 1u);
+  EXPECT_FALSE(t.requests.empty());
+}
+
+TEST(WorkloadEdge, NoProxiesStillGenerates) {
+  auto cfg = nasa_like(2, 0.05);
+  cfg.site.total_pages = 120;
+  cfg.population.proxies = 0;
+  const auto t = generate_page_trace(cfg);
+  EXPECT_FALSE(t.requests.empty());
+  const auto classes = session::classify_clients(t);
+  EXPECT_EQ(classes.proxy_count, 0u);
+}
+
+TEST(WorkloadEdge, OnlyProxies) {
+  auto cfg = nasa_like(2, 0.05);
+  cfg.site.total_pages = 120;
+  cfg.population.browsers = 0;
+  cfg.population.proxies = 3;
+  const auto t = generate_page_trace(cfg);
+  EXPECT_FALSE(t.requests.empty());
+  EXPECT_EQ(t.clients.size(), 3u);
+}
+
+TEST(WorkloadEdge, SingleEntryPageSite) {
+  auto cfg = nasa_like(1, 0.05);
+  cfg.site.entry_pages = 1;
+  cfg.site.total_pages = 60;
+  const auto t = generate_page_trace(cfg);
+  EXPECT_FALSE(t.requests.empty());
+  // Every session starts at the only entry (or a random page).
+  const auto sessions = session::extract_sessions(t.requests);
+  EXPECT_FALSE(sessions.empty());
+}
+
+TEST(WorkloadEdge, MinimalSiteOnlyEntries) {
+  SiteConfig cfg;
+  cfg.entry_pages = 5;
+  cfg.total_pages = 5;  // no room for children
+  const auto site = SiteModel::build(cfg);
+  EXPECT_EQ(site.pages().size(), 5u);
+  for (const auto& p : site.pages()) EXPECT_TRUE(p.children.empty());
+}
+
+TEST(WorkloadEdge, MaxDepthOneIsFlat) {
+  SiteConfig cfg;
+  cfg.max_depth = 1;
+  cfg.entry_pages = 10;
+  cfg.total_pages = 500;
+  const auto site = SiteModel::build(cfg);
+  // Depth cap prevents any growth beyond the entries.
+  EXPECT_EQ(site.pages().size(), 10u);
+}
+
+TEST(WorkloadEdge, TinyScaleClampsToAtLeastOneProxy) {
+  const auto cfg = nasa_like(1, 0.001);
+  EXPECT_GE(cfg.population.proxies, 1u);
+}
+
+TEST(WorkloadEdge, SessionsNeverEmpty) {
+  auto cfg = ucb_like(2, 0.05);
+  cfg.site.total_pages = 200;
+  const auto t = generate_page_trace(cfg);
+  for (const auto& s : session::extract_sessions(t.requests)) {
+    EXPECT_GE(s.length(), 1u);
+    EXPECT_LE(s.start, s.end);
+  }
+}
+
+TEST(WorkloadEdge, PageSizesPositiveInTrace) {
+  auto cfg = nasa_like(1, 0.05);
+  cfg.site.total_pages = 120;
+  const auto t = generate_page_trace(cfg);
+  for (const auto& r : t.requests) {
+    EXPECT_GT(r.size_bytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace webppm::workload

@@ -1,0 +1,138 @@
+// Optional generator features: diurnal load shaping and error injection.
+// Both default to off (the calibrated profiles are unaffected); these tests
+// exercise them explicitly.
+#include <gtest/gtest.h>
+
+#include "session/session.hpp"
+#include "trace/embed.hpp"
+#include "workload/generator.hpp"
+
+namespace webppm::workload {
+namespace {
+
+GeneratorConfig base_config() {
+  auto cfg = nasa_like(2, 0.1);
+  cfg.site.total_pages = 250;
+  return cfg;
+}
+
+// Sessions start within [0, span), where span reserves a worst-case-length
+// margin at the end of the day so no session spills past midnight; the
+// diurnal curve maps onto that start span (peak mid-span, troughs at the
+// edges).
+constexpr TimeSec start_span(const GeneratorConfig& cfg) {
+  return kSecondsPerDay - static_cast<TimeSec>(cfg.traffic.max_len) *
+                              cfg.traffic.think_cap;
+}
+
+TEST(DiurnalShape, DefaultIsUniformOverStartSpan) {
+  const auto cfg = base_config();
+  EXPECT_DOUBLE_EQ(cfg.traffic.diurnal_amplitude, 0.0);
+  const auto t = generate_trace(cfg);
+  const TimeSec span = start_span(cfg);
+  // Compare the first and second quarters of the span: sessions start
+  // uniformly, and each session's requests trail its start, so adjacent
+  // windows should hold similar volume (within 20%).
+  std::uint64_t q1 = 0, q2 = 0;
+  for (const auto& r : t.requests) {
+    const auto within = r.timestamp % kSecondsPerDay;
+    if (within < span / 4) {
+      ++q1;
+    } else if (within < span / 2) {
+      ++q2;
+    }
+  }
+  const double ratio = static_cast<double>(q2) / static_cast<double>(q1);
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.25);
+}
+
+TEST(DiurnalShape, AmplitudeConcentratesMidSpan) {
+  auto cfg = base_config();
+  cfg.traffic.diurnal_amplitude = 1.0;
+  const auto t = generate_trace(cfg);
+  const TimeSec span = start_span(cfg);
+  // Weight 1 + sin(2*pi*(x - 1/4)) peaks at mid-span and vanishes at the
+  // edges: the middle third must far outweigh the first third.
+  std::uint64_t first_third = 0, middle_third = 0;
+  for (const auto& r : t.requests) {
+    const auto within = r.timestamp % kSecondsPerDay;
+    if (within < span / 3) {
+      ++first_third;
+    } else if (within < 2 * (span / 3)) {
+      ++middle_third;
+    }
+  }
+  EXPECT_GT(static_cast<double>(middle_third),
+            2.0 * static_cast<double>(first_third));
+}
+
+TEST(DiurnalShape, DeterministicForSeed) {
+  auto cfg = base_config();
+  cfg.traffic.diurnal_amplitude = 0.8;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  EXPECT_EQ(a.requests[a.requests.size() / 2],
+            b.requests[b.requests.size() / 2]);
+}
+
+TEST(ErrorInjection, DefaultIsClean) {
+  const auto t = generate_trace(base_config());
+  for (const auto& r : t.requests) EXPECT_LT(r.status, 400);
+}
+
+TEST(ErrorInjection, RateProducesErrors) {
+  auto cfg = base_config();
+  cfg.traffic.error_rate = 0.2;
+  const auto raw = generate_trace(cfg);
+  std::uint64_t errors = 0, pages = 0;
+  for (const auto& r : raw.requests) {
+    if (trace::classify_resource(raw.urls.name(r.url)) ==
+        trace::ResourceKind::kHtml) {
+      ++pages;
+      errors += (r.status >= 400);
+    }
+  }
+  ASSERT_GT(pages, 500u);
+  const double rate = static_cast<double>(errors) /
+                      static_cast<double>(pages);
+  EXPECT_GT(rate, 0.15);
+  EXPECT_LT(rate, 0.25);
+}
+
+TEST(ErrorInjection, ErrorPagesCarryNoImagesOrBytes) {
+  auto cfg = base_config();
+  cfg.traffic.error_rate = 0.3;
+  const auto raw = generate_trace(cfg);
+  for (std::size_t i = 0; i < raw.requests.size(); ++i) {
+    if (raw.requests[i].status >= 400) {
+      EXPECT_EQ(raw.requests[i].size_bytes, 0u);
+    }
+  }
+  // Folding then sessionizing skips the errors entirely.
+  trace::Trace folded;
+  trace::fold_embedded_objects(raw, folded);
+  const auto sessions = session::extract_sessions(folded.requests);
+  for (const auto& s : sessions) {
+    EXPECT_GE(s.length(), 1u);
+  }
+}
+
+TEST(ErrorInjection, SessionizerDropsErrorClicks) {
+  auto cfg = base_config();
+  cfg.traffic.error_rate = 0.5;
+  const auto t = generate_page_trace(cfg);
+  std::uint64_t ok_requests = 0;
+  for (const auto& r : t.requests) ok_requests += (r.status < 400);
+  const auto sessions = session::extract_sessions(t.requests);
+  std::uint64_t clicks = 0;
+  for (const auto& s : sessions) clicks += s.length();
+  // Sessions contain at most the successful requests (dedup may remove a
+  // few more).
+  EXPECT_LE(clicks, ok_requests);
+  EXPECT_GT(clicks, ok_requests / 2);
+}
+
+}  // namespace
+}  // namespace webppm::workload

@@ -1,0 +1,214 @@
+// Statistical validation that the synthetic traces reproduce the paper's
+// observed regularities (§1) and session-shape facts (§3.4) — the grounds on
+// which the generator substitutes for the NASA-KSC / UCB-CS logs (DESIGN.md).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "popularity/popularity.hpp"
+#include "session/session.hpp"
+#include "workload/generator.hpp"
+
+namespace webppm::workload {
+namespace {
+
+struct Analyzed {
+  trace::Trace trace;
+  std::vector<session::Session> sessions;
+  popularity::PopularityTable popularity;
+};
+
+Analyzed analyze(const GeneratorConfig& cfg) {
+  Analyzed a;
+  a.trace = generate_page_trace(cfg);
+  a.sessions = session::extract_sessions(a.trace.requests);
+  a.popularity = popularity::PopularityTable::build(a.trace.requests,
+                                                    a.trace.urls.size());
+  return a;
+}
+
+const Analyzed& nasa_data() {
+  static const Analyzed a = analyze(nasa_like(3, 0.4));
+  return a;
+}
+
+const Analyzed& ucb_data() {
+  static const Analyzed a = analyze(ucb_like(3, 0.4));
+  return a;
+}
+
+TEST(NasaProfile, SessionLengthsMatchHuberman) {
+  // Paper §3.4: "more than 95% of the access sessions have 9 or less URLs".
+  const auto st = session::compute_session_stats(nasa_data().sessions);
+  EXPECT_GT(st.session_count, 500u);
+  EXPECT_GE(st.frac_at_most_9, 0.93);
+  EXPECT_GE(st.mean_length, 1.5);
+  EXPECT_LE(st.mean_length, 6.0);
+}
+
+TEST(NasaProfile, Regularity1_SessionsStartFromPopularUrls) {
+  // R1: the majority of sessions start at popular URLs, although the
+  // majority of URLs on the server are not popular.
+  const auto& d = nasa_data();
+  std::uint64_t popular_starts = 0;
+  for (const auto& s : d.sessions) {
+    popular_starts += d.popularity.is_popular(s.urls.front());
+  }
+  const double frac_popular_starts =
+      static_cast<double>(popular_starts) /
+      static_cast<double>(d.sessions.size());
+  EXPECT_GT(frac_popular_starts, 0.5);
+
+  std::uint64_t popular_urls = 0;
+  for (UrlId u = 0; u < d.trace.urls.size(); ++u) {
+    popular_urls += d.popularity.is_popular(u);
+  }
+  const double frac_popular_urls = static_cast<double>(popular_urls) /
+                                   static_cast<double>(d.trace.urls.size());
+  EXPECT_LT(frac_popular_urls, 0.3);
+}
+
+TEST(NasaProfile, Regularity2_LongSessionsHeadedByPopularUrls) {
+  const auto& d = nasa_data();
+  std::uint64_t long_total = 0, long_popular_head = 0;
+  for (const auto& s : d.sessions) {
+    if (s.length() < 6) continue;
+    ++long_total;
+    long_popular_head += d.popularity.is_popular(s.urls.front());
+  }
+  ASSERT_GT(long_total, 30u);
+  EXPECT_GT(static_cast<double>(long_popular_head) /
+                static_cast<double>(long_total),
+            0.5);
+}
+
+TEST(NasaProfile, Regularity3_PathsDescendInPopularity) {
+  // Paths move from popular URLs toward less popular ones: the mean
+  // popularity grade of first clicks exceeds that of last clicks.
+  const auto& d = nasa_data();
+  double first_sum = 0.0, last_sum = 0.0;
+  std::uint64_t n = 0;
+  for (const auto& s : d.sessions) {
+    if (s.length() < 3) continue;
+    first_sum += d.popularity.grade(s.urls.front());
+    last_sum += d.popularity.grade(s.urls.back());
+    ++n;
+  }
+  ASSERT_GT(n, 100u);
+  EXPECT_GT(first_sum / static_cast<double>(n),
+            last_sum / static_cast<double>(n) + 0.3);
+}
+
+TEST(NasaProfile, PopularityIsZipfLike) {
+  // Access counts sorted descending should be highly skewed: the top 10%
+  // of URLs draw most of the traffic.
+  const auto& d = nasa_data();
+  std::vector<std::uint32_t> counts;
+  for (UrlId u = 0; u < d.trace.urls.size(); ++u) {
+    counts.push_back(d.popularity.accesses(u));
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  std::uint64_t total = 0, top = 0;
+  const auto top_n = counts.size() / 10;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < top_n) top += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(top) / static_cast<double>(total), 0.6);
+}
+
+TEST(NasaProfile, PopularityStableAcrossDays) {
+  // §1: "the popularity of Web files is normally stable over a long
+  // period" — the top-grade set of day 0 overlaps heavily with day 2's.
+  const auto& d = nasa_data();
+  const auto p0 = popularity::PopularityTable::build(d.trace.day_slice(0),
+                                                     d.trace.urls.size());
+  const auto p2 = popularity::PopularityTable::build(d.trace.day_slice(2),
+                                                     d.trace.urls.size());
+  std::uint64_t day0_popular = 0, overlap = 0;
+  for (UrlId u = 0; u < d.trace.urls.size(); ++u) {
+    if (p0.grade(u) == 3) {
+      ++day0_popular;
+      overlap += (p2.grade(u) >= 2);
+    }
+  }
+  ASSERT_GT(day0_popular, 0u);
+  EXPECT_GT(static_cast<double>(overlap) / static_cast<double>(day0_popular),
+            0.8);
+}
+
+TEST(NasaProfile, ClassificationFindsBothKinds) {
+  const auto& d = nasa_data();
+  const auto classes = session::classify_clients(d.trace);
+  EXPECT_GT(classes.proxy_count, 0u);
+  EXPECT_GT(classes.browser_count, 50u);
+  EXPECT_GT(classes.browser_count, classes.proxy_count);
+}
+
+TEST(UcbProfile, StartingUrlGradesMoreEvenlyDistributed) {
+  // §4.3: "The popularity grades of the starting URLs are evenly
+  // distributed in the UCB-CS trace" — compare entry concentration.
+  const auto& nasa = nasa_data();
+  const auto& ucb = ucb_data();
+
+  const auto start_concentration = [](const Analyzed& d) {
+    std::map<UrlId, std::uint64_t> starts;
+    std::uint64_t total = 0;
+    for (const auto& s : d.sessions) {
+      ++starts[s.urls.front()];
+      ++total;
+    }
+    std::vector<std::uint64_t> counts;
+    for (const auto& [u, c] : starts) counts.push_back(c);
+    std::sort(counts.rbegin(), counts.rend());
+    std::uint64_t top = 0;
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, counts.size());
+         ++i) {
+      top += counts[i];
+    }
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  EXPECT_GT(start_concentration(nasa), start_concentration(ucb) + 0.15);
+}
+
+TEST(UcbProfile, PopularEntriesDoNotMonopolizeLongSessions) {
+  // §4.3: "some of the popular entries may not lead to long sessions" on
+  // UCB-CS. Compare the head-popularity/length coupling across profiles:
+  // sessions headed by above-median-traffic URLs are much longer than
+  // others on the nasa profile, but only mildly so on the ucb profile.
+  const auto coupling = [](const Analyzed& d) {
+    std::vector<std::uint32_t> starts(d.trace.urls.size(), 0);
+    for (const auto& s : d.sessions) ++starts[s.urls.front()];
+    // Median start-count among URLs that head at least one session.
+    std::vector<std::uint32_t> used;
+    for (const auto c : starts) {
+      if (c > 0) used.push_back(c);
+    }
+    std::sort(used.begin(), used.end());
+    const auto median = used[used.size() / 2];
+    double hot_sum = 0, hot_n = 0, cold_sum = 0, cold_n = 0;
+    for (const auto& s : d.sessions) {
+      if (starts[s.urls.front()] > median) {
+        hot_sum += static_cast<double>(s.length());
+        hot_n += 1;
+      } else {
+        cold_sum += static_cast<double>(s.length());
+        cold_n += 1;
+      }
+    }
+    return (hot_sum / hot_n) / (cold_sum / cold_n);
+  };
+  const double nasa_coupling = coupling(nasa_data());
+  const double ucb_coupling = coupling(ucb_data());
+  EXPECT_GT(nasa_coupling, ucb_coupling);
+  EXPECT_LT(ucb_coupling, 1.35);
+}
+
+TEST(UcbProfile, SessionLengthsStillMostlyShort) {
+  const auto st = session::compute_session_stats(ucb_data().sessions);
+  EXPECT_GE(st.frac_at_most_9, 0.9);
+}
+
+}  // namespace
+}  // namespace webppm::workload

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/embed.hpp"
+#include "workload/generator.hpp"
+#include "workload/site_model.hpp"
+
+namespace webppm::workload {
+namespace {
+
+TEST(SiteModel, BuildsRequestedShape) {
+  SiteConfig cfg;
+  cfg.entry_pages = 10;
+  cfg.total_pages = 300;
+  const auto site = SiteModel::build(cfg);
+  EXPECT_EQ(site.entry_count(), 10u);
+  EXPECT_GE(site.pages().size(), 10u);
+  EXPECT_LE(site.pages().size(), cfg.total_pages + cfg.max_children);
+}
+
+TEST(SiteModel, EntryPagesHaveDepthZeroAndNoParent) {
+  const auto site = SiteModel::build({});
+  for (std::uint32_t e = 0; e < site.entry_count(); ++e) {
+    const auto& p = site.page(site.entry(e));
+    EXPECT_EQ(p.depth, 0u);
+    EXPECT_EQ(p.parent, kNoPage);
+  }
+}
+
+TEST(SiteModel, ParentChildConsistency) {
+  const auto site = SiteModel::build({});
+  for (PageId id = 0; id < site.pages().size(); ++id) {
+    for (const auto c : site.page(id).children) {
+      EXPECT_EQ(site.page(c).parent, id);
+      EXPECT_EQ(site.page(c).depth, site.page(id).depth + 1);
+    }
+  }
+}
+
+TEST(SiteModel, DepthCapRespected) {
+  SiteConfig cfg;
+  cfg.max_depth = 4;
+  cfg.total_pages = 3000;
+  const auto site = SiteModel::build(cfg);
+  for (const auto& p : site.pages()) EXPECT_LT(p.depth, 4u);
+}
+
+TEST(SiteModel, PathsAreUniqueHtml) {
+  const auto site = SiteModel::build({});
+  std::set<std::string> paths;
+  for (const auto& p : site.pages()) {
+    EXPECT_TRUE(paths.insert(p.path).second) << "duplicate " << p.path;
+    EXPECT_EQ(trace::classify_resource(p.path), trace::ResourceKind::kHtml);
+  }
+}
+
+TEST(SiteModel, ImagesClassifyAsImages) {
+  const auto site = SiteModel::build({});
+  for (const auto& p : site.pages()) {
+    ASSERT_EQ(p.image_paths.size(), p.image_bytes.size());
+    for (const auto& ip : p.image_paths) {
+      EXPECT_EQ(trace::classify_resource(ip), trace::ResourceKind::kImage);
+    }
+  }
+}
+
+TEST(SiteModel, SizesWithinConfiguredBounds) {
+  SiteConfig cfg;
+  const auto site = SiteModel::build(cfg);
+  for (const auto& p : site.pages()) {
+    EXPECT_GE(p.html_bytes, 256u);
+    EXPECT_LE(p.html_bytes, cfg.html_size_cap);
+    for (const auto b : p.image_bytes) {
+      EXPECT_GE(b, 128u);
+      EXPECT_LE(b, cfg.image_size_cap);
+    }
+    EXPECT_LE(p.image_paths.size(), cfg.image_count_max);
+  }
+}
+
+TEST(SiteModel, DeterministicForSeed) {
+  const auto a = SiteModel::build({});
+  const auto b = SiteModel::build({});
+  ASSERT_EQ(a.pages().size(), b.pages().size());
+  for (PageId i = 0; i < a.pages().size(); ++i) {
+    EXPECT_EQ(a.page(i).path, b.page(i).path);
+    EXPECT_EQ(a.page(i).html_bytes, b.page(i).html_bytes);
+  }
+}
+
+TEST(SiteModel, DifferentSeedDifferentSizes) {
+  SiteConfig c1, c2;
+  c2.seed = c1.seed + 1;
+  const auto a = SiteModel::build(c1);
+  const auto b = SiteModel::build(c2);
+  bool any_diff = false;
+  const auto n = std::min(a.pages().size(), b.pages().size());
+  for (PageId i = 0; i < n; ++i) {
+    any_diff |= (a.page(i).html_bytes != b.page(i).html_bytes);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+GeneratorConfig tiny_config(std::uint32_t days) {
+  auto cfg = nasa_like(days, /*scale=*/0.08);
+  cfg.site.total_pages = 400;
+  return cfg;
+}
+
+TEST(Generator, ProducesTimeSortedTrace) {
+  const auto t = generate_trace(tiny_config(2));
+  ASSERT_FALSE(t.requests.empty());
+  for (std::size_t i = 1; i < t.requests.size(); ++i) {
+    EXPECT_LE(t.requests[i - 1].timestamp, t.requests[i].timestamp);
+  }
+}
+
+TEST(Generator, CoversRequestedDays) {
+  const auto t = generate_trace(tiny_config(3));
+  EXPECT_EQ(t.day_count(), 3u);
+  for (std::uint32_t d = 0; d < 3; ++d) {
+    EXPECT_FALSE(t.day_slice(d).empty()) << "day " << d;
+  }
+}
+
+TEST(Generator, DeterministicForConfig) {
+  const auto a = generate_trace(tiny_config(2));
+  const auto b = generate_trace(tiny_config(2));
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i], b.requests[i]);
+  }
+}
+
+TEST(Generator, EmitsBothBrowsersAndProxies) {
+  const auto cfg = tiny_config(2);
+  const auto t = generate_trace(cfg);
+  EXPECT_EQ(t.clients.size(), cfg.population.browsers + cfg.population.proxies);
+}
+
+TEST(Generator, PageTraceContainsOnlyHtml) {
+  const auto t = generate_page_trace(tiny_config(1));
+  for (const auto& r : t.requests) {
+    EXPECT_EQ(trace::classify_resource(t.urls.name(r.url)),
+              trace::ResourceKind::kHtml);
+  }
+}
+
+TEST(Generator, FoldingConservesPageViewBytes) {
+  // Page-level record sizes must include the embedded images emitted with
+  // the page (each image lands within the folding window).
+  const auto cfg = tiny_config(1);
+  const auto raw = generate_trace(cfg);
+  trace::Trace folded;
+  const auto stats = trace::fold_embedded_objects(raw, folded);
+  EXPECT_EQ(stats.orphan_images, 0u);
+  std::uint64_t raw_bytes = 0, folded_bytes = 0;
+  for (const auto& r : raw.requests) raw_bytes += r.size_bytes;
+  for (const auto& r : folded.requests) folded_bytes += r.size_bytes;
+  EXPECT_EQ(raw_bytes, folded_bytes);
+}
+
+TEST(Generator, RequestsStayWithinTheirDay) {
+  const auto t = generate_trace(tiny_config(2));
+  // Sessions are started early enough not to spill into the next day.
+  for (const auto& r : t.requests) {
+    EXPECT_LT(trace::Trace::day_of(r.timestamp), 2u);
+  }
+}
+
+TEST(Profiles, UcbHasMoreEntryPagesAndNoise) {
+  const auto nasa = nasa_like(3);
+  const auto ucb = ucb_like(3);
+  EXPECT_GT(ucb.site.entry_pages, nasa.site.entry_pages);
+  EXPECT_LT(ucb.traffic.entry_zipf_alpha, nasa.traffic.entry_zipf_alpha);
+  EXPECT_GT(ucb.traffic.random_jump_weight, nasa.traffic.random_jump_weight);
+  EXPECT_FALSE(ucb.traffic.long_sessions_from_popular);
+  EXPECT_TRUE(nasa.traffic.long_sessions_from_popular);
+}
+
+TEST(Profiles, ScaleControlsPopulation) {
+  const auto small = nasa_like(2, 0.2);
+  const auto big = nasa_like(2, 1.0);
+  EXPECT_LT(small.population.browsers, big.population.browsers);
+}
+
+}  // namespace
+}  // namespace webppm::workload
