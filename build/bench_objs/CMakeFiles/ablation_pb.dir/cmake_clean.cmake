@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pb"
+  "../bench/ablation_pb.pdb"
+  "CMakeFiles/ablation_pb.dir/ablation_pb.cpp.o"
+  "CMakeFiles/ablation_pb.dir/ablation_pb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/adaptivity"
+  "../bench/adaptivity.pdb"
+  "CMakeFiles/adaptivity.dir/adaptivity.cpp.o"
+  "CMakeFiles/adaptivity.dir/adaptivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/baselines"
+  "../bench/baselines.pdb"
+  "CMakeFiles/baselines.dir/baselines.cpp.o"
+  "CMakeFiles/baselines.dir/baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/cache_policies"
+  "../bench/cache_policies.pdb"
+  "CMakeFiles/cache_policies.dir/cache_policies.cpp.o"
+  "CMakeFiles/cache_policies.dir/cache_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_popularity_utilization.cpp" "bench_objs/CMakeFiles/fig2_popularity_utilization.dir/fig2_popularity_utilization.cpp.o" "gcc" "bench_objs/CMakeFiles/fig2_popularity_utilization.dir/fig2_popularity_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/webppm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/webppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppm/CMakeFiles/webppm_ppm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/webppm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/webppm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/webppm_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/popularity/CMakeFiles/webppm_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/webppm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webppm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

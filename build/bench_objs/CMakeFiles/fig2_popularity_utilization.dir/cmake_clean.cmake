@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_popularity_utilization"
+  "../bench/fig2_popularity_utilization.pdb"
+  "CMakeFiles/fig2_popularity_utilization.dir/fig2_popularity_utilization.cpp.o"
+  "CMakeFiles/fig2_popularity_utilization.dir/fig2_popularity_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_popularity_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

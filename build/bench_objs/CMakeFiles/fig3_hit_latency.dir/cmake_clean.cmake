@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_hit_latency"
+  "../bench/fig3_hit_latency.pdb"
+  "CMakeFiles/fig3_hit_latency.dir/fig3_hit_latency.cpp.o"
+  "CMakeFiles/fig3_hit_latency.dir/fig3_hit_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hit_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_space_traffic"
+  "../bench/fig4_space_traffic.pdb"
+  "CMakeFiles/fig4_space_traffic.dir/fig4_space_traffic.cpp.o"
+  "CMakeFiles/fig4_space_traffic.dir/fig4_space_traffic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_space_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

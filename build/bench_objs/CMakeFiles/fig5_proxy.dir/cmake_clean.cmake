@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_proxy"
+  "../bench/fig5_proxy.pdb"
+  "CMakeFiles/fig5_proxy.dir/fig5_proxy.cpp.o"
+  "CMakeFiles/fig5_proxy.dir/fig5_proxy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

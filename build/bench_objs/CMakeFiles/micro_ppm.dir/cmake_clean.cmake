@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_ppm"
+  "../bench/micro_ppm.pdb"
+  "CMakeFiles/micro_ppm.dir/micro_ppm.cpp.o"
+  "CMakeFiles/micro_ppm.dir/micro_ppm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

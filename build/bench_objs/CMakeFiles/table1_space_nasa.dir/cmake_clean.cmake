@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_space_nasa"
+  "../bench/table1_space_nasa.pdb"
+  "CMakeFiles/table1_space_nasa.dir/table1_space_nasa.cpp.o"
+  "CMakeFiles/table1_space_nasa.dir/table1_space_nasa.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_space_nasa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_space_ucb"
+  "../bench/table2_space_ucb.pdb"
+  "CMakeFiles/table2_space_ucb.dir/table2_space_ucb.cpp.o"
+  "CMakeFiles/table2_space_ucb.dir/table2_space_ucb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_space_ucb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proxy_prefetch.dir/proxy_prefetch.cpp.o"
+  "CMakeFiles/proxy_prefetch.dir/proxy_prefetch.cpp.o.d"
+  "proxy_prefetch"
+  "proxy_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proxy_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_prefetch_sim.dir/server_prefetch_sim.cpp.o"
+  "CMakeFiles/server_prefetch_sim.dir/server_prefetch_sim.cpp.o.d"
+  "server_prefetch_sim"
+  "server_prefetch_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_prefetch_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

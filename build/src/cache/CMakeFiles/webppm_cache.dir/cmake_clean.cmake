@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_cache.dir/document_cache.cpp.o"
+  "CMakeFiles/webppm_cache.dir/document_cache.cpp.o.d"
+  "CMakeFiles/webppm_cache.dir/gdsf_cache.cpp.o"
+  "CMakeFiles/webppm_cache.dir/gdsf_cache.cpp.o.d"
+  "CMakeFiles/webppm_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/webppm_cache.dir/lru_cache.cpp.o.d"
+  "libwebppm_cache.a"
+  "libwebppm_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

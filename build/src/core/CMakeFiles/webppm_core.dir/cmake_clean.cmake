@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_core.dir/experiment.cpp.o"
+  "CMakeFiles/webppm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/webppm_core.dir/report.cpp.o"
+  "CMakeFiles/webppm_core.dir/report.cpp.o.d"
+  "libwebppm_core.a"
+  "libwebppm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_net.dir/latency.cpp.o"
+  "CMakeFiles/webppm_net.dir/latency.cpp.o.d"
+  "libwebppm_net.a"
+  "libwebppm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/popularity/popularity.cpp" "src/popularity/CMakeFiles/webppm_popularity.dir/popularity.cpp.o" "gcc" "src/popularity/CMakeFiles/webppm_popularity.dir/popularity.cpp.o.d"
+  "/root/repo/src/popularity/sliding.cpp" "src/popularity/CMakeFiles/webppm_popularity.dir/sliding.cpp.o" "gcc" "src/popularity/CMakeFiles/webppm_popularity.dir/sliding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/webppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webppm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_popularity.dir/popularity.cpp.o"
+  "CMakeFiles/webppm_popularity.dir/popularity.cpp.o.d"
+  "CMakeFiles/webppm_popularity.dir/sliding.cpp.o"
+  "CMakeFiles/webppm_popularity.dir/sliding.cpp.o.d"
+  "libwebppm_popularity.a"
+  "libwebppm_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

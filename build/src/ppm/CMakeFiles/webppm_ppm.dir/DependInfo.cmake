@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppm/lrs_ppm.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/lrs_ppm.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/lrs_ppm.cpp.o.d"
+  "/root/repo/src/ppm/popularity_ppm.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/popularity_ppm.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/popularity_ppm.cpp.o.d"
+  "/root/repo/src/ppm/predictor.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/predictor.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/predictor.cpp.o.d"
+  "/root/repo/src/ppm/serialize.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/serialize.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/serialize.cpp.o.d"
+  "/root/repo/src/ppm/standard_ppm.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/standard_ppm.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/standard_ppm.cpp.o.d"
+  "/root/repo/src/ppm/top_n.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/top_n.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/top_n.cpp.o.d"
+  "/root/repo/src/ppm/tree.cpp" "src/ppm/CMakeFiles/webppm_ppm.dir/tree.cpp.o" "gcc" "src/ppm/CMakeFiles/webppm_ppm.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/session/CMakeFiles/webppm_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/popularity/CMakeFiles/webppm_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webppm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_ppm.dir/lrs_ppm.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/lrs_ppm.cpp.o.d"
+  "CMakeFiles/webppm_ppm.dir/popularity_ppm.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/popularity_ppm.cpp.o.d"
+  "CMakeFiles/webppm_ppm.dir/predictor.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/predictor.cpp.o.d"
+  "CMakeFiles/webppm_ppm.dir/serialize.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/serialize.cpp.o.d"
+  "CMakeFiles/webppm_ppm.dir/standard_ppm.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/standard_ppm.cpp.o.d"
+  "CMakeFiles/webppm_ppm.dir/top_n.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/top_n.cpp.o.d"
+  "CMakeFiles/webppm_ppm.dir/tree.cpp.o"
+  "CMakeFiles/webppm_ppm.dir/tree.cpp.o.d"
+  "libwebppm_ppm.a"
+  "libwebppm_ppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_ppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

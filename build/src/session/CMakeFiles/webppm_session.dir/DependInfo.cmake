@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/session/online.cpp" "src/session/CMakeFiles/webppm_session.dir/online.cpp.o" "gcc" "src/session/CMakeFiles/webppm_session.dir/online.cpp.o.d"
+  "/root/repo/src/session/session.cpp" "src/session/CMakeFiles/webppm_session.dir/session.cpp.o" "gcc" "src/session/CMakeFiles/webppm_session.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/webppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webppm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

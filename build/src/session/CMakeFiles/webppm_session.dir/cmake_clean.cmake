@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_session.dir/online.cpp.o"
+  "CMakeFiles/webppm_session.dir/online.cpp.o.d"
+  "CMakeFiles/webppm_session.dir/session.cpp.o"
+  "CMakeFiles/webppm_session.dir/session.cpp.o.d"
+  "libwebppm_session.a"
+  "libwebppm_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

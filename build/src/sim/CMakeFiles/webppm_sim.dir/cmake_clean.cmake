@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/webppm_sim.dir/simulator.cpp.o.d"
+  "libwebppm_sim.a"
+  "libwebppm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_trace.dir/clf.cpp.o"
+  "CMakeFiles/webppm_trace.dir/clf.cpp.o.d"
+  "CMakeFiles/webppm_trace.dir/embed.cpp.o"
+  "CMakeFiles/webppm_trace.dir/embed.cpp.o.d"
+  "CMakeFiles/webppm_trace.dir/record.cpp.o"
+  "CMakeFiles/webppm_trace.dir/record.cpp.o.d"
+  "libwebppm_trace.a"
+  "libwebppm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

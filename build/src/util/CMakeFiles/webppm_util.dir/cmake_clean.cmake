@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_util.dir/intern.cpp.o"
+  "CMakeFiles/webppm_util.dir/intern.cpp.o.d"
+  "CMakeFiles/webppm_util.dir/least_squares.cpp.o"
+  "CMakeFiles/webppm_util.dir/least_squares.cpp.o.d"
+  "CMakeFiles/webppm_util.dir/samplers.cpp.o"
+  "CMakeFiles/webppm_util.dir/samplers.cpp.o.d"
+  "CMakeFiles/webppm_util.dir/stats.cpp.o"
+  "CMakeFiles/webppm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/webppm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/webppm_util.dir/thread_pool.cpp.o.d"
+  "libwebppm_util.a"
+  "libwebppm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwebppm_util.a"
+)

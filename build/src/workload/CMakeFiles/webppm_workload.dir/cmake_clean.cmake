@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_workload.dir/generator.cpp.o"
+  "CMakeFiles/webppm_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/webppm_workload.dir/site_model.cpp.o"
+  "CMakeFiles/webppm_workload.dir/site_model.cpp.o.d"
+  "libwebppm_workload.a"
+  "libwebppm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_integration_tests.dir/core_experiment_test.cpp.o"
+  "CMakeFiles/webppm_integration_tests.dir/core_experiment_test.cpp.o.d"
+  "CMakeFiles/webppm_integration_tests.dir/core_report_test.cpp.o"
+  "CMakeFiles/webppm_integration_tests.dir/core_report_test.cpp.o.d"
+  "CMakeFiles/webppm_integration_tests.dir/integration_test.cpp.o"
+  "CMakeFiles/webppm_integration_tests.dir/integration_test.cpp.o.d"
+  "CMakeFiles/webppm_integration_tests.dir/umbrella_test.cpp.o"
+  "CMakeFiles/webppm_integration_tests.dir/umbrella_test.cpp.o.d"
+  "webppm_integration_tests"
+  "webppm_integration_tests.pdb"
+  "webppm_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

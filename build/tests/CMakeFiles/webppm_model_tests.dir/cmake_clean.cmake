@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_model_tests.dir/ppm_edge_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_edge_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_incremental_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_incremental_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_lrs_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_lrs_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_match_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_match_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_pb_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_pb_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_property_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_property_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_reference_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_reference_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_serialize_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_serialize_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_standard_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_standard_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_topn_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_topn_test.cpp.o.d"
+  "CMakeFiles/webppm_model_tests.dir/ppm_tree_test.cpp.o"
+  "CMakeFiles/webppm_model_tests.dir/ppm_tree_test.cpp.o.d"
+  "webppm_model_tests"
+  "webppm_model_tests.pdb"
+  "webppm_model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_gdsf_test.cpp" "tests/CMakeFiles/webppm_sim_tests.dir/cache_gdsf_test.cpp.o" "gcc" "tests/CMakeFiles/webppm_sim_tests.dir/cache_gdsf_test.cpp.o.d"
+  "/root/repo/tests/cache_test.cpp" "tests/CMakeFiles/webppm_sim_tests.dir/cache_test.cpp.o" "gcc" "tests/CMakeFiles/webppm_sim_tests.dir/cache_test.cpp.o.d"
+  "/root/repo/tests/net_latency_test.cpp" "tests/CMakeFiles/webppm_sim_tests.dir/net_latency_test.cpp.o" "gcc" "tests/CMakeFiles/webppm_sim_tests.dir/net_latency_test.cpp.o.d"
+  "/root/repo/tests/sim_invariants_test.cpp" "tests/CMakeFiles/webppm_sim_tests.dir/sim_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/webppm_sim_tests.dir/sim_invariants_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/webppm_sim_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/webppm_sim_tests.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/webppm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/webppm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppm/CMakeFiles/webppm_ppm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/webppm_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/webppm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/webppm_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/popularity/CMakeFiles/webppm_popularity.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/webppm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/webppm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/webppm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_sim_tests.dir/cache_gdsf_test.cpp.o"
+  "CMakeFiles/webppm_sim_tests.dir/cache_gdsf_test.cpp.o.d"
+  "CMakeFiles/webppm_sim_tests.dir/cache_test.cpp.o"
+  "CMakeFiles/webppm_sim_tests.dir/cache_test.cpp.o.d"
+  "CMakeFiles/webppm_sim_tests.dir/net_latency_test.cpp.o"
+  "CMakeFiles/webppm_sim_tests.dir/net_latency_test.cpp.o.d"
+  "CMakeFiles/webppm_sim_tests.dir/sim_invariants_test.cpp.o"
+  "CMakeFiles/webppm_sim_tests.dir/sim_invariants_test.cpp.o.d"
+  "CMakeFiles/webppm_sim_tests.dir/sim_test.cpp.o"
+  "CMakeFiles/webppm_sim_tests.dir/sim_test.cpp.o.d"
+  "webppm_sim_tests"
+  "webppm_sim_tests.pdb"
+  "webppm_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

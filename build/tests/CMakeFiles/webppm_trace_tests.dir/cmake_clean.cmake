@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_trace_tests.dir/popularity_sliding_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/popularity_sliding_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/popularity_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/popularity_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/session_online_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/session_online_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/session_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/session_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/trace_clf_fuzz_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/trace_clf_fuzz_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/trace_clf_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/trace_clf_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/trace_embed_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/trace_embed_test.cpp.o.d"
+  "CMakeFiles/webppm_trace_tests.dir/trace_record_test.cpp.o"
+  "CMakeFiles/webppm_trace_tests.dir/trace_record_test.cpp.o.d"
+  "webppm_trace_tests"
+  "webppm_trace_tests.pdb"
+  "webppm_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_util_tests.dir/util_intern_test.cpp.o"
+  "CMakeFiles/webppm_util_tests.dir/util_intern_test.cpp.o.d"
+  "CMakeFiles/webppm_util_tests.dir/util_rng_samplers_test.cpp.o"
+  "CMakeFiles/webppm_util_tests.dir/util_rng_samplers_test.cpp.o.d"
+  "CMakeFiles/webppm_util_tests.dir/util_small_map_test.cpp.o"
+  "CMakeFiles/webppm_util_tests.dir/util_small_map_test.cpp.o.d"
+  "CMakeFiles/webppm_util_tests.dir/util_stats_test.cpp.o"
+  "CMakeFiles/webppm_util_tests.dir/util_stats_test.cpp.o.d"
+  "CMakeFiles/webppm_util_tests.dir/util_thread_pool_test.cpp.o"
+  "CMakeFiles/webppm_util_tests.dir/util_thread_pool_test.cpp.o.d"
+  "webppm_util_tests"
+  "webppm_util_tests.pdb"
+  "webppm_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webppm_workload_tests.dir/workload_edge_test.cpp.o"
+  "CMakeFiles/webppm_workload_tests.dir/workload_edge_test.cpp.o.d"
+  "CMakeFiles/webppm_workload_tests.dir/workload_features_test.cpp.o"
+  "CMakeFiles/webppm_workload_tests.dir/workload_features_test.cpp.o.d"
+  "CMakeFiles/webppm_workload_tests.dir/workload_statistics_test.cpp.o"
+  "CMakeFiles/webppm_workload_tests.dir/workload_statistics_test.cpp.o.d"
+  "CMakeFiles/webppm_workload_tests.dir/workload_test.cpp.o"
+  "CMakeFiles/webppm_workload_tests.dir/workload_test.cpp.o.d"
+  "webppm_workload_tests"
+  "webppm_workload_tests.pdb"
+  "webppm_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webppm_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

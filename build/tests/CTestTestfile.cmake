@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/webppm_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/webppm_trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/webppm_model_tests[1]_include.cmake")
+include("/root/repo/build/tests/webppm_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/webppm_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/webppm_integration_tests[1]_include.cmake")
