@@ -56,7 +56,7 @@ int main() {
   std::printf("%-18s %9s %7s %7s %8s %7s %7s\n", "variant", "nodes", "hit",
               "latred", "traffic", "util", "pf-acc");
   for (const auto& v : variants) {
-    const auto r = core::run_day_experiment(trace, v.spec, kTrainDays);
+    const auto r = engine_for(trace).evaluate(v.spec, kTrainDays);
     std::printf("%-18s %9zu %7.3f %7.3f %7.1f%% %7.3f %7.3f\n", v.name,
                 r.node_count, r.with_prefetch.hit_ratio(),
                 r.latency_reduction,

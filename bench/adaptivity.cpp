@@ -23,15 +23,19 @@ int main() {
   const auto spec = core::ModelSpec::pb_model();
   constexpr std::uint32_t kWindow = 2;
 
+  // The cumulative column is a plain prefix sweep — one incremental pass.
+  const auto cumulative_rows = day_sweep(trace, spec, 7);
+
   std::printf("%-6s %18s %18s\n", "", "cumulative", "sliding-2");
   std::printf("%-6s %9s %8s %9s %8s\n", "eval", "nodes", "hit", "nodes",
               "hit");
   for (std::uint32_t d = 3; d <= 7; ++d) {
-    const auto cumulative = core::run_day_experiment(trace, spec, d);
+    const auto& cumulative = cumulative_rows[d - 1];
 
-    // Sliding: train on days [d-W, d-1], evaluate on day d.
+    // Sliding: train on days [d-W, d-1], evaluate on day d. Sliding
+    // windows are not prefixes, so this column keeps the direct path.
     auto trained = core::train_model(spec, trace, d - kWindow, d - 1);
-    const auto classes = session::classify_clients(trace);
+    const auto& classes = core::cached_client_classes(trace);
     sim::SimulationConfig cfg;
     cfg.policy.size_threshold_bytes = spec.size_threshold_bytes;
     trained.predictor->clear_usage();

@@ -28,7 +28,7 @@ int main() {
   std::printf("%-14s %9s %8s %8s %8s %8s\n", "model", "space", "hit",
               "latred", "traffic", "pf-acc");
   for (const auto& spec : specs) {
-    const auto r = core::run_day_experiment(trace, spec, kTrainDays);
+    const auto r = engine_for(trace).evaluate(spec, kTrainDays);
     std::printf("%-14s %9zu %8.3f %8.3f %7.1f%% %8.3f\n", r.model.c_str(),
                 r.node_count, r.with_prefetch.hit_ratio(),
                 r.latency_reduction,

@@ -6,10 +6,13 @@
 #pragma once
 
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/webppm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace webppm::bench {
 
@@ -35,15 +38,27 @@ inline void print_header(const char* title, const trace::Trace& trace) {
               trace.requests.size(), trace.urls.size(), trace.day_count());
 }
 
-/// Runs a model over a range of training-day counts.
+/// Process-wide SweepEngine per trace (default simulation config, shared
+/// thread pool): every sweep in a bench binary reuses the prepared per-day
+/// caches, incremental trainers, and the baseline memo.
+inline core::SweepEngine& engine_for(const trace::Trace& trace) {
+  static std::map<const trace::Trace*, std::unique_ptr<core::SweepEngine>>
+      engines;
+  auto& e = engines[&trace];
+  if (!e) {
+    e = std::make_unique<core::SweepEngine>(trace, sim::SimulationConfig{},
+                                            &util::shared_thread_pool());
+  }
+  return *e;
+}
+
+/// Runs a model over a range of training-day counts. Rows are identical to
+/// looping run_day_experiment (the engine is tested against it), just not
+/// retrained from scratch per day.
 inline std::vector<core::DayEvalResult> day_sweep(
     const trace::Trace& trace, const core::ModelSpec& spec,
     std::uint32_t max_train_days) {
-  std::vector<core::DayEvalResult> rows;
-  for (std::uint32_t d = 1; d <= max_train_days; ++d) {
-    rows.push_back(core::run_day_experiment(trace, spec, d));
-  }
-  return rows;
+  return engine_for(trace).sweep(spec, max_train_days);
 }
 
 }  // namespace webppm::bench

@@ -18,13 +18,21 @@ int main() {
                                    core::ModelSpec::lrs_model(),
                                    core::ModelSpec::pb_model()};
 
+  // The baseline memo is keyed per engine, and an engine is keyed by its
+  // simulation config — so each policy gets its own engine.
+  std::map<cache::Policy, std::unique_ptr<core::SweepEngine>> engines;
+  for (const auto policy : {cache::Policy::kLru, cache::Policy::kGdsf}) {
+    sim::SimulationConfig cfg;
+    cfg.endpoints.cache_policy = policy;
+    engines.emplace(policy, std::make_unique<core::SweepEngine>(
+                                trace, cfg, &util::shared_thread_pool()));
+  }
+
   std::printf("%-14s %10s %8s %8s %8s %8s\n", "model", "policy", "hit",
               "latred", "traffic", "pf-acc");
   for (const auto& spec : specs) {
     for (const auto policy : {cache::Policy::kLru, cache::Policy::kGdsf}) {
-      sim::SimulationConfig cfg;
-      cfg.endpoints.cache_policy = policy;
-      const auto r = core::run_day_experiment(trace, spec, kTrainDays, cfg);
+      const auto r = engines.at(policy)->evaluate(spec, kTrainDays);
       std::printf("%-14s %10s %8.3f %8.3f %7.1f%% %8.3f\n",
                   r.model.c_str(),
                   policy == cache::Policy::kLru ? "lru" : "gdsf",

@@ -19,9 +19,8 @@ void space_panel(const char* title, const trace::Trace& trace,
   std::printf("\n");
   for (const auto& spec : specs) {
     std::printf("%-14s", spec.label.c_str());
-    for (std::uint32_t d = 1; d <= max_days; ++d) {
-      const auto trained = core::train_model(spec, trace, 0, d - 1);
-      std::printf("%10zu", trained.predictor->node_count());
+    for (const auto n : engine_for(trace).node_count_sweep(spec, max_days)) {
+      std::printf("%10zu", n);
     }
     std::printf("\n");
   }

@@ -34,7 +34,7 @@ const trace::Trace& proxy_trace() {
 /// selection of trace clients that actually exercise the proxy.
 std::vector<ClientId> busiest_browsers(const trace::Trace& trace,
                                        std::uint32_t day, std::size_t count) {
-  const auto classes = session::classify_clients(trace);
+  const auto& classes = core::cached_client_classes(trace);
   std::vector<std::uint64_t> reqs(trace.clients.size(), 0);
   for (const auto& r : trace.day_slice(day)) ++reqs[r.client];
   std::vector<ClientId> clients;
@@ -70,10 +70,11 @@ int main() {
 
   const std::size_t client_counts[] = {1, 2, 4, 8, 16, 24, 32};
 
-  // Train each model once; reuse across group sizes.
+  // Train each model once (from the engine's cached sessions and
+  // popularity prefixes); reuse across group sizes.
   std::vector<core::TrainedModel> trained;
   for (const auto& spec : specs) {
-    trained.push_back(core::train_model(spec, trace, 0, kTrainDays - 1));
+    trained.push_back(engine_for(trace).train(spec, kTrainDays));
   }
 
   std::printf("-- Fig 5 (left): total proxy hit ratio --\n");

@@ -118,6 +118,50 @@ void BM_PredictStandard(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictStandard);
 
+// --- incremental (train_more) vs full retrain ----------------------------
+// The sweep engine advances a model by one day instead of retraining the
+// window; these measure that append path against the full-train benchmarks
+// above. The split is half/half, so the append pass handles the same click
+// volume as the full pass but starts from an already-populated model.
+
+void BM_TrainMoreStandard(benchmark::State& state) {
+  const auto& sessions = training_sessions();
+  const std::span half_a(sessions.data(), sessions.size() / 2);
+  const std::span half_b(sessions.data() + sessions.size() / 2,
+                         sessions.size() - sessions.size() / 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ppm::StandardPpm m;
+    m.train(half_a);
+    state.ResumeTiming();
+    m.train_more(half_b);
+    benchmark::DoNotOptimize(m.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_clicks() / 2));
+}
+BENCHMARK(BM_TrainMoreStandard)->Unit(benchmark::kMillisecond);
+
+void BM_TrainMoreLrs(benchmark::State& state) {
+  const auto& sessions = training_sessions();
+  const std::span half_a(sessions.data(), sessions.size() / 2);
+  const std::span half_b(sessions.data() + sessions.size() / 2,
+                         sessions.size() - sessions.size() / 2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ppm::LrsPpm m;
+    m.train(half_a);
+    state.ResumeTiming();
+    // Includes the per-window pattern re-extraction and tree rebuild the
+    // engine pays at every sweep point.
+    m.train_more(half_b);
+    benchmark::DoNotOptimize(m.node_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(total_clicks() / 2));
+}
+BENCHMARK(BM_TrainMoreLrs)->Unit(benchmark::kMillisecond);
+
 void BM_SpaceOptimization(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();

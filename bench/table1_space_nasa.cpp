@@ -22,14 +22,10 @@ int main() {
   std::vector<std::vector<std::size_t>> nodes;
   std::vector<std::string> names;
   for (const auto& spec : specs) {
-    std::vector<std::size_t> row;
-    for (std::uint32_t d = 1; d <= kMaxDays; ++d) {
-      // Space only needs training, not simulation.
-      const auto trained = core::train_model(spec, trace, 0, d - 1);
-      row.push_back(trained.predictor->node_count());
-      if (d == 1) names.push_back(spec.label);
-    }
-    nodes.push_back(std::move(row));
+    // Space only needs training, not simulation; the engine grows each
+    // model across the sweep instead of retraining per day.
+    nodes.push_back(engine_for(trace).node_count_sweep(spec, kMaxDays));
+    names.push_back(spec.label);
   }
 
   std::printf("%-14s", "days");

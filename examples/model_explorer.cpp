@@ -82,15 +82,23 @@ int main(int argc, char** argv) {
   const std::uint32_t train =
       argc > 1 ? static_cast<std::uint32_t>(std::strtoul(argv[1], nullptr, 10))
                : 3;
+  if (train == 0) {
+    std::fprintf(stderr, "usage: %s [train_days >= 1]\n", argv[0]);
+    return 1;
+  }
   const auto trace =
       workload::generate_page_trace(workload::nasa_like(train + 1, 0.4));
   std::printf("trace: %zu page requests, %zu URLs; training on %u days\n\n",
               trace.requests.size(), trace.urls.size(), train);
 
+  // One engine sessionises the trace and builds the per-day popularity
+  // prefixes once; each spec trains from the shared caches.
+  core::SweepEngine engine(trace);
+
   for (const auto& spec :
        {core::ModelSpec::standard_fixed(3), core::ModelSpec::lrs_model(),
         core::ModelSpec::pb_model()}) {
-    const auto trained = core::train_model(spec, trace, 0, train - 1);
+    const auto trained = engine.train(spec, train);
     std::printf("=== %s ===\n", spec.label.c_str());
 
     const ppm::PredictionTree* tree = nullptr;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "util/rng.hpp"
 
@@ -97,17 +100,50 @@ TrainedModel train_model(const ModelSpec& spec, const trace::Trace& trace,
   return out;
 }
 
-namespace {
-
-sim::SimulationConfig with_policy(const sim::SimulationConfig& base,
-                                  const ModelSpec& spec, bool enabled) {
+sim::SimulationConfig apply_prefetch_policy(const sim::SimulationConfig& base,
+                                            const ModelSpec& spec,
+                                            bool enabled) {
   sim::SimulationConfig cfg = base;
   cfg.policy.enabled = enabled;
   cfg.policy.size_threshold_bytes = spec.size_threshold_bytes;
   return cfg;
 }
 
-}  // namespace
+const session::ClientClassification& cached_client_classes(
+    const trace::Trace& trace) {
+  struct Entry {
+    // Cheap fingerprint so a rebuilt trace reusing the same address does
+    // not serve a stale classification.
+    std::size_t requests = 0;
+    std::size_t clients = 0;
+    std::size_t urls = 0;
+    TimeSec first_ts = 0;
+    TimeSec last_ts = 0;
+    std::unique_ptr<session::ClientClassification> classes;
+  };
+  static std::mutex mu;
+  static std::unordered_map<const trace::Trace*, Entry> cache;
+
+  const TimeSec first_ts =
+      trace.requests.empty() ? 0 : trace.requests.front().timestamp;
+  const TimeSec last_ts =
+      trace.requests.empty() ? 0 : trace.requests.back().timestamp;
+
+  std::lock_guard lock(mu);
+  auto& e = cache[&trace];
+  if (!e.classes || e.requests != trace.requests.size() ||
+      e.clients != trace.clients.size() || e.urls != trace.urls.size() ||
+      e.first_ts != first_ts || e.last_ts != last_ts) {
+    e.requests = trace.requests.size();
+    e.clients = trace.clients.size();
+    e.urls = trace.urls.size();
+    e.first_ts = first_ts;
+    e.last_ts = last_ts;
+    e.classes = std::make_unique<session::ClientClassification>(
+        session::classify_clients(trace));
+  }
+  return *e.classes;
+}
 
 DayEvalResult run_day_experiment(const trace::Trace& trace,
                                  const ModelSpec& spec,
@@ -118,7 +154,7 @@ DayEvalResult run_day_experiment(const trace::Trace& trace,
 
   TrainedModel trained = train_model(spec, trace, 0, train_days - 1);
   const auto eval = trace.day_slice(train_days);
-  const auto classes = session::classify_clients(trace);
+  const auto& classes = cached_client_classes(trace);
 
   DayEvalResult res;
   res.model = spec.label.empty() ? std::string(trained.predictor->name())
@@ -129,12 +165,12 @@ DayEvalResult run_day_experiment(const trace::Trace& trace,
   trained.predictor->clear_usage();
   res.with_prefetch = sim::simulate_direct(
       trace, eval, *trained.predictor, trained.popularity, classes,
-      with_policy(sim_config, spec, /*enabled=*/true));
+      apply_prefetch_policy(sim_config, spec, /*enabled=*/true));
   res.path_utilization = trained.predictor->path_usage().rate();
 
   res.baseline = sim::simulate_direct(
       trace, eval, *trained.predictor, trained.popularity, classes,
-      with_policy(sim_config, spec, /*enabled=*/false));
+      apply_prefetch_policy(sim_config, spec, /*enabled=*/false));
   res.latency_reduction = sim::latency_reduction(res.with_prefetch,
                                                  res.baseline);
   return res;
@@ -158,7 +194,7 @@ std::vector<ClientId> sample_active_browsers(const trace::Trace& trace,
                                              std::size_t count,
                                              std::uint64_t seed) {
   const auto eval = trace.day_slice(day);
-  const auto classes = session::classify_clients(trace);
+  const auto& classes = cached_client_classes(trace);
   // Browsers active on the eval day, in first-appearance order.
   std::vector<ClientId> active;
   std::vector<bool> seen(trace.clients.size(), false);
@@ -191,7 +227,7 @@ ProxyEvalResult evaluate_proxy_group(const trace::Trace& trace,
   res.metrics = sim::simulate_proxy_group(
       trace, trace.day_slice(eval_day), *trained.predictor,
       trained.popularity, clients,
-      with_policy(sim_config, spec, /*enabled=*/true));
+      apply_prefetch_policy(sim_config, spec, /*enabled=*/true));
   return res;
 }
 

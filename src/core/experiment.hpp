@@ -61,6 +61,21 @@ TrainedModel train_model(const ModelSpec& spec, const trace::Trace& trace,
                          std::uint32_t first_day, std::uint32_t last_day,
                          const session::SessionizerOptions& sessions = {});
 
+/// `session::classify_clients(trace)` memoised per trace. Classification is
+/// a function of the full trace (not the training window), so every sweep
+/// point of every experiment shares one result; the raw call is O(trace)
+/// and used to be recomputed inside every run_day_experiment. Thread-safe;
+/// the reference stays valid for the life of the process (entries are never
+/// evicted — a handful of traces exist per run).
+const session::ClientClassification& cached_client_classes(
+    const trace::Trace& trace);
+
+/// Applies a model's prefetch policy to a base simulation config (shared by
+/// run_day_experiment and the sweep engine so both build identical configs).
+sim::SimulationConfig apply_prefetch_policy(const sim::SimulationConfig& base,
+                                            const ModelSpec& spec,
+                                            bool enabled);
+
 /// Result of one train-k-days / evaluate-day-k run.
 struct DayEvalResult {
   std::string model;

@@ -1,0 +1,437 @@
+#include "core/sweep.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace webppm::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Per-model incremental trainers.
+//
+// A trainer owns one growing base model trained on the *closed* sessions of
+// the current window (sessions still open at the window edge would be
+// re-fed in extended form by the next day, so they never enter the base).
+// advance(k) appends the closed sessions of the newly covered days;
+// eval_predictor/snapshot produce the exact window-k model by applying the
+// open tails — on the base itself when there are none (the common case:
+// the synthetic workloads never span midnight), on a copy otherwise.
+
+class ModelTrainer {
+ public:
+  ModelTrainer(const SweepEngine& eng, const ModelSpec& spec)
+      : eng_(eng), spec_(spec) {}
+  virtual ~ModelTrainer() = default;
+
+  ModelTrainer(const ModelTrainer&) = delete;
+  ModelTrainer& operator=(const ModelTrainer&) = delete;
+
+  /// Grows the base to cover window k (train_days = k). Calls must use
+  /// non-decreasing k.
+  virtual void advance(std::uint32_t k) = 0;
+
+  /// Borrowed predictor evaluating window k; valid until the next
+  /// advance/eval_predictor call on this trainer.
+  virtual ppm::Predictor& eval_predictor(std::uint32_t k) = 0;
+
+  /// Owned, self-contained window-k model (for parallel simulation).
+  virtual std::unique_ptr<ppm::Predictor> snapshot(std::uint32_t k) = 0;
+
+  std::size_t pb_rebuilds() const { return pb_rebuilds_; }
+
+ protected:
+  const SweepEngine& eng_;
+  ModelSpec spec_;
+  std::uint32_t trained_ = 0;  ///< window the base currently covers
+  std::size_t pb_rebuilds_ = 0;
+};
+
+/// Standard PPM, LRS PPM and Top-N all expose an exact train_more() append
+/// path, so one trainer template covers them.
+template <typename Model>
+class AppendTrainer final : public ModelTrainer {
+ public:
+  AppendTrainer(const SweepEngine& eng, const ModelSpec& spec, Model base)
+      : ModelTrainer(eng, spec), base_(std::move(base)) {}
+
+  void advance(std::uint32_t k) override {
+    assert(k >= trained_);
+    base_.train_more(eng_.closed_delta(trained_, k));
+    trained_ = k;
+  }
+
+  ppm::Predictor& eval_predictor(std::uint32_t k) override {
+    assert(k == trained_);
+    const auto tails = eng_.open_tails(k);
+    if (tails.empty()) {
+      holder_.reset();
+      return base_;
+    }
+    holder_ = std::make_unique<Model>(base_);
+    holder_->train_more(tails);
+    return *holder_;
+  }
+
+  std::unique_ptr<ppm::Predictor> snapshot(std::uint32_t k) override {
+    assert(k == trained_);
+    auto copy = std::make_unique<Model>(base_);
+    copy->train_more(eng_.open_tails(k));
+    return copy;
+  }
+
+ private:
+  Model base_;
+  std::unique_ptr<Model> holder_;
+};
+
+/// PB-PPM: the base stays unpruned (optimize_space is lossy, so pruning it
+/// would corrupt later appends) and reads popularity grades from the
+/// current window's table. Appending a day is exact only while no URL's
+/// grade moved between windows — branch admission, height caps and special
+/// links all key off grades — so on drift the base is rebuilt from the
+/// cached closed sessions. Every sweep point prunes a copy; PB trees are
+/// small by design (that is the paper's point), so the copies are cheap.
+class PbTrainer final : public ModelTrainer {
+ public:
+  PbTrainer(const SweepEngine& eng, const ModelSpec& spec)
+      : ModelTrainer(eng, spec) {}
+
+  void advance(std::uint32_t k) override {
+    assert(k >= trained_);
+    const auto& pop = eng_.window_popularity(k);
+    if (base_ && grades_match(pop)) {
+      base_->rebind_grades(&pop);
+      base_->train_without_optimization(eng_.closed_delta(trained_, k));
+    } else {
+      if (base_) ++pb_rebuilds_;
+      base_ = std::make_unique<ppm::PopularityPpm>(spec_.pb, &pop);
+      base_->train_without_optimization(eng_.closed_through(k));
+    }
+    pop_ = &pop;
+    trained_ = k;
+  }
+
+  ppm::Predictor& eval_predictor(std::uint32_t k) override {
+    holder_ = make_pruned_copy(k);
+    return *holder_;
+  }
+
+  std::unique_ptr<ppm::Predictor> snapshot(std::uint32_t k) override {
+    return make_pruned_copy(k);
+  }
+
+ private:
+  std::unique_ptr<ppm::PopularityPpm> make_pruned_copy(std::uint32_t k) {
+    assert(k == trained_);
+    auto copy = std::make_unique<ppm::PopularityPpm>(*base_);
+    copy->train_without_optimization(eng_.open_tails(k));
+    copy->optimize_space();
+    return copy;
+  }
+
+  bool grades_match(const popularity::PopularityTable& pop) const {
+    for (UrlId u = 0; u < eng_.trace().urls.size(); ++u) {
+      if (pop_->grade(u) != pop.grade(u)) return false;
+    }
+    return true;
+  }
+
+  std::unique_ptr<ppm::PopularityPpm> base_;  ///< unpruned
+  std::unique_ptr<ppm::PopularityPpm> holder_;
+  const popularity::PopularityTable* pop_ = nullptr;
+};
+
+std::unique_ptr<ModelTrainer> make_trainer(const SweepEngine& eng,
+                                           const ModelSpec& spec) {
+  switch (spec.kind) {
+    case ModelKind::kStandard:
+      return std::make_unique<AppendTrainer<ppm::StandardPpm>>(
+          eng, spec, ppm::StandardPpm(spec.standard));
+    case ModelKind::kLrs:
+      return std::make_unique<AppendTrainer<ppm::LrsPpm>>(
+          eng, spec, ppm::LrsPpm(spec.lrs));
+    case ModelKind::kTopN:
+      return std::make_unique<AppendTrainer<ppm::TopNPredictor>>(
+          eng, spec, ppm::TopNPredictor(spec.top_n));
+    case ModelKind::kPopularity:
+      return std::make_unique<PbTrainer>(eng, spec);
+  }
+  return nullptr;  // unreachable
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine.
+
+SweepEngine::SweepEngine(const trace::Trace& trace,
+                         const sim::SimulationConfig& sim_config,
+                         util::ThreadPool* pool)
+    : trace_(trace), sim_config_(sim_config), pool_(pool) {
+  const auto t0 = Clock::now();
+  const std::uint32_t day_count = trace_.day_count();
+  days_.resize(day_count);
+  std::vector<std::uint32_t> counts(trace_.urls.size(), 0);
+  for (std::uint32_t d = 0; d < day_count; ++d) {
+    const auto slice = trace_.day_slice(d);
+    sessionizer_.feed(slice);
+    // Sessions idle since before (day end - timeout) are final — settle
+    // them into closed() so the per-window tails hold only the few
+    // sessions that could still span the boundary.
+    sessionizer_.settle_before(static_cast<TimeSec>(d + 1) * kSecondsPerDay);
+    days_[d].closed_end = sessionizer_.closed().size();
+    days_[d].tails = sessionizer_.open_snapshot();
+    // PopularityTable::build counts every request of the window (errors
+    // included), so the cumulative per-day counts reproduce it exactly.
+    for (const auto& r : slice) ++counts[r.url];
+    days_[d].popularity = popularity::PopularityTable::from_counts(counts);
+  }
+  (void)cached_client_classes(trace_);  // charge the one-time cost here
+  timings_.prepare_seconds += seconds_since(t0);
+}
+
+const session::ClientClassification& SweepEngine::classes() const {
+  return cached_client_classes(trace_);
+}
+
+const popularity::PopularityTable& SweepEngine::window_popularity(
+    std::uint32_t train_days) const {
+  assert(train_days >= 1 && train_days <= days_.size());
+  return days_[train_days - 1].popularity;
+}
+
+std::span<const session::Session> SweepEngine::closed_through(
+    std::uint32_t train_days) const {
+  return closed_delta(0, train_days);
+}
+
+std::span<const session::Session> SweepEngine::closed_delta(
+    std::uint32_t from_days, std::uint32_t to_days) const {
+  assert(from_days <= to_days && to_days <= days_.size());
+  const std::size_t b = from_days == 0 ? 0 : days_[from_days - 1].closed_end;
+  const std::size_t e = to_days == 0 ? 0 : days_[to_days - 1].closed_end;
+  return std::span(sessionizer_.closed()).subspan(b, e - b);
+}
+
+std::span<const session::Session> SweepEngine::open_tails(
+    std::uint32_t train_days) const {
+  assert(train_days >= 1 && train_days <= days_.size());
+  return days_[train_days - 1].tails;
+}
+
+const sim::Metrics& SweepEngine::baseline(std::uint32_t eval_day) {
+  {
+    std::lock_guard lock(mu_);
+    if (const auto it = baselines_.find(eval_day); it != baselines_.end()) {
+      ++timings_.baseline_memo_hits;
+      return it->second;
+    }
+  }
+  const auto t0 = Clock::now();
+  sim::SimulationConfig cfg = sim_config_;
+  cfg.policy.enabled = false;
+  const auto metrics =
+      sim::simulate_direct(trace_, trace_.day_slice(eval_day), baseline_dummy_,
+                           empty_popularity_, classes(), cfg);
+  const double dt = seconds_since(t0);
+
+  std::lock_guard lock(mu_);
+  timings_.simulate_seconds += dt;
+  const auto [it, inserted] = baselines_.emplace(eval_day, metrics);
+  if (inserted) {
+    ++timings_.baseline_runs;
+  } else {
+    ++timings_.baseline_memo_hits;  // raced with another thread; same result
+  }
+  return it->second;
+}
+
+DayEvalResult SweepEngine::evaluate_cell(const ModelSpec& spec,
+                                         ppm::Predictor& model,
+                                         std::uint32_t train_days) {
+  DayEvalResult res;
+  res.model =
+      spec.label.empty() ? std::string(model.name()) : spec.label;
+  res.train_days = train_days;
+  res.node_count = model.node_count();
+
+  const auto t0 = Clock::now();
+  model.clear_usage();
+  res.with_prefetch = sim::simulate_direct(
+      trace_, trace_.day_slice(train_days), model,
+      window_popularity(train_days), classes(),
+      apply_prefetch_policy(sim_config_, spec, /*enabled=*/true));
+  res.path_utilization = model.path_usage().rate();
+  const double dt = seconds_since(t0);
+  {
+    std::lock_guard lock(mu_);
+    timings_.simulate_seconds += dt;
+    ++timings_.cells;
+  }
+
+  res.baseline = baseline(train_days);
+  res.latency_reduction =
+      sim::latency_reduction(res.with_prefetch, res.baseline);
+  return res;
+}
+
+std::vector<DayEvalResult> SweepEngine::sweep(const ModelSpec& spec,
+                                              std::uint32_t max_train_days) {
+  auto rows = sweep_models(std::span(&spec, 1), max_train_days);
+  return std::move(rows.front());
+}
+
+std::vector<std::vector<DayEvalResult>> SweepEngine::sweep_models(
+    std::span<const ModelSpec> specs, std::uint32_t max_train_days) {
+  assert(max_train_days >= 1 && max_train_days < trace_.day_count());
+  std::vector<std::vector<DayEvalResult>> results(specs.size());
+  for (auto& rows : results) rows.resize(max_train_days);
+
+  std::vector<std::unique_ptr<ModelTrainer>> trainers;
+  trainers.reserve(specs.size());
+  for (const auto& spec : specs) trainers.push_back(make_trainer(*this, spec));
+
+  if (pool_ == nullptr || pool_->thread_count() <= 1) {
+    // Serial mode: interleave training and evaluation in place — no model
+    // snapshots unless a window has open tails (or the model is PB, whose
+    // pruning must not touch the base).
+    for (std::uint32_t k = 1; k <= max_train_days; ++k) {
+      for (std::size_t s = 0; s < specs.size(); ++s) {
+        const auto t0 = Clock::now();
+        trainers[s]->advance(k);
+        auto& model = trainers[s]->eval_predictor(k);
+        const double dt = seconds_since(t0);
+        {
+          std::lock_guard lock(mu_);
+          timings_.train_seconds += dt;
+        }
+        results[s][k - 1] = evaluate_cell(specs[s], model, k);
+      }
+    }
+  } else {
+    // Parallel mode: each model's incremental pass is sequential in k, but
+    // models are independent of each other, as are the per-cell
+    // simulations (each runs on an owned snapshot) and the per-day
+    // baselines.
+    const auto t0 = Clock::now();
+    std::vector<std::vector<std::unique_ptr<ppm::Predictor>>> snaps(
+        specs.size());
+    util::parallel_for(*pool_, specs.size(), [&](std::size_t s) {
+      snaps[s].resize(max_train_days);
+      for (std::uint32_t k = 1; k <= max_train_days; ++k) {
+        trainers[s]->advance(k);
+        snaps[s][k - 1] = trainers[s]->snapshot(k);
+      }
+    });
+    {
+      std::lock_guard lock(mu_);
+      timings_.train_seconds += seconds_since(t0);
+    }
+    util::parallel_for(*pool_, max_train_days, [&](std::size_t i) {
+      (void)baseline(static_cast<std::uint32_t>(i) + 1);
+    });
+    util::parallel_for(
+        *pool_, specs.size() * max_train_days, [&](std::size_t idx) {
+          const std::size_t s = idx / max_train_days;
+          const auto k = static_cast<std::uint32_t>(idx % max_train_days) + 1;
+          results[s][k - 1] = evaluate_cell(specs[s], *snaps[s][k - 1], k);
+        });
+  }
+
+  std::lock_guard lock(mu_);
+  for (const auto& t : trainers) timings_.pb_base_rebuilds += t->pb_rebuilds();
+  return results;
+}
+
+DayEvalResult SweepEngine::evaluate(const ModelSpec& spec,
+                                    std::uint32_t train_days) {
+  assert(train_days >= 1 && train_days < trace_.day_count());
+  auto trainer = make_trainer(*this, spec);
+  const auto t0 = Clock::now();
+  trainer->advance(train_days);
+  auto& model = trainer->eval_predictor(train_days);
+  const double dt = seconds_since(t0);
+  {
+    std::lock_guard lock(mu_);
+    timings_.train_seconds += dt;
+    timings_.pb_base_rebuilds += trainer->pb_rebuilds();
+  }
+  return evaluate_cell(spec, model, train_days);
+}
+
+std::vector<std::size_t> SweepEngine::node_count_sweep(
+    const ModelSpec& spec, std::uint32_t max_train_days) {
+  assert(max_train_days >= 1 && max_train_days <= days_.size());
+  auto trainer = make_trainer(*this, spec);
+  std::vector<std::size_t> out(max_train_days);
+  const auto t0 = Clock::now();
+  for (std::uint32_t k = 1; k <= max_train_days; ++k) {
+    trainer->advance(k);
+    out[k - 1] = trainer->eval_predictor(k).node_count();
+  }
+  const double dt = seconds_since(t0);
+  std::lock_guard lock(mu_);
+  timings_.train_seconds += dt;
+  timings_.pb_base_rebuilds += trainer->pb_rebuilds();
+  return out;
+}
+
+TrainedModel SweepEngine::train(const ModelSpec& spec,
+                                std::uint32_t train_days) {
+  assert(train_days >= 1 && train_days <= days_.size());
+  const auto t0 = Clock::now();
+  const auto closed = closed_through(train_days);
+  const auto tails = open_tails(train_days);
+
+  TrainedModel out;
+  out.popularity = window_popularity(train_days);
+  out.training_sessions = closed.size() + tails.size();
+  out.training_requests = trace_.day_range(0, train_days - 1).size();
+
+  switch (spec.kind) {
+    case ModelKind::kStandard: {
+      auto m = std::make_unique<ppm::StandardPpm>(spec.standard);
+      m->train(closed);
+      m->train_more(tails);
+      out.predictor = std::move(m);
+      break;
+    }
+    case ModelKind::kLrs: {
+      auto m = std::make_unique<ppm::LrsPpm>(spec.lrs);
+      m->train(closed);
+      m->train_more(tails);
+      out.predictor = std::move(m);
+      break;
+    }
+    case ModelKind::kPopularity: {
+      auto m = std::make_unique<ppm::PopularityPpm>(spec.pb, &out.popularity);
+      m->train_without_optimization(closed);
+      m->train_without_optimization(tails);
+      m->optimize_space();
+      out.predictor = std::move(m);
+      break;
+    }
+    case ModelKind::kTopN: {
+      auto m = std::make_unique<ppm::TopNPredictor>(spec.top_n);
+      m->train(closed);
+      m->train_more(tails);
+      out.predictor = std::move(m);
+      break;
+    }
+  }
+
+  const double dt = seconds_since(t0);
+  std::lock_guard lock(mu_);
+  timings_.train_seconds += dt;
+  return out;
+}
+
+}  // namespace webppm::core

@@ -1,0 +1,147 @@
+// Incremental day-sweep engine — the shared machinery behind every
+// table/figure harness.
+//
+// The paper's protocol ("train on days 1..k, evaluate day k+1", swept over
+// k) makes the naive driver quadratic: run_day_experiment retrains each
+// model from scratch per sweep point and recomputes every trace-level
+// input. The engine owns all cross-experiment shared state and removes the
+// redundancy without changing any result:
+//
+//   * prepared once per trace  — sessions (streamed day-by-day through an
+//     IncrementalSessionizer into closed sessions + per-day open tails),
+//     client classification, and per-window PopularityTables built from
+//     cumulative day counts;
+//   * incremental training     — each model keeps one growing base trained
+//     on the closed sessions of the window; advancing a sweep point appends
+//     one day (train_more) instead of retraining the window. Sessions still
+//     open at the window edge are applied to a throwaway copy, and PB-PPM
+//     keeps its base unpruned, pruning a copy per sweep point. A PB base is
+//     rebuilt only when the window's popularity grades drift;
+//   * baseline memoisation     — the prefetch-disabled run never consults
+//     the predictor or popularity table, so it is cached per eval day and
+//     shared across all models of a multi-model sweep;
+//   * optional parallelism     — with a ThreadPool, per-cell (model × day)
+//     simulations run concurrently on owned model snapshots.
+//
+// The naive run_day_experiment stays untouched as the correctness oracle;
+// tests/core_sweep_test.cpp asserts field-for-field equality against it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "session/session.hpp"
+#include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace webppm::core {
+
+/// Where an engine's wall-clock time went, plus the cache-effectiveness
+/// counters bench/sweep_perf reports. Cumulative over the engine's life.
+struct SweepTimings {
+  double prepare_seconds = 0.0;   ///< ctor: sessions + popularity prefixes
+  double train_seconds = 0.0;     ///< incremental training + snapshots
+  double simulate_seconds = 0.0;  ///< with-prefetch + baseline simulations
+  std::size_t baseline_runs = 0;       ///< prefetch-disabled sims executed
+  std::size_t baseline_memo_hits = 0;  ///< ... served from the memo instead
+  std::size_t pb_base_rebuilds = 0;    ///< PB bases rebuilt on grade drift
+  std::size_t cells = 0;               ///< (model × day) evaluations done
+};
+
+class SweepEngine {
+ public:
+  /// Prepares the per-day caches for `trace` (which must outlive the
+  /// engine). `sim_config` is the base config every evaluation uses (the
+  /// per-model prefetch policy is applied on top, exactly as
+  /// run_day_experiment does). With a non-null `pool` of more than one
+  /// thread, sweeps simulate cells concurrently; otherwise they run
+  /// serially and in place, which avoids model snapshots entirely.
+  explicit SweepEngine(const trace::Trace& trace,
+                       const sim::SimulationConfig& sim_config = {},
+                       util::ThreadPool* pool = nullptr);
+
+  /// run_day_experiment(trace, spec, k) for k = 1..max_train_days, in day
+  /// order, trained incrementally. Identical results to the naive loop.
+  std::vector<DayEvalResult> sweep(const ModelSpec& spec,
+                                   std::uint32_t max_train_days);
+
+  /// Multi-model sweep sharing the baseline memo across models. Returns
+  /// one day-ordered vector per spec, in spec order.
+  std::vector<std::vector<DayEvalResult>> sweep_models(
+      std::span<const ModelSpec> specs, std::uint32_t max_train_days);
+
+  /// One sweep point (== run_day_experiment), using the engine's caches.
+  DayEvalResult evaluate(const ModelSpec& spec, std::uint32_t train_days);
+
+  /// Model size per window (the space tables): node_count of the model
+  /// trained on days 1..k, for k = 1..max_train_days. No simulations.
+  std::vector<std::size_t> node_count_sweep(const ModelSpec& spec,
+                                            std::uint32_t max_train_days);
+
+  /// train_model(spec, trace, 0, train_days - 1) equivalent built from the
+  /// engine's cached sessions and popularity prefixes. The returned model
+  /// is self-contained (PB grades point into the returned TrainedModel).
+  TrainedModel train(const ModelSpec& spec, std::uint32_t train_days);
+
+  /// Client classification of the full trace (computed once, shared).
+  const session::ClientClassification& classes() const;
+
+  /// Popularity table of the window days [0, train_days). Reference is
+  /// stable for the engine's life.
+  const popularity::PopularityTable& window_popularity(
+      std::uint32_t train_days) const;
+
+  /// Prefetch-disabled metrics for `eval_day`, memoised. Model-independent:
+  /// with prefetching off the simulator never consults the predictor or
+  /// the popularity table. Reference is stable for the engine's life.
+  const sim::Metrics& baseline(std::uint32_t eval_day);
+
+  const SweepTimings& timings() const { return timings_; }
+  const trace::Trace& trace() const { return trace_; }
+  const sim::SimulationConfig& sim_config() const { return sim_config_; }
+
+  // Session-window internals, exposed for the model trainers and the
+  // equivalence tests. Window k = days [0, k); closed/open refer to the
+  // sessionizer state after feeding exactly those days.
+  std::span<const session::Session> closed_through(
+      std::uint32_t train_days) const;
+  std::span<const session::Session> closed_delta(std::uint32_t from_days,
+                                                 std::uint32_t to_days) const;
+  std::span<const session::Session> open_tails(
+      std::uint32_t train_days) const;
+
+ private:
+  /// One (model × day) evaluation on an already-trained window-k model;
+  /// produces exactly run_day_experiment's DayEvalResult fields.
+  DayEvalResult evaluate_cell(const ModelSpec& spec, ppm::Predictor& model,
+                              std::uint32_t train_days);
+
+  struct DayState {
+    std::size_t closed_end = 0;  ///< sessionizer closed() size after day d
+    std::vector<session::Session> tails;  ///< open sessions after day d
+    popularity::PopularityTable popularity;  ///< over days [0, d]
+  };
+
+  const trace::Trace& trace_;
+  sim::SimulationConfig sim_config_;
+  util::ThreadPool* pool_ = nullptr;
+  session::IncrementalSessionizer sessionizer_;
+  std::vector<DayState> days_;
+
+  std::mutex mu_;  ///< guards baselines_ and timings_
+  std::map<std::uint32_t, sim::Metrics> baselines_;  ///< stable references
+  SweepTimings timings_;
+
+  // The baseline run needs *a* predictor and popularity table to satisfy
+  // simulate_direct's signature; with prefetching disabled neither is ever
+  // consulted, so share inert dummies across all baseline runs.
+  ppm::TopNPredictor baseline_dummy_;
+  popularity::PopularityTable empty_popularity_;
+};
+
+}  // namespace webppm::core

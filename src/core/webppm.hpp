@@ -16,6 +16,7 @@
 #include "cache/lru_cache.hpp"        // IWYU pragma: export
 #include "core/experiment.hpp"        // IWYU pragma: export
 #include "core/report.hpp"            // IWYU pragma: export
+#include "core/sweep.hpp"             // IWYU pragma: export
 #include "net/latency.hpp"            // IWYU pragma: export
 #include "popularity/popularity.hpp"  // IWYU pragma: export
 #include "popularity/sliding.hpp"     // IWYU pragma: export

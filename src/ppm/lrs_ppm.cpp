@@ -9,9 +9,22 @@ LrsPpm::LrsPpm(const LrsPpmConfig& config) : config_(config) {
 }
 
 void LrsPpm::train(std::span<const session::Session> sessions) {
-  // Phase 1: full window tree carrying occurrence counts of every
-  // subsequence (bounded by max_height if set).
-  PredictionTree support;
+  support_ = PredictionTree{};
+  tree_ = PredictionTree{};
+  patterns_.clear();
+  train_more(sessions);
+}
+
+void LrsPpm::train_more(std::span<const session::Session> sessions) {
+  // Nothing new to count: the support tree is unchanged, so the derived
+  // pattern set and prediction tree would come out identical.
+  if (sessions.empty()) return;
+
+  // Phase 1: grow the retained window tree carrying occurrence counts of
+  // every subsequence (bounded by max_height if set). Counting is purely
+  // additive, so the support tree after N chunks equals the one a single
+  // batch pass would build; phases 2-3 re-derive everything from it.
+  PredictionTree& support = support_;
   const std::uint32_t h = config_.max_height;
   for (const auto& s : sessions) {
     const auto& u = s.urls;
@@ -71,9 +84,12 @@ void LrsPpm::train(std::span<const session::Session> sessions) {
     }
   }
 
-  // Phase 3: insert each LRS and all its suffixes, copying exact occurrence
-  // counts from the support tree (every suffix of a repeating sequence is
-  // itself repeating, so the lookups always succeed).
+  // Phase 3: rebuild the prediction tree, inserting each LRS and all its
+  // suffixes with exact occurrence counts from the support tree (every
+  // suffix of a repeating sequence is itself repeating, so the lookups
+  // always succeed). Rebuilding from scratch keeps counts exact when a
+  // train_more call has raised support counts of already-inserted nodes.
+  tree_ = PredictionTree{};
   for (const auto& pattern : patterns_) {
     for (std::size_t off = 0; off + 2 <= pattern.size(); ++off) {
       NodeId support_node = support.find_root(pattern[off]);

@@ -30,7 +30,11 @@ class LrsPpm final : public Predictor {
 
   /// Two-phase training: build a full window tree with support counts, then
   /// extract the LRS set and re-insert each pattern plus its suffixes.
+  /// train() starts from scratch; train_more() adds the sessions to the
+  /// retained support tree and re-derives patterns and the prediction tree,
+  /// so feeding a window in chunks matches one batch train() exactly.
   void train(std::span<const session::Session> sessions);
+  void train_more(std::span<const session::Session> sessions);
 
   void predict(std::span<const UrlId> context,
                std::vector<Prediction>& out) override;
@@ -49,8 +53,9 @@ class LrsPpm final : public Predictor {
   const LrsPpmConfig& config() const { return config_; }
 
   /// Deserialisation hook (ppm/serialize.hpp): adopt a reconstructed tree.
-  /// The extracted-pattern list is not persisted (predictions only need
-  /// the tree), so patterns() is empty on a loaded model.
+  /// The extracted-pattern list and support tree are not persisted
+  /// (predictions only need the tree), so patterns() is empty and
+  /// train_more() is not meaningful on a loaded model.
   static LrsPpm from_parts(const LrsPpmConfig& config, PredictionTree tree) {
     LrsPpm m(config);
     m.tree_ = std::move(tree);
@@ -59,6 +64,7 @@ class LrsPpm final : public Predictor {
 
  private:
   LrsPpmConfig config_;
+  PredictionTree support_;  ///< full window tree; retained for train_more
   PredictionTree tree_;
   std::vector<std::vector<UrlId>> patterns_;
 };

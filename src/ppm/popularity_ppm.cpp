@@ -57,6 +57,41 @@ void PopularityPpm::insert_session(const session::Session& s) {
 void PopularityPpm::train_without_optimization(
     std::span<const session::Session> sessions) {
   for (const auto& s : sessions) insert_session(s);
+  links_ranked_ = false;
+}
+
+void PopularityPpm::rank_links() {
+  // Order link targets by traversal count; count ties break on the
+  // target's root-to-node URL path (node ids depend on insertion order,
+  // which differs between batch and incremental training; the URL path
+  // identifies a tree position canonically).
+  struct RankedTarget {
+    std::uint32_t count;
+    std::vector<UrlId> path;
+    NodeId node;
+  };
+  std::vector<RankedTarget> ranked;
+  for (auto& [root, targets] : links_) {
+    ranked.clear();
+    ranked.reserve(targets.size());
+    for (const NodeId id : targets) {
+      RankedTarget r{tree_.node(id).count, {}, id};
+      for (NodeId n = id; n != kNoNode; n = tree_.node(n).parent) {
+        r.path.push_back(tree_.node(n).url);
+      }
+      std::reverse(r.path.begin(), r.path.end());
+      ranked.push_back(std::move(r));
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const RankedTarget& a, const RankedTarget& b) {
+                return a.count != b.count ? a.count > b.count
+                                          : a.path < b.path;
+              });
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      targets[i] = ranked[i].node;
+    }
+  }
+  links_ranked_ = true;
 }
 
 void PopularityPpm::train(std::span<const session::Session> sessions) {
@@ -117,6 +152,7 @@ void PopularityPpm::optimize_space() {
     if (!alive.empty()) fresh.emplace(remap[root], std::move(alive));
   }
   links_ = std::move(fresh);
+  links_ranked_ = false;
 }
 
 void PopularityPpm::predict(std::span<const UrlId> context,
@@ -135,18 +171,13 @@ void PopularityPpm::predict(std::span<const UrlId> context,
   if (config_.special_links) {
     const NodeId root = tree_.find_root(context.back());
     if (root != kNoNode) {
+      if (!links_ranked_) rank_links();
       if (const auto it = links_.find(root); it != links_.end()) {
         const auto root_count = static_cast<double>(tree_.node(root).count);
-        // Emit the top-k targets by traversal count.
-        std::vector<NodeId> targets = it->second;
-        std::sort(targets.begin(), targets.end(),
-                  [&](NodeId a, NodeId b) {
-                    return tree_.node(a).count != tree_.node(b).count
-                               ? tree_.node(a).count > tree_.node(b).count
-                               : a < b;
-                  });
+        // Targets are pre-ranked by rank_links(); emit the top k.
+        std::span<const NodeId> targets = it->second;
         if (config_.link_top_k > 0 && targets.size() > config_.link_top_k) {
-          targets.resize(config_.link_top_k);
+          targets = targets.first(config_.link_top_k);
         }
         for (const NodeId t : targets) {
           const double p = root_count > 0.0

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -88,8 +89,18 @@ class PopularityPpm final : public Predictor {
     return links_;
   }
 
-  /// Trains without running the space optimisation (ablation support).
+  /// Trains without running the space optimisation (ablation support; also
+  /// the append path the sweep engine uses to grow its unpruned base tree).
   void train_without_optimization(std::span<const session::Session> sessions);
+
+  /// Repoints the model at a different popularity table (same lifetime
+  /// contract as the constructor). The sweep engine uses this when copying
+  /// a model: the copy must read grades from storage owned by the engine,
+  /// not from a table the originating sweep point is about to replace.
+  void rebind_grades(const popularity::PopularityTable* grades) {
+    assert(grades != nullptr);
+    grades_ = grades;
+  }
 
   /// Deserialisation hook (ppm/serialize.hpp).
   static PopularityPpm from_parts(
@@ -105,10 +116,17 @@ class PopularityPpm final : public Predictor {
  private:
   void insert_session(const session::Session& s);
 
+  /// Sorts every link-target list by (traversal count desc, root-to-node
+  /// URL path asc) — the canonical emission order predict() uses. Counts
+  /// only change while training, so the ranking is computed lazily once per
+  /// training generation instead of per prediction.
+  void rank_links();
+
   PopularityPpmConfig config_;
   const popularity::PopularityTable* grades_;
   PredictionTree tree_;
   std::unordered_map<NodeId, std::vector<NodeId>> links_;
+  bool links_ranked_ = false;
 };
 
 }  // namespace webppm::ppm

@@ -24,6 +24,16 @@ class Predictor {
  public:
   virtual ~Predictor() = default;
 
+ protected:
+  // Concrete models are value types (the sweep engine snapshots them by
+  // copy); keep the base's copy operations available to them but protected
+  // so a Predictor& can never be sliced.
+  Predictor() = default;
+  Predictor(const Predictor&) = default;
+  Predictor& operator=(const Predictor&) = default;
+
+ public:
+
   /// Produces prefetch candidates for a client whose recent click sequence
   /// (oldest first, current click last) is `context`. Candidates are
   /// deduplicated, filtered by the model's probability threshold, and

@@ -26,8 +26,14 @@ class StandardPpm final : public Predictor {
  public:
   explicit StandardPpm(const StandardPpmConfig& config = {});
 
-  /// Inserts every height-capped window of every session.
+  /// Inserts every height-capped window of every session. Training is
+  /// purely additive, so train() on two batches equals train() on their
+  /// concatenation; train_more() is the same operation under the name the
+  /// incremental sweep engine uses across all models.
   void train(std::span<const session::Session> sessions);
+  void train_more(std::span<const session::Session> sessions) {
+    train(sessions);
+  }
 
   void predict(std::span<const UrlId> context,
                std::vector<Prediction>& out) override;

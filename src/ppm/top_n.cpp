@@ -8,16 +8,24 @@ namespace webppm::ppm {
 TopNPredictor::TopNPredictor(const TopNConfig& config) : config_(config) {}
 
 void TopNPredictor::train(std::span<const session::Session> sessions) {
-  std::unordered_map<UrlId, std::uint64_t> counts;
-  std::uint64_t total = 0;
+  counts_.clear();
+  total_ = 0;
+  train_more(sessions);
+}
+
+void TopNPredictor::train_more(std::span<const session::Session> sessions) {
   for (const auto& s : sessions) {
     for (const auto u : s.urls) {
-      ++counts[u];
-      ++total;
+      ++counts_[u];
+      ++total_;
     }
   }
-  std::vector<std::pair<UrlId, std::uint64_t>> ranked(counts.begin(),
-                                                      counts.end());
+  rebuild_push_set();
+}
+
+void TopNPredictor::rebuild_push_set() {
+  std::vector<std::pair<UrlId, std::uint64_t>> ranked(counts_.begin(),
+                                                      counts_.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
     return a.second != b.second ? a.second > b.second : a.first < b.first;
   });
@@ -26,9 +34,9 @@ void TopNPredictor::train(std::span<const session::Session> sessions) {
   push_set_.clear();
   for (const auto& [url, count] : ranked) {
     push_set_.push_back(
-        {url, total > 0 ? static_cast<float>(static_cast<double>(count) /
-                                             static_cast<double>(total))
-                        : 0.0f});
+        {url, total_ > 0 ? static_cast<float>(static_cast<double>(count) /
+                                              static_cast<double>(total_))
+                         : 0.0f});
   }
 }
 

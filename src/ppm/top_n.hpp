@@ -6,6 +6,7 @@
 #pragma once
 
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "ppm/predictor.hpp"
@@ -23,8 +24,11 @@ class TopNPredictor final : public Predictor {
   explicit TopNPredictor(const TopNConfig& config = {});
 
   /// Counts document accesses and fixes the push set to the N most
-  /// frequent (ties broken by URL id for determinism).
+  /// frequent (ties broken by URL id for determinism). train() replaces
+  /// any previous counts; train_more() accumulates on top of them and
+  /// re-ranks, so incremental feeding matches one batch call.
   void train(std::span<const session::Session> sessions);
+  void train_more(std::span<const session::Session> sessions);
 
   /// Context-independent: always returns the push set. Probabilities are
   /// each document's share of total training accesses.
@@ -45,7 +49,11 @@ class TopNPredictor final : public Predictor {
   const std::vector<Prediction>& push_set() const { return push_set_; }
 
  private:
+  void rebuild_push_set();
+
   TopNConfig config_;
+  std::unordered_map<UrlId, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
   std::vector<Prediction> push_set_;
   bool used_ = false;
 };

@@ -17,6 +17,7 @@ NodeId PredictionTree::root_or_add(UrlId url, std::uint32_t add_count) {
   nodes_.push_back(std::move(n));
   roots_.emplace(url, id);
   ++live_count_;
+  ++leaf_count_;  // a fresh root has no children
   return id;
 }
 
@@ -33,6 +34,7 @@ NodeId PredictionTree::child_or_add(NodeId parent, UrlId url,
     return *c;
   }
   const auto id = static_cast<NodeId>(nodes_.size());
+  const bool parent_was_leaf = nodes_[parent].children.empty();
   TreeNode n;
   n.url = url;
   n.count = add_count;
@@ -41,6 +43,8 @@ NodeId PredictionTree::child_or_add(NodeId parent, UrlId url,
   nodes_.push_back(std::move(n));
   nodes_[parent].children[url] = id;
   ++live_count_;
+  ++leaf_count_;  // the new node is a leaf ...
+  if (parent_was_leaf) --leaf_count_;  // ... and its parent no longer is
   return id;
 }
 
@@ -60,7 +64,8 @@ NodeId PredictionTree::find_path(std::span<const UrlId> path) const {
 }
 
 void PredictionTree::clear_usage() {
-  for (auto& n : nodes_) n.used = false;
+  for (const NodeId id : used_nodes_) nodes_[id].used = false;
+  used_nodes_.clear();
 }
 
 PredictionTree::PathUsage PredictionTree::path_usage() const {
@@ -69,16 +74,13 @@ PredictionTree::PathUsage PredictionTree::path_usage() const {
   // was emitted as a prefetch candidate (paper Fig. 2: marked paths).
   // Matching always prefers the longest suffix, so shallow duplicate
   // branches (e.g. LRS suffix copies) accumulate as unused paths.
+  // Only marked nodes can be used leaves, so scan the side list instead of
+  // the arena; the leaf total is maintained incrementally.
   PathUsage usage;
-  for (const auto& n : nodes_) {
-    if (n.dead) continue;
-    bool has_live_child = false;
-    n.children.for_each([&](UrlId, NodeId c) {
-      if (!nodes_[c].dead) has_live_child = true;
-    });
-    if (has_live_child) continue;
-    ++usage.total;
-    if (n.used) ++usage.used;
+  usage.total = leaf_count_;
+  for (const NodeId id : used_nodes_) {
+    const TreeNode& n = nodes_[id];
+    if (!n.dead && n.used && n.children.empty()) ++usage.used;
   }
   return usage;
 }
@@ -93,6 +95,10 @@ void PredictionTree::prune_subtree(NodeId id) {
     nodes_[n.parent].children.erase_if(
         [&](UrlId, NodeId c) { return c == id; });
   }
+  // The parent sheds its last child -> it becomes a leaf.
+  if (n.parent != kNoNode && nodes_[n.parent].children.empty()) {
+    ++leaf_count_;
+  }
   // Iterative DFS tombstoning.
   std::vector<NodeId> stack{id};
   while (!stack.empty()) {
@@ -101,6 +107,7 @@ void PredictionTree::prune_subtree(NodeId id) {
     if (nodes_[cur].dead) continue;
     nodes_[cur].dead = true;
     --live_count_;
+    if (nodes_[cur].children.empty()) --leaf_count_;  // was a live leaf
     nodes_[cur].children.for_each(
         [&](UrlId, NodeId c) { stack.push_back(c); });
   }
@@ -132,6 +139,13 @@ std::vector<NodeId> PredictionTree::compact() {
     root = remap[root];
     assert(root != kNoNode);
   }
+  // Reindex the used-node list; dead entries drop out. Leaf count is
+  // unaffected (compact removes only tombstoned nodes).
+  std::size_t w = 0;
+  for (const NodeId id : used_nodes_) {
+    if (remap[id] != kNoNode) used_nodes_[w++] = remap[id];
+  }
+  used_nodes_.resize(w);
   return remap;
 }
 

@@ -66,8 +66,16 @@ class PredictionTree {
 
   const std::unordered_map<UrlId, NodeId>& roots() const { return roots_; }
 
-  /// Marks a node (and nothing else) as used by a prediction walk.
-  void mark_used(NodeId id) { nodes_[id].used = true; }
+  /// Marks a node (and nothing else) as used by a prediction walk. Marked
+  /// nodes are also remembered in a side list so clear_usage() and
+  /// path_usage() cost O(marked), not O(tree) — the evaluation loop calls
+  /// both once per simulated day on trees with millions of nodes.
+  void mark_used(NodeId id) {
+    if (!nodes_[id].used) {
+      nodes_[id].used = true;
+      used_nodes_.push_back(id);
+    }
+  }
 
   void clear_usage();
 
@@ -100,6 +108,12 @@ class PredictionTree {
   std::vector<TreeNode> nodes_;
   std::unordered_map<UrlId, NodeId> roots_;
   std::size_t live_count_ = 0;
+  /// Live leaves, maintained across insert/prune/compact so path_usage()
+  /// need not walk the arena. Invariant: live nodes only ever hold live
+  /// children (prune_subtree detaches the subtree top from its parent), so
+  /// "leaf" is simply an empty child map.
+  std::size_t leaf_count_ = 0;
+  std::vector<NodeId> used_nodes_;  ///< nodes with the used bit set
 };
 
 }  // namespace webppm::ppm

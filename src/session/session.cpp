@@ -48,6 +48,56 @@ std::vector<Session> extract_sessions(std::span<const trace::Request> requests,
   return done;
 }
 
+void IncrementalSessionizer::feed(std::span<const trace::Request> requests) {
+  // Mirrors extract_sessions exactly, but `open_` and `prev_ts_` persist
+  // across calls so the stream can arrive in chunks.
+  for (const auto& r : requests) {
+    assert(r.timestamp >= prev_ts_ && "requests must be time-ordered");
+    prev_ts_ = r.timestamp;
+    if (opt_.skip_errors && r.status >= 400) continue;
+
+    auto& s = open_[r.client];
+    if (!s.urls.empty() && r.timestamp > s.end &&
+        r.timestamp - s.end > opt_.idle_timeout) {
+      closed_.push_back(std::move(s));
+      s = Session{};
+    }
+    if (s.urls.empty()) {
+      s.client = r.client;
+      s.start = r.timestamp;
+    } else if (opt_.dedup_consecutive && s.urls.back() == r.url) {
+      s.end = r.timestamp;
+      continue;
+    }
+    s.urls.push_back(r.url);
+    s.times.push_back(r.timestamp);
+    s.end = r.timestamp;
+  }
+}
+
+void IncrementalSessionizer::settle_before(TimeSec next_ts) {
+  // A session continues only while r.timestamp - end <= idle_timeout; with
+  // every future timestamp >= next_ts, a session with
+  // end + idle_timeout < next_ts is final.
+  for (auto it = open_.begin(); it != open_.end();) {
+    auto& s = it->second;
+    if (!s.urls.empty() && s.end + opt_.idle_timeout < next_ts) {
+      closed_.push_back(std::move(s));
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<Session> IncrementalSessionizer::open_snapshot() const {
+  std::vector<Session> out;
+  for (const auto& [client, s] : open_) {
+    if (!s.urls.empty()) out.push_back(s);
+  }
+  return out;
+}
+
 ClientClassification classify_clients(const trace::Trace& trace,
                                       double requests_per_day_threshold) {
   ClientClassification out;

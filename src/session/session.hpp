@@ -38,6 +38,46 @@ struct SessionizerOptions {
 std::vector<Session> extract_sessions(std::span<const trace::Request> requests,
                                       const SessionizerOptions& opt = {});
 
+/// Streaming counterpart of extract_sessions for growing prefix windows
+/// (the day-sweep engine's "train on days 1..k" protocol): feed the trace
+/// in time-ordered chunks (e.g. one day at a time). After any sequence of
+/// feed() calls, closed() plus open_snapshot() is exactly the multiset
+/// extract_sessions would return over everything fed so far — closed
+/// sessions never change once emitted, so only the (few) sessions still
+/// open at a window edge need per-window handling.
+class IncrementalSessionizer {
+ public:
+  explicit IncrementalSessionizer(const SessionizerOptions& opt = {})
+      : opt_(opt) {}
+
+  /// Feeds the next chunk. Chunks must continue the non-decreasing
+  /// timestamp order of everything fed before.
+  void feed(std::span<const trace::Request> requests);
+
+  /// Sessions closed so far, in order of close. Append-only: indices into
+  /// this vector remain valid across feed() calls.
+  const std::vector<Session>& closed() const { return closed_; }
+
+  /// Copies of the currently open (non-empty) sessions — the sessions that
+  /// would be force-closed if the stream ended here. Unordered.
+  std::vector<Session> open_snapshot() const;
+
+  /// Closes every open session that can no longer be extended, given that
+  /// all future requests have timestamp >= next_ts: a session whose idle
+  /// gap to next_ts already exceeds the timeout would be split by any
+  /// future click anyway. Calling this at a day boundary (next_ts = start
+  /// of the next day) keeps open_snapshot() down to the handful of
+  /// sessions genuinely at risk of spanning the boundary, without changing
+  /// the closed()+open_snapshot() multiset invariant.
+  void settle_before(TimeSec next_ts);
+
+ private:
+  SessionizerOptions opt_;
+  std::unordered_map<ClientId, Session> open_;
+  std::vector<Session> closed_;
+  TimeSec prev_ts_ = 0;
+};
+
 /// Browser/proxy classification (paper §2.2): a client issuing more than
 /// `threshold` requests per day on average is considered a proxy.
 struct ClientClassification {

@@ -68,4 +68,10 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+ThreadPool& shared_thread_pool() {
+  static ThreadPool pool;  // hardware_concurrency workers; never destroyed
+                           // before main() exits (function-local static)
+  return pool;
+}
+
 }  // namespace webppm::util

@@ -46,4 +46,9 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 
+/// Process-wide pool sized to the hardware, created on first use. Bench
+/// harnesses and the sweep engine share it instead of each spawning their
+/// own workers.
+ThreadPool& shared_thread_pool();
+
 }  // namespace webppm::util

@@ -101,18 +101,76 @@ TEST(IncrementalTraining, OptimizeSpaceIsIdempotent) {
   EXPECT_EQ(m.node_count(), after_first);
 }
 
-TEST(IncrementalTraining, LrsRetrainIsNotIncremental) {
-  // LRS is a two-phase batch algorithm: calling train() again re-extracts
-  // patterns from only the new sessions and merges them into the existing
-  // tree. Document the semantics: node counts never shrink, and patterns
-  // present in both phases keep the counts of the *latest* support pass
-  // for new nodes while existing nodes are left as-is.
+TEST(IncrementalTraining, LrsBatchEqualsTrainMore) {
+  // LRS is a two-phase batch algorithm, so train() always rebuilds from
+  // scratch; the incremental entry point is train_more(), which grows the
+  // retained support tree and re-runs extraction over it. Appending must be
+  // exactly equivalent to batch-training on the concatenation.
   const auto day1 = random_sessions(8, 60);
-  LrsPpm m;
-  m.train(day1);
-  const auto after_one = m.node_count();
-  m.train(day1);  // same data again
-  EXPECT_GE(m.node_count(), after_one);
+  const auto day2 = random_sessions(9, 60);
+  auto all = day1;
+  all.insert(all.end(), day2.begin(), day2.end());
+
+  LrsPpm batch, incremental;
+  batch.train(all);
+  incremental.train(day1);
+  incremental.train_more(day2);
+
+  EXPECT_EQ(batch.node_count(), incremental.node_count());
+  std::vector<Prediction> pa, pb;
+  for (const auto& s : random_sessions(10, 10)) {
+    batch.predict(s.urls, pa);
+    incremental.predict(s.urls, pb);
+    EXPECT_EQ(pa, pb);
+  }
+
+  // And train() discards all accumulated state: retraining the incremental
+  // model on day1 alone matches a fresh model, not a merge.
+  LrsPpm fresh;
+  fresh.train(day1);
+  incremental.train(day1);
+  EXPECT_EQ(incremental.node_count(), fresh.node_count());
+  for (const auto& s : random_sessions(11, 10)) {
+    fresh.predict(s.urls, pa);
+    incremental.predict(s.urls, pb);
+    EXPECT_EQ(pa, pb);
+  }
+}
+
+TEST(IncrementalTraining, PopularityTrainMoreWithoutOptMatchesBatch) {
+  // What the sweep engine actually does for PB-PPM: keep an unpruned base,
+  // append days with train_without_optimization, prune a copy. Appending to
+  // the unpruned base must equal unpruned batch training.
+  const auto day1 = random_sessions(12, 40);
+  const auto day2 = random_sessions(13, 40);
+  auto all = day1;
+  all.insert(all.end(), day2.begin(), day2.end());
+
+  std::vector<std::uint32_t> counts(30, 0);
+  for (const auto& s : all) {
+    for (const auto u : s.urls) ++counts[u];
+  }
+  const auto pop = popularity::PopularityTable::from_counts(counts);
+
+  PopularityPpm batch(PopularityPpmConfig{}, &pop);
+  batch.train_without_optimization(all);
+  PopularityPpm incremental(PopularityPpmConfig{}, &pop);
+  incremental.train_without_optimization(day1);
+  incremental.train_without_optimization(day2);
+  EXPECT_EQ(batch.node_count(), incremental.node_count());
+
+  // Pruning copies leaves the bases untouched and produces equal results.
+  PopularityPpm pruned_batch(batch), pruned_inc(incremental);
+  pruned_batch.optimize_space();
+  pruned_inc.optimize_space();
+  EXPECT_EQ(pruned_batch.node_count(), pruned_inc.node_count());
+  EXPECT_EQ(batch.node_count(), incremental.node_count());
+  std::vector<Prediction> pa, pb;
+  for (const auto& s : random_sessions(14, 10)) {
+    pruned_batch.predict(s.urls, pa);
+    pruned_inc.predict(s.urls, pb);
+    EXPECT_EQ(pa, pb);
+  }
 }
 
 }  // namespace
