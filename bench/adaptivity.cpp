@@ -38,7 +38,6 @@ int main() {
     const auto& classes = core::cached_client_classes(trace);
     sim::SimulationConfig cfg;
     cfg.policy.size_threshold_bytes = spec.size_threshold_bytes;
-    trained.predictor->clear_usage();
     const auto sliding_metrics =
         sim::simulate_direct(trace, trace.day_slice(d), *trained.predictor,
                              trained.popularity, classes, cfg);

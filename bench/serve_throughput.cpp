@@ -1,0 +1,207 @@
+// Closed-loop throughput/latency bench for serve::ModelServer.
+//
+// Protocol: train PB-PPM on days 1..7 of the nasa-like trace, publish it,
+// then replay day 8 through the server. The eval stream is sharded by
+// client (every client's clicks stay in order on one thread, preserving
+// per-client context semantics); each of 1/2/4/8 threads replays its shard
+// closed-loop — next query issued the moment the previous returns — in a
+// fixed number of passes. Reported: predictions/sec and p50/p99 per-query
+// latency, written to BENCH_serve.json.
+//
+// Correctness gate: before timing, the single-thread replay's prediction
+// lists are compared request-for-request against the simulator's piggyback
+// path (sim::PredictionLog on simulate_direct) on the same frozen model —
+// the serve layer must be prediction-identical to the §4 evaluation path.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/model_server.hpp"
+
+namespace {
+
+using namespace webppm;
+using Clock = std::chrono::steady_clock;
+
+struct RunResult {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  std::uint64_t queries = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Requests of `eval` routed to `shard_count` client-disjoint shards.
+std::vector<std::vector<trace::Request>> shard_requests(
+    std::span<const trace::Request> eval, std::size_t shard_count) {
+  std::vector<std::vector<trace::Request>> shards(shard_count);
+  for (const auto& r : eval) {
+    shards[r.client % shard_count].push_back(r);
+  }
+  return shards;
+}
+
+RunResult run_closed_loop(serve::ModelServer& server,
+                          std::span<const trace::Request> eval,
+                          std::size_t thread_count, std::size_t passes) {
+  const auto shards = shard_requests(eval, thread_count);
+  std::vector<std::vector<double>> latencies(thread_count);
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(thread_count);
+  for (std::size_t w = 0; w < thread_count; ++w) {
+    threads.emplace_back([&, w] {
+      auto& lat = latencies[w];
+      lat.reserve(shards[w].size() * passes);
+      std::vector<ppm::Prediction> out;
+      for (std::size_t pass = 0; pass < passes; ++pass) {
+        // Later passes replay the same day with shifted timestamps so the
+        // idle-timeout logic sees a continuous stream, not one giant gap.
+        const TimeSec shift = pass * kSecondsPerDay;
+        for (auto r : shards[w]) {
+          r.timestamp += shift;
+          const auto q0 = Clock::now();
+          server.query(r, out);
+          lat.push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                  .count());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RunResult res;
+  res.threads = thread_count;
+  res.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  res.queries = all.size();
+  res.qps = res.seconds > 0 ? static_cast<double>(res.queries) / res.seconds
+                            : 0.0;
+  if (!all.empty()) {
+    res.p50_us = all[all.size() / 2];
+    res.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  return res;
+}
+
+/// Replays `eval` through a fresh single-shard-stream server and checks the
+/// prediction list of every non-error request against the simulator's
+/// piggyback log. Returns mismatch count.
+std::size_t verify_against_simulator(const trace::Trace& trace,
+                                     std::span<const trace::Request> eval,
+                                     const serve::Snapshot& snap,
+                                     const core::ModelSpec& spec) {
+  // Simulator side: log every predict() the piggyback path issues.
+  sim::PredictionLog log;
+  sim::SimHooks hooks;
+  hooks.prediction_log = &log;
+  sim::SimulationConfig cfg;
+  cfg.policy.size_threshold_bytes = spec.size_threshold_bytes;
+  (void)sim::simulate_direct(trace, eval, *snap.model, snap.popularity,
+                             core::cached_client_classes(trace), cfg, hooks);
+
+  // Serve side: same frozen model, same session rules, trace order.
+  serve::ModelServer server;
+  server.publish(std::shared_ptr<const serve::Snapshot>(
+      &snap, [](const serve::Snapshot*) {}));  // borrowed, bench-scoped
+  std::vector<ppm::Prediction> out;
+  std::size_t logged = 0, mismatches = 0;
+  for (const auto& r : eval) {
+    if (r.status >= 400) continue;  // simulator skips these entirely
+    server.query(r, out);
+    if (logged >= log.entries.size() ||
+        log.entries[logged].client != r.client ||
+        log.entries[logged].predictions != out) {
+      ++mismatches;
+    }
+    ++logged;
+  }
+  if (logged != log.entries.size()) ++mismatches;
+  return mismatches;
+}
+
+}  // namespace
+
+int main() {
+  using namespace webppm::bench;
+  const auto& trace = nasa_trace();
+  print_header("=== serve_throughput: snapshot-swap ModelServer, closed "
+               "loop (nasa-like day 8) ===",
+               trace);
+
+  constexpr std::uint32_t kTrainDays = 7;
+  const auto spec = core::ModelSpec::pb_model();
+  auto trained = core::train_model(spec, trace, 0, kTrainDays - 1);
+  const auto eval = trace.day_slice(kTrainDays);
+
+  auto snap = serve::make_snapshot(std::move(trained.predictor),
+                                   std::move(trained.popularity), 1);
+  std::printf("model: %s, %zu nodes; eval stream: %zu requests\n",
+              snap->model->name().data(), snap->model->node_count(),
+              eval.size());
+
+  const std::size_t mismatches =
+      verify_against_simulator(trace, eval, *snap, spec);
+  std::printf("piggyback equivalence: %s (%zu mismatching requests)\n\n",
+              mismatches == 0 ? "IDENTICAL to simulator" : "MISMATCH",
+              mismatches);
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  constexpr std::size_t kPasses = 4;
+  std::vector<RunResult> rows;
+  std::printf("%8s %12s %14s %10s %10s\n", "threads", "queries",
+              "predictions/s", "p50 (us)", "p99 (us)");
+  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+    // Fresh server per run: contexts start empty, runs are independent.
+    serve::ModelServer server;
+    server.publish(snap);
+    const auto r = run_closed_loop(server, eval, n, kPasses);
+    rows.push_back(r);
+    std::printf("%8zu %12llu %14.0f %10.2f %10.2f\n", r.threads,
+                static_cast<unsigned long long>(r.queries), r.qps, r.p50_us,
+                r.p99_us);
+  }
+
+  const double scaling_4t = rows[0].qps > 0 ? rows[2].qps / rows[0].qps : 0.0;
+  std::printf("\n4-thread scaling: %.2fx over single-thread "
+              "(%zu hardware threads available)\n",
+              scaling_4t, hw);
+
+  if (FILE* f = std::fopen("BENCH_serve.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"ModelServer closed-loop replay, "
+                 "nasa-like day 8, pb-ppm\",\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"piggyback_identical\": %s,\n"
+                 "  \"scaling_4t_over_1t\": %.3f,\n"
+                 "  \"runs\": [\n",
+                 hw, mismatches == 0 ? "true" : "false", scaling_4t);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"queries\": %llu, "
+                   "\"predictions_per_sec\": %.0f, \"p50_us\": %.2f, "
+                   "\"p99_us\": %.2f}%s\n",
+                   r.threads, static_cast<unsigned long long>(r.queries),
+                   r.qps, r.p50_us, r.p99_us,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+
+  return mismatches == 0 ? 0 : 1;
+}

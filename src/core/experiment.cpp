@@ -162,11 +162,13 @@ DayEvalResult run_day_experiment(const trace::Trace& trace,
   res.train_days = train_days;
   res.node_count = trained.predictor->node_count();
 
-  trained.predictor->clear_usage();
+  ppm::UsageScratch usage;
+  sim::SimHooks hooks;
+  hooks.usage = &usage;
   res.with_prefetch = sim::simulate_direct(
       trace, eval, *trained.predictor, trained.popularity, classes,
-      apply_prefetch_policy(sim_config, spec, /*enabled=*/true));
-  res.path_utilization = trained.predictor->path_usage().rate();
+      apply_prefetch_policy(sim_config, spec, /*enabled=*/true), hooks);
+  res.path_utilization = trained.predictor->path_usage(usage).rate();
 
   res.baseline = sim::simulate_direct(
       trace, eval, *trained.predictor, trained.popularity, classes,

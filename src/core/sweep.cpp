@@ -38,12 +38,18 @@ class ModelTrainer {
   /// non-decreasing k.
   virtual void advance(std::uint32_t k) = 0;
 
-  /// Borrowed predictor evaluating window k; valid until the next
+  /// Borrowed read-only predictor evaluating window k; valid until the next
   /// advance/eval_predictor call on this trainer.
-  virtual ppm::Predictor& eval_predictor(std::uint32_t k) = 0;
+  virtual const ppm::Predictor& eval_predictor(std::uint32_t k) = 0;
 
-  /// Owned, self-contained window-k model (for parallel simulation).
-  virtual std::unique_ptr<ppm::Predictor> snapshot(std::uint32_t k) = 0;
+  /// Self-contained window-k model for parallel simulation. Shared and
+  /// const: the query path never mutates, so simulation cells reference the
+  /// snapshot instead of each holding a private copy. With `last` set the
+  /// trainer will not be advanced again, so a trainer whose base already
+  /// *is* the window-k model may return a non-owning alias of it — the one
+  /// copy that used to hurt (the largest window) is skipped entirely.
+  virtual std::shared_ptr<const ppm::Predictor> snapshot(std::uint32_t k,
+                                                         bool last) = 0;
 
   std::size_t pb_rebuilds() const { return pb_rebuilds_; }
 
@@ -68,7 +74,7 @@ class AppendTrainer final : public ModelTrainer {
     trained_ = k;
   }
 
-  ppm::Predictor& eval_predictor(std::uint32_t k) override {
+  const ppm::Predictor& eval_predictor(std::uint32_t k) override {
     assert(k == trained_);
     const auto tails = eng_.open_tails(k);
     if (tails.empty()) {
@@ -80,10 +86,17 @@ class AppendTrainer final : public ModelTrainer {
     return *holder_;
   }
 
-  std::unique_ptr<ppm::Predictor> snapshot(std::uint32_t k) override {
+  std::shared_ptr<const ppm::Predictor> snapshot(std::uint32_t k,
+                                                 bool last) override {
     assert(k == trained_);
-    auto copy = std::make_unique<Model>(base_);
-    copy->train_more(eng_.open_tails(k));
+    const auto tails = eng_.open_tails(k);
+    if (last && tails.empty()) {
+      // The base is exactly the window-k model and will never be advanced
+      // again: alias it instead of copying the biggest tree of the sweep.
+      return {std::shared_ptr<const ppm::Predictor>(), &base_};
+    }
+    auto copy = std::make_shared<Model>(base_);
+    copy->train_more(tails);
     return copy;
   }
 
@@ -119,19 +132,20 @@ class PbTrainer final : public ModelTrainer {
     trained_ = k;
   }
 
-  ppm::Predictor& eval_predictor(std::uint32_t k) override {
+  const ppm::Predictor& eval_predictor(std::uint32_t k) override {
     holder_ = make_pruned_copy(k);
     return *holder_;
   }
 
-  std::unique_ptr<ppm::Predictor> snapshot(std::uint32_t k) override {
+  std::shared_ptr<const ppm::Predictor> snapshot(std::uint32_t k,
+                                                 bool /*last*/) override {
     return make_pruned_copy(k);
   }
 
  private:
-  std::unique_ptr<ppm::PopularityPpm> make_pruned_copy(std::uint32_t k) {
+  std::shared_ptr<ppm::PopularityPpm> make_pruned_copy(std::uint32_t k) {
     assert(k == trained_);
-    auto copy = std::make_unique<ppm::PopularityPpm>(*base_);
+    auto copy = std::make_shared<ppm::PopularityPpm>(*base_);
     copy->train_without_optimization(eng_.open_tails(k));
     copy->optimize_space();
     return copy;
@@ -145,7 +159,7 @@ class PbTrainer final : public ModelTrainer {
   }
 
   std::unique_ptr<ppm::PopularityPpm> base_;  ///< unpruned
-  std::unique_ptr<ppm::PopularityPpm> holder_;
+  std::shared_ptr<ppm::PopularityPpm> holder_;
   const popularity::PopularityTable* pop_ = nullptr;
 };
 
@@ -255,7 +269,7 @@ const sim::Metrics& SweepEngine::baseline(std::uint32_t eval_day) {
 }
 
 DayEvalResult SweepEngine::evaluate_cell(const ModelSpec& spec,
-                                         ppm::Predictor& model,
+                                         const ppm::Predictor& model,
                                          std::uint32_t train_days) {
   DayEvalResult res;
   res.model =
@@ -264,12 +278,14 @@ DayEvalResult SweepEngine::evaluate_cell(const ModelSpec& spec,
   res.node_count = model.node_count();
 
   const auto t0 = Clock::now();
-  model.clear_usage();
+  ppm::UsageScratch usage;
+  sim::SimHooks hooks;
+  hooks.usage = &usage;
   res.with_prefetch = sim::simulate_direct(
       trace_, trace_.day_slice(train_days), model,
       window_popularity(train_days), classes(),
-      apply_prefetch_policy(sim_config_, spec, /*enabled=*/true));
-  res.path_utilization = model.path_usage().rate();
+      apply_prefetch_policy(sim_config_, spec, /*enabled=*/true), hooks);
+  res.path_utilization = model.path_usage(usage).rate();
   const double dt = seconds_since(t0);
   {
     std::lock_guard lock(mu_);
@@ -322,13 +338,13 @@ std::vector<std::vector<DayEvalResult>> SweepEngine::sweep_models(
     // simulations (each runs on an owned snapshot) and the per-day
     // baselines.
     const auto t0 = Clock::now();
-    std::vector<std::vector<std::unique_ptr<ppm::Predictor>>> snaps(
+    std::vector<std::vector<std::shared_ptr<const ppm::Predictor>>> snaps(
         specs.size());
     util::parallel_for(*pool_, specs.size(), [&](std::size_t s) {
       snaps[s].resize(max_train_days);
       for (std::uint32_t k = 1; k <= max_train_days; ++k) {
         trainers[s]->advance(k);
-        snaps[s][k - 1] = trainers[s]->snapshot(k);
+        snaps[s][k - 1] = trainers[s]->snapshot(k, k == max_train_days);
       }
     });
     {
@@ -342,7 +358,10 @@ std::vector<std::vector<DayEvalResult>> SweepEngine::sweep_models(
         *pool_, specs.size() * max_train_days, [&](std::size_t idx) {
           const std::size_t s = idx / max_train_days;
           const auto k = static_cast<std::uint32_t>(idx % max_train_days) + 1;
-          results[s][k - 1] = evaluate_cell(specs[s], *snaps[s][k - 1], k);
+          // Take the cell's reference so the snapshot's memory is released
+          // as soon as its last cell finishes, not at end of sweep.
+          const auto model = std::move(snaps[s][k - 1]);
+          results[s][k - 1] = evaluate_cell(specs[s], *model, k);
         });
   }
 

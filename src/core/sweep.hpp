@@ -117,8 +117,12 @@ class SweepEngine {
 
  private:
   /// One (model × day) evaluation on an already-trained window-k model;
-  /// produces exactly run_day_experiment's DayEvalResult fields.
-  DayEvalResult evaluate_cell(const ModelSpec& spec, ppm::Predictor& model,
+  /// produces exactly run_day_experiment's DayEvalResult fields. The model
+  /// is read-only: the path-utilisation metric accumulates in a local
+  /// UsageScratch, so one model instance can serve many cells (and threads)
+  /// at once.
+  DayEvalResult evaluate_cell(const ModelSpec& spec,
+                              const ppm::Predictor& model,
                               std::uint32_t train_days);
 
   struct DayState {

@@ -114,13 +114,16 @@ void LrsPpm::train_more(std::span<const session::Session> sessions) {
 }
 
 void LrsPpm::predict(std::span<const UrlId> context,
-                     std::vector<Prediction>& out) {
+                     std::vector<Prediction>& out, UsageScratch* usage) const {
   out.clear();
   const auto m = longest_match(tree_, context, config_.max_context,
                                MatchPolicy::kStrict);
   if (m.node == kNoNode) return;
-  tree_.mark_used(m.node);
-  emit_children(tree_, m.node, config_.prob_threshold, out);
+  if (usage != nullptr) {
+    usage->nodes.push_back(m.node);
+    usage->touched = true;
+  }
+  emit_children(tree_, m.node, config_.prob_threshold, out, usage);
   finalize_predictions(out);
 }
 

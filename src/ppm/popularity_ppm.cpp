@@ -57,7 +57,7 @@ void PopularityPpm::insert_session(const session::Session& s) {
 void PopularityPpm::train_without_optimization(
     std::span<const session::Session> sessions) {
   for (const auto& s : sessions) insert_session(s);
-  links_ranked_ = false;
+  rank_links();
 }
 
 void PopularityPpm::rank_links() {
@@ -102,6 +102,7 @@ void PopularityPpm::train(std::span<const session::Session> sessions) {
 void PopularityPpm::optimize_space() {
   if (config_.min_relative_probability <= 0.0 &&
       config_.min_absolute_count == 0) {
+    if (!links_ranked_) rank_links();
     return;
   }
   // Collect victims root-down; prune_subtree tombstones whole subtrees, so
@@ -152,18 +153,24 @@ void PopularityPpm::optimize_space() {
     if (!alive.empty()) fresh.emplace(remap[root], std::move(alive));
   }
   links_ = std::move(fresh);
-  links_ranked_ = false;
+  rank_links();
 }
 
 void PopularityPpm::predict(std::span<const UrlId> context,
-                            std::vector<Prediction>& out) {
+                            std::vector<Prediction>& out,
+                            UsageScratch* usage) const {
   out.clear();
   if (context.empty()) return;
+  // Every mutating entry point re-ranks before handing the model out.
+  assert(links_ranked_ || links_.empty());
 
   const auto m = longest_match(tree_, context, config_.max_context);
   if (m.node != kNoNode) {
-    tree_.mark_used(m.node);
-    emit_children(tree_, m.node, config_.prob_threshold, out);
+    if (usage != nullptr) {
+      usage->nodes.push_back(m.node);
+      usage->touched = true;
+    }
+    emit_children(tree_, m.node, config_.prob_threshold, out, usage);
   }
 
   // Rule 3 at prediction time: when the current click is a root, the
@@ -171,7 +178,6 @@ void PopularityPpm::predict(std::span<const UrlId> context,
   if (config_.special_links) {
     const NodeId root = tree_.find_root(context.back());
     if (root != kNoNode) {
-      if (!links_ranked_) rank_links();
       if (const auto it = links_.find(root); it != links_.end()) {
         const auto root_count = static_cast<double>(tree_.node(root).count);
         // Targets are pre-ranked by rank_links(); emit the top k.
@@ -185,7 +191,10 @@ void PopularityPpm::predict(std::span<const UrlId> context,
                                      root_count
                                : 0.0;
           if (p >= config_.link_prob_threshold) {
-            tree_.mark_used(t);
+            if (usage != nullptr) {
+              usage->nodes.push_back(t);
+              usage->touched = true;
+            }
             out.push_back({tree_.node(t).url, static_cast<float>(p)});
           }
         }

@@ -72,9 +72,16 @@ class PopularityPpm final : public Predictor {
   /// automatically by train(); exposed separately for ablation benches.
   void optimize_space();
 
-  void predict(std::span<const UrlId> context,
-               std::vector<Prediction>& out) override;
+  void predict(std::span<const UrlId> context, std::vector<Prediction>& out,
+               UsageScratch* usage = nullptr) const override;
   std::size_t node_count() const override { return tree_.node_count(); }
+  PredictionTree::PathUsage path_usage(
+      const UsageScratch& usage) const override {
+    return tree_.path_usage(usage.nodes);
+  }
+  void apply_usage(const UsageScratch& usage) override {
+    for (const NodeId id : usage.nodes) tree_.mark_used(id);
+  }
   PredictionTree::PathUsage path_usage() const override {
     return tree_.path_usage();
   }
@@ -110,6 +117,7 @@ class PopularityPpm final : public Predictor {
     PopularityPpm m(config, grades);
     m.tree_ = std::move(tree);
     m.links_ = std::move(links);
+    m.rank_links();
     return m;
   }
 
@@ -118,8 +126,10 @@ class PopularityPpm final : public Predictor {
 
   /// Sorts every link-target list by (traversal count desc, root-to-node
   /// URL path asc) — the canonical emission order predict() uses. Counts
-  /// only change while training, so the ranking is computed lazily once per
-  /// training generation instead of per prediction.
+  /// only change while training, so every mutating entry point (train,
+  /// train_without_optimization, optimize_space, from_parts) re-ranks
+  /// eagerly before returning; predict() is const and relies on the
+  /// links-are-ranked invariant.
   void rank_links();
 
   PopularityPpmConfig config_;

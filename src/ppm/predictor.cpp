@@ -18,14 +18,14 @@ MatchResult longest_match(const PredictionTree& tree,
   return {};
 }
 
-void emit_children(PredictionTree& tree, NodeId node, double threshold,
-                   std::vector<Prediction>& out) {
+void emit_children(const PredictionTree& tree, NodeId node, double threshold,
+                   std::vector<Prediction>& out, UsageScratch* usage) {
   const auto parent_count = static_cast<double>(tree.node(node).count);
   if (parent_count <= 0.0) return;
   tree.node(node).children.for_each([&](UrlId url, NodeId child) {
     const double p = static_cast<double>(tree.node(child).count) / parent_count;
     if (p >= threshold) {
-      tree.mark_used(child);
+      if (usage != nullptr) usage->nodes.push_back(child);
       out.push_back({url, static_cast<float>(p)});
     }
   });

@@ -20,6 +20,22 @@ struct Prediction {
   friend bool operator==(const Prediction&, const Prediction&) = default;
 };
 
+/// Caller-owned record of the tree nodes a batch of predict() calls walked.
+/// predict() is const and touches nothing; when the caller cares about the
+/// paper's path-utilisation metric it passes a scratch, accumulates over as
+/// many calls as it likes, and either reads the metric directly via
+/// Predictor::path_usage(scratch) or folds the batch into the model's own
+/// usage marks with apply_usage(). Entries may repeat; consumers dedup.
+struct UsageScratch {
+  std::vector<NodeId> nodes;  ///< tree nodes touched (models with a tree)
+  bool touched = false;       ///< any prediction made (tree-less models)
+
+  void clear() {
+    nodes.clear();
+    touched = false;
+  }
+};
+
 class Predictor {
  public:
   virtual ~Predictor() = default;
@@ -38,15 +54,27 @@ class Predictor {
   /// (oldest first, current click last) is `context`. Candidates are
   /// deduplicated, filtered by the model's probability threshold, and
   /// sorted by descending probability (ties by URL id, so output is
-  /// deterministic). Marks traversed tree nodes as used (for the paper's
-  /// path-utilisation metric), hence non-const.
+  /// deterministic). Const: safe to call from any number of threads on a
+  /// frozen model. When `usage` is non-null the nodes the walk touched are
+  /// appended to it for the paper's path-utilisation metric.
   virtual void predict(std::span<const UrlId> context,
-                       std::vector<Prediction>& out) = 0;
+                       std::vector<Prediction>& out,
+                       UsageScratch* usage = nullptr) const = 0;
 
   /// Live node count — the paper's "space" metric (Tables 1 and 2).
   virtual std::size_t node_count() const = 0;
 
-  /// Fraction of root-to-leaf paths touched since the last clear_usage().
+  /// Path utilisation of a usage batch against this model, without mutating
+  /// anything. Identical to apply_usage(usage) followed by path_usage().
+  virtual PredictionTree::PathUsage path_usage(
+      const UsageScratch& usage) const = 0;
+
+  /// Folds a caller-accumulated usage batch into the model's own usage
+  /// marks (the owner applies batched marks; readers never do).
+  virtual void apply_usage(const UsageScratch& usage) = 0;
+
+  /// Fraction of root-to-leaf paths marked used since the last
+  /// clear_usage() (marks arrive via apply_usage()).
   virtual PredictionTree::PathUsage path_usage() const = 0;
   virtual void clear_usage() = 0;
 
@@ -78,9 +106,11 @@ MatchResult longest_match(const PredictionTree& tree,
                           MatchPolicy policy = MatchPolicy::kSkipChildless);
 
 /// Appends `node`'s children with conditional probability >= threshold to
-/// `out` and marks them used. Probability = child.count / node.count.
-void emit_children(PredictionTree& tree, NodeId node, double threshold,
-                   std::vector<Prediction>& out);
+/// `out`, recording each emitted child in `usage` (when given).
+/// Probability = child.count / node.count.
+void emit_children(const PredictionTree& tree, NodeId node, double threshold,
+                   std::vector<Prediction>& out,
+                   UsageScratch* usage = nullptr);
 
 /// Deduplicates by URL (keeping the highest probability) and sorts by
 /// (probability desc, url asc).

@@ -1,5 +1,6 @@
 #include "ppm/serialize.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -39,6 +40,7 @@ std::optional<PredictionTree> load_tree(std::istream& in) {
     std::uint32_t node_count;
     long long parent;
     if (!(in >> url >> node_count >> parent)) return std::nullopt;
+    if (parent < -1) return std::nullopt;  // roots are exactly -1
     if (parent < 0) {
       if (tree.find_root(url) != kNoNode) return std::nullopt;  // dup root
       const NodeId id = tree.root_or_add(url, node_count);
@@ -143,11 +145,22 @@ std::optional<PopularityPpm> load_popularity(
     if (!(in >> root >> k) || root >= tree->node_count()) {
       return std::nullopt;
     }
+    // Links hang off tree roots only (paper Rule 3 duplicates popular URLs
+    // under the branch head); reject interior nodes posing as link roots.
+    if (tree->node(root).parent != kNoNode) return std::nullopt;
     std::vector<NodeId> targets(k);
     for (auto& t : targets) {
       if (!(in >> t) || t >= tree->node_count()) return std::nullopt;
+      // Rule 3 targets sit "not immediately following the heading URL",
+      // i.e. at depth >= 3; anything shallower is a forged link.
+      if (tree->node(t).depth < 3) return std::nullopt;
+      if (std::count(targets.begin(), targets.end(), t) > 1) {
+        return std::nullopt;  // duplicate target
+      }
     }
-    links.emplace(root, std::move(targets));
+    if (!links.emplace(root, std::move(targets)).second) {
+      return std::nullopt;  // duplicate link root
+    }
   }
   return PopularityPpm::from_parts(cfg, grades, std::move(*tree),
                                    std::move(links));

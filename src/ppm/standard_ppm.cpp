@@ -25,7 +25,8 @@ void StandardPpm::train(std::span<const session::Session> sessions) {
 }
 
 void StandardPpm::predict(std::span<const UrlId> context,
-                          std::vector<Prediction>& out) {
+                          std::vector<Prediction>& out,
+                          UsageScratch* usage) const {
   out.clear();
   // A fixed-height tree of H levels is an order-(H-1) Markov model: the
   // deepest useful context has H-1 URLs (level-H nodes are the predictions).
@@ -38,8 +39,11 @@ void StandardPpm::predict(std::span<const UrlId> context,
       longest_match(tree_, context, std::max<std::size_t>(max_ctx, 1),
                     MatchPolicy::kStrict);
   if (m.node == kNoNode) return;
-  tree_.mark_used(m.node);
-  emit_children(tree_, m.node, config_.prob_threshold, out);
+  if (usage != nullptr) {
+    usage->nodes.push_back(m.node);
+    usage->touched = true;
+  }
+  emit_children(tree_, m.node, config_.prob_threshold, out, usage);
   finalize_predictions(out);
 }
 

@@ -35,9 +35,16 @@ class StandardPpm final : public Predictor {
     train(sessions);
   }
 
-  void predict(std::span<const UrlId> context,
-               std::vector<Prediction>& out) override;
+  void predict(std::span<const UrlId> context, std::vector<Prediction>& out,
+               UsageScratch* usage = nullptr) const override;
   std::size_t node_count() const override { return tree_.node_count(); }
+  PredictionTree::PathUsage path_usage(
+      const UsageScratch& usage) const override {
+    return tree_.path_usage(usage.nodes);
+  }
+  void apply_usage(const UsageScratch& usage) override {
+    for (const NodeId id : usage.nodes) tree_.mark_used(id);
+  }
   PredictionTree::PathUsage path_usage() const override {
     return tree_.path_usage();
   }

@@ -41,9 +41,10 @@ void TopNPredictor::rebuild_push_set() {
 }
 
 void TopNPredictor::predict(std::span<const UrlId> /*context*/,
-                            std::vector<Prediction>& out) {
+                            std::vector<Prediction>& out,
+                            UsageScratch* usage) const {
   out = push_set_;
-  used_ = true;
+  if (usage != nullptr) usage->touched = true;
 }
 
 }  // namespace webppm::ppm

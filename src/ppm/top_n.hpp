@@ -32,14 +32,21 @@ class TopNPredictor final : public Predictor {
 
   /// Context-independent: always returns the push set. Probabilities are
   /// each document's share of total training accesses.
-  void predict(std::span<const UrlId> context,
-               std::vector<Prediction>& out) override;
+  void predict(std::span<const UrlId> context, std::vector<Prediction>& out,
+               UsageScratch* usage = nullptr) const override;
 
   /// "Space" is the push list itself.
   std::size_t node_count() const override { return push_set_.size(); }
 
   /// No tree, hence no paths; reported as fully utilised once predictions
   /// have been requested at least once.
+  PredictionTree::PathUsage path_usage(
+      const UsageScratch& usage) const override {
+    return {usage.touched ? push_set_.size() : 0, push_set_.size()};
+  }
+  void apply_usage(const UsageScratch& usage) override {
+    used_ = used_ || usage.touched;
+  }
   PredictionTree::PathUsage path_usage() const override {
     return {used_ ? push_set_.size() : 0, push_set_.size()};
   }

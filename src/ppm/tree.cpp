@@ -1,5 +1,6 @@
 #include "ppm/tree.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace webppm::ppm {
@@ -81,6 +82,22 @@ PredictionTree::PathUsage PredictionTree::path_usage() const {
   for (const NodeId id : used_nodes_) {
     const TreeNode& n = nodes_[id];
     if (!n.dead && n.used && n.children.empty()) ++usage.used;
+  }
+  return usage;
+}
+
+PredictionTree::PathUsage PredictionTree::path_usage(
+    std::span<const NodeId> marked) const {
+  PathUsage usage;
+  usage.total = leaf_count_;
+  // Dedup the batch (readers append without checking), then count live
+  // leaves exactly as the marked-bit variant does.
+  std::vector<NodeId> uniq(marked.begin(), marked.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  for (const NodeId id : uniq) {
+    const TreeNode& n = nodes_[id];
+    if (!n.dead && n.children.empty()) ++usage.used;
   }
   return usage;
 }

@@ -91,6 +91,12 @@ class PredictionTree {
   };
   PathUsage path_usage() const;
 
+  /// Path utilisation of an external batch of touched nodes, without
+  /// consulting or mutating the used bits. `marked` may contain duplicates.
+  /// Equivalent to mark_used() over the batch followed by path_usage() on a
+  /// tree with no prior marks.
+  PathUsage path_usage(std::span<const NodeId> marked) const;
+
   /// Tombstones `id` and its whole subtree; detaches it from its parent.
   /// Precondition: `id` is live.
   void prune_subtree(NodeId id);

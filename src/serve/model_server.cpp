@@ -1,0 +1,120 @@
+#include "serve/model_server.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "ppm/serialize.hpp"
+
+namespace webppm::serve {
+
+std::shared_ptr<const Snapshot> make_snapshot(
+    std::unique_ptr<ppm::Predictor> model,
+    popularity::PopularityTable popularity, std::uint64_t version) {
+  assert(model != nullptr);
+  auto snap = std::make_shared<Snapshot>();
+  snap->popularity = std::move(popularity);
+  snap->version = version;
+  // A PB model carries a raw pointer to the grade table it was trained
+  // against; repoint it at the snapshot-owned copy so the snapshot is
+  // self-contained before the caller's table goes away.
+  if (auto* pb = dynamic_cast<ppm::PopularityPpm*>(model.get())) {
+    pb->rebind_grades(&snap->popularity);
+  }
+  snap->model = std::move(model);
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> load_snapshot(
+    std::istream& in, popularity::PopularityTable popularity,
+    std::uint64_t version) {
+  // Dispatch on the magic word without consuming it.
+  std::string magic;
+  const auto pos = in.tellg();
+  if (!(in >> magic)) return nullptr;
+  in.seekg(pos);
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->popularity = std::move(popularity);
+  snap->version = version;
+  if (magic == "webppm-standard") {
+    auto m = ppm::load_standard(in);
+    if (!m) return nullptr;
+    snap->model = std::make_unique<ppm::StandardPpm>(std::move(*m));
+  } else if (magic == "webppm-lrs") {
+    auto m = ppm::load_lrs(in);
+    if (!m) return nullptr;
+    snap->model = std::make_unique<ppm::LrsPpm>(std::move(*m));
+  } else if (magic == "webppm-pb") {
+    auto m = ppm::load_popularity(in, &snap->popularity);
+    if (!m) return nullptr;
+    snap->model = std::make_unique<ppm::PopularityPpm>(std::move(*m));
+  } else {
+    return nullptr;
+  }
+  return snap;
+}
+
+ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(config_));
+  }
+}
+
+void ModelServer::publish(std::shared_ptr<const Snapshot> snap) {
+  snap_.store(std::move(snap));
+}
+
+std::shared_ptr<const Snapshot> ModelServer::snapshot() const {
+  return snap_.load();
+}
+
+std::uint64_t ModelServer::version() const {
+  const auto snap = snapshot();
+  return snap ? snap->version : 0;
+}
+
+bool ModelServer::query(const trace::Request& r,
+                        std::vector<ppm::Prediction>& out) {
+  out.clear();
+  // The prefetching server does not predict on failed requests (the
+  // simulator's piggyback path skips them the same way).
+  if (config_.session.skip_errors && r.status >= 400) return false;
+
+  // Copy the context out under the shard lock (it is at most
+  // context_window ids), then predict lock-free on the snapshot.
+  thread_local std::vector<UrlId> ctx;
+  {
+    Shard& sh = shard_of(r.client);
+    std::lock_guard lock(sh.mu);
+    const auto view = sh.contexts.observe(r);
+    ctx.assign(view.begin(), view.end());
+  }
+
+  const auto snap = snapshot();
+  if (!snap || !snap->model) return false;
+  snap->model->predict(ctx, out);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t ModelServer::client_count() const {
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    total += sh->contexts.client_count();
+  }
+  return total;
+}
+
+std::size_t ModelServer::evict_idle(TimeSec now) {
+  std::size_t evicted = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    evicted += sh->contexts.evict_idle(now);
+  }
+  return evicted;
+}
+
+}  // namespace webppm::serve

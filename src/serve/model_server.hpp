@@ -1,0 +1,167 @@
+// Concurrent model server — the deployment shape the paper's §2 server
+// describes: train on historical days offline, then answer per-click
+// prediction queries for every active client from a frozen model.
+//
+// Concurrency design:
+//   * The trained model lives in an immutable Snapshot behind an atomically
+//     swapped shared_ptr (RCU-style). Readers grab the pointer — a refcount
+//     bump under a slot mutex held for two instructions — then predict on
+//     the const query API with no lock at all; publish() installs a new
+//     snapshot without pausing queries — in-flight readers keep the old
+//     snapshot alive until their shared_ptr drops. (The slot is a mutex
+//     rather than std::atomic<shared_ptr>: libstdc++'s _Sp_atomic unlocks
+//     its load() spin-bit with memory_order_relaxed, which leaves the
+//     pointer read formally unordered against a concurrent store — TSan
+//     reports it, and the mutex costs nothing at snapshot-copy granularity.)
+//   * Client session contexts are mutable per-click state; they are sharded
+//     by ClientId hash over N OnlineSessionizer shards, each with its own
+//     mutex. A query locks exactly one shard, copies the (<= window-length)
+//     context out, and predicts outside the lock.
+//
+// The snapshot owns everything prediction needs: the predictor and the
+// popularity table its grades point into (PB-PPM reads grades at predict
+// time), so a snapshot outlives any retraining cycle that produced its
+// successor.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "popularity/popularity.hpp"
+#include "ppm/predictor.hpp"
+#include "session/online.hpp"
+#include "trace/record.hpp"
+#include "util/types.hpp"
+
+namespace webppm::serve {
+
+/// Immutable published model: a predictor plus the popularity table of its
+/// training window. Never mutated after construction — shared freely across
+/// query threads.
+struct Snapshot {
+  popularity::PopularityTable popularity;
+  std::unique_ptr<const ppm::Predictor> model;
+  std::uint64_t version = 0;
+};
+
+/// Wraps a trained predictor into a publishable snapshot. `popularity` is
+/// moved in and, for PB-PPM, the model's grade pointer is rebound to the
+/// snapshot-owned copy, making the snapshot self-contained.
+std::shared_ptr<const Snapshot> make_snapshot(
+    std::unique_ptr<ppm::Predictor> model,
+    popularity::PopularityTable popularity, std::uint64_t version);
+
+/// Reads any save_model stream (standard / LRS / PB — dispatched on the
+/// leading magic word) into a snapshot. `popularity` is the training
+/// window's table (PB grades; may be empty for the other models). Returns
+/// nullptr on malformed input.
+std::shared_ptr<const Snapshot> load_snapshot(
+    std::istream& in, popularity::PopularityTable popularity,
+    std::uint64_t version);
+
+struct ModelServerConfig {
+  /// Client-context shards. More shards = less lock contention between
+  /// concurrent queries; memory cost is one sessionizer table per shard.
+  std::size_t shards = 16;
+  /// Session rules — must mirror training (idle timeout, reload dedup,
+  /// error skipping) so serve-time contexts match training-time sessions.
+  session::SessionizerOptions session;
+  /// Click-context window length (same role as the simulator's).
+  std::size_t context_window = 16;
+  /// Drop client contexts idle longer than idle_timeout * this factor
+  /// (0 disables). An evicted context is indistinguishable from an
+  /// idle-timeout reset, so eviction never changes prediction results —
+  /// it only bounds memory for million-client populations.
+  double idle_eviction_factor = 0.0;
+};
+
+class ModelServer {
+ public:
+  explicit ModelServer(const ModelServerConfig& config = {});
+
+  /// Atomically installs `snap` as the serving model. Queries in flight
+  /// finish on the previous snapshot; new queries see `snap`. Never blocks
+  /// readers. Typically called from a training thread.
+  void publish(std::shared_ptr<const Snapshot> snap);
+
+  /// Current snapshot (nullptr before the first publish). Readers may hold
+  /// it as long as they like.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Version of the current snapshot; 0 before the first publish.
+  std::uint64_t version() const;
+
+  /// Feeds one client click and fills `out` with the model's prefetch
+  /// candidates for that client's updated context. Thread-safe against
+  /// concurrent query() and publish() calls. Returns false — with `out`
+  /// empty — when no model is published yet or the request is a skipped
+  /// error (the prefetching server does not predict on failed requests).
+  bool query(const trace::Request& r, std::vector<ppm::Prediction>& out);
+
+  /// Total query() calls that produced a prediction pass.
+  std::uint64_t query_count() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+  /// Client contexts currently held (sums all shards; locks each briefly).
+  std::size_t client_count() const;
+
+  /// Forces an idle-context sweep on every shard (see
+  /// ModelServerConfig::idle_eviction_factor). Returns contexts dropped.
+  std::size_t evict_idle(TimeSec now);
+
+  const ModelServerConfig& config() const { return config_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    session::OnlineSessionizer contexts;
+    explicit Shard(const ModelServerConfig& cfg)
+        : contexts(cfg.session, cfg.context_window,
+                   cfg.idle_eviction_factor) {}
+  };
+
+  Shard& shard_of(ClientId client) {
+    // Multiplicative hash: trace ClientIds are small dense integers, so
+    // modulo alone would put consecutive clients in consecutive shards —
+    // fine — but hash anyway so adversarial id patterns cannot pile onto
+    // one shard.
+    const std::uint64_t h = (client + 1) * 0x9e3779b97f4a7c15ull;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  /// The RCU slot: holds the current snapshot; load() copies the pointer
+  /// (refcount bump) and store() swaps it, each under a mutex held for the
+  /// duration of that pointer operation only. The displaced snapshot is
+  /// released outside the lock so its destructor (a whole model) never runs
+  /// under the slot mutex.
+  class SnapshotSlot {
+   public:
+    std::shared_ptr<const Snapshot> load() const {
+      std::lock_guard lock(mu_);
+      return snap_;
+    }
+    void store(std::shared_ptr<const Snapshot> snap) {
+      {
+        std::lock_guard lock(mu_);
+        snap_.swap(snap);
+      }
+      // old snapshot (now in `snap`) destroyed here, lock released
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::shared_ptr<const Snapshot> snap_;
+  };
+
+  ModelServerConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  SnapshotSlot snap_;
+  std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace webppm::serve

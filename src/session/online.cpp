@@ -18,12 +18,37 @@ std::span<const UrlId> OnlineContext::observe(UrlId url, TimeSec t) {
 }
 
 std::span<const UrlId> OnlineSessionizer::observe(const trace::Request& r) {
+  // Amortised idle sweep: at most one full-table pass per table-size
+  // observes, so the table stays bounded by the live-client population at
+  // O(1) amortised cost per click.
+  if (idle_eviction_factor_ > 0.0 &&
+      ++observed_since_sweep_ >= contexts_.size() + 1) {
+    evict_idle(r.timestamp);
+  }
   auto it = contexts_.find(r.client);
   if (it == contexts_.end()) {
     it = contexts_.emplace(r.client, OnlineContext(opt_, window_)).first;
   }
   if (opt_.skip_errors && r.status >= 400) return it->second.view();
   return it->second.observe(r.url, r.timestamp);
+}
+
+std::size_t OnlineSessionizer::evict_idle(TimeSec now) {
+  observed_since_sweep_ = 0;
+  if (idle_eviction_factor_ <= 0.0) return 0;
+  const auto horizon = static_cast<TimeSec>(
+      static_cast<double>(opt_.idle_timeout) * idle_eviction_factor_);
+  std::size_t evicted = 0;
+  for (auto it = contexts_.begin(); it != contexts_.end();) {
+    const TimeSec seen = it->second.last_seen();
+    if (now > seen && now - seen > horizon) {
+      it = contexts_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
 }
 
 std::span<const UrlId> OnlineSessionizer::context(ClientId client) const {

@@ -30,6 +30,9 @@ class OnlineContext {
   bool empty() const { return urls_.empty(); }
   void reset() { urls_.clear(); }
 
+  /// Timestamp of the last observed click (0 before any).
+  TimeSec last_seen() const { return last_; }
+
  private:
   SessionizerOptions opt_;
   std::size_t window_;
@@ -38,15 +41,27 @@ class OnlineContext {
 };
 
 /// Per-client context table for a whole request stream.
+///
+/// A long-running server accumulates one context per client ever seen;
+/// `idle_eviction_factor` bounds that. A context idle longer than
+/// idle_timeout * factor is dropped — by then the idle-timeout rule would
+/// reset it on its next click anyway, so eviction can never change a
+/// prediction, only reclaim memory. Factor 0 disables eviction (the
+/// simulator's behaviour, where client populations are trace-bounded);
+/// factors below 1 are meaningful only if predictions should also forget
+/// still-live sessions early, so >= 1 is the sensible range.
 class OnlineSessionizer {
  public:
   explicit OnlineSessionizer(const SessionizerOptions& opt = {},
-                             std::size_t window = 16)
-      : opt_(opt), window_(window) {}
+                             std::size_t window = 16,
+                             double idle_eviction_factor = 0.0)
+      : opt_(opt), window_(window),
+        idle_eviction_factor_(idle_eviction_factor) {}
 
   /// Feeds one request and returns the client's updated context.
   /// Error-status requests (when opt.skip_errors) return the unchanged
-  /// context.
+  /// context. With eviction enabled, a table-size-amortised idle sweep
+  /// runs automatically as the stream advances.
   std::span<const UrlId> observe(const trace::Request& r);
 
   /// Context of a client without feeding anything (empty if unseen).
@@ -54,9 +69,15 @@ class OnlineSessionizer {
 
   std::size_t client_count() const { return contexts_.size(); }
 
+  /// Drops every context idle at `now` past the eviction horizon. Returns
+  /// the number evicted; no-op (0) when eviction is disabled.
+  std::size_t evict_idle(TimeSec now);
+
  private:
   SessionizerOptions opt_;
   std::size_t window_;
+  double idle_eviction_factor_ = 0.0;
+  std::size_t observed_since_sweep_ = 0;
   std::unordered_map<ClientId, OnlineContext> contexts_;
 };
 

@@ -32,12 +32,16 @@ void account_hit(cache::CacheEntry& entry, UrlId url,
 }
 
 /// Issues prefetches for the given context into `target` cache.
-void issue_prefetches(const trace::Trace& trace, ppm::Predictor& model,
-                      std::span<const UrlId> context, UrlId current,
-                      cache::DocumentCache& target, const SimulationConfig& cfg,
+void issue_prefetches(const trace::Trace& trace, const ppm::Predictor& model,
+                      ClientId client, std::span<const UrlId> context,
+                      UrlId current, cache::DocumentCache& target,
+                      const SimulationConfig& cfg, const SimHooks& hooks,
                       std::vector<ppm::Prediction>& scratch, Metrics& m) {
   if (!cfg.policy.enabled || context.empty()) return;
-  model.predict(context, scratch);
+  model.predict(context, scratch, hooks.usage);
+  if (hooks.prediction_log != nullptr) {
+    hooks.prediction_log->entries.push_back({client, current, scratch});
+  }
   std::size_t sent = 0;
   for (const auto& p : scratch) {
     if (sent >= cfg.policy.max_prefetch_per_request) break;
@@ -56,10 +60,11 @@ void issue_prefetches(const trace::Trace& trace, ppm::Predictor& model,
 
 Metrics simulate_direct(const trace::Trace& trace,
                         std::span<const trace::Request> eval,
-                        ppm::Predictor& model,
+                        const ppm::Predictor& model,
                         const popularity::PopularityTable& popularity,
                         const session::ClientClassification& classes,
-                        const SimulationConfig& config) {
+                        const SimulationConfig& config,
+                        const SimHooks& hooks) {
   Metrics m;
   struct ClientState {
     std::unique_ptr<cache::DocumentCache> cache;
@@ -102,18 +107,19 @@ Metrics simulate_direct(const trace::Trace& trace,
     }
 
     state.context.observe(r.url, r.timestamp);
-    issue_prefetches(trace, model, state.context.view(), r.url, *state.cache,
-                     config, scratch, m);
+    issue_prefetches(trace, model, r.client, state.context.view(), r.url,
+                     *state.cache, config, hooks, scratch, m);
   }
   return m;
 }
 
 Metrics simulate_proxy_group(const trace::Trace& trace,
                              std::span<const trace::Request> eval,
-                             ppm::Predictor& model,
+                             const ppm::Predictor& model,
                              const popularity::PopularityTable& popularity,
                              std::span<const ClientId> clients,
-                             const SimulationConfig& config) {
+                             const SimulationConfig& config,
+                             const SimHooks& hooks) {
   Metrics m;
   const std::unordered_set<ClientId> members(clients.begin(), clients.end());
 
@@ -168,8 +174,8 @@ Metrics simulate_proxy_group(const trace::Trace& trace,
     // The server predicts per end-client session (the proxy forwards the
     // client's requests); prefetched documents are pushed to the proxy.
     state.context.observe(r.url, r.timestamp);
-    issue_prefetches(trace, model, state.context.view(), r.url, *proxy_cache,
-                     config, scratch, m);
+    issue_prefetches(trace, model, r.client, state.context.view(), r.url,
+                     *proxy_cache, config, hooks, scratch, m);
   }
   return m;
 }

@@ -57,23 +57,48 @@ struct SimulationConfig {
   double proxy_hit_connect_fraction = 0.1;
 };
 
+/// One piggyback prediction pass as the simulator issued it: which client,
+/// on which click, and the model's full candidate list before the prefetch
+/// policy (size threshold, cache state, per-request cap) filtered it.
+struct PredictionLogEntry {
+  ClientId client = 0;
+  UrlId current = kInvalidUrl;
+  std::vector<ppm::Prediction> predictions;
+};
+
+struct PredictionLog {
+  std::vector<PredictionLogEntry> entries;
+};
+
+/// Optional observer taps on a simulation run. The simulator itself never
+/// mutates the model; callers who want the paper's path-utilisation metric
+/// pass a UsageScratch here and read model.path_usage(scratch) (or fold it
+/// in with apply_usage) afterwards. The prediction log records every
+/// piggyback predict() for external replay verification (bench/serve).
+struct SimHooks {
+  ppm::UsageScratch* usage = nullptr;
+  PredictionLog* prediction_log = nullptr;
+};
+
 /// §4 topology. `trace` supplies URL sizes; `eval` is the evaluation-day
 /// request stream (a sub-span of trace.requests). The predictor must have
 /// been trained on earlier days. `classes` assigns cache sizes.
 Metrics simulate_direct(const trace::Trace& trace,
                         std::span<const trace::Request> eval,
-                        ppm::Predictor& model,
+                        const ppm::Predictor& model,
                         const popularity::PopularityTable& popularity,
                         const session::ClientClassification& classes,
-                        const SimulationConfig& config);
+                        const SimulationConfig& config,
+                        const SimHooks& hooks = {});
 
 /// §5 topology: the given browser clients share one proxy cache.
 /// Requests from clients not listed are ignored.
 Metrics simulate_proxy_group(const trace::Trace& trace,
                              std::span<const trace::Request> eval,
-                             ppm::Predictor& model,
+                             const ppm::Predictor& model,
                              const popularity::PopularityTable& popularity,
                              std::span<const ClientId> clients,
-                             const SimulationConfig& config);
+                             const SimulationConfig& config,
+                             const SimHooks& hooks = {});
 
 }  // namespace webppm::sim

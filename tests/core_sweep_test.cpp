@@ -148,8 +148,6 @@ TEST(SweepEngine, TrainMatchesTrainModel) {
     EXPECT_EQ(direct.training_requests, cached.training_requests);
     // Strongest observable check: both models drive an identical simulation.
     const auto cfg = apply_prefetch_policy({}, spec, /*enabled=*/true);
-    direct.predictor->clear_usage();
-    cached.predictor->clear_usage();
     const auto a =
         sim::simulate_direct(nasa_small(), nasa_small().day_slice(3),
                              *direct.predictor, direct.popularity, classes,

@@ -96,14 +96,24 @@ TEST(EmitChildren, ThresholdExcludes) {
   EXPECT_EQ(out[0].url, 2u);
 }
 
-TEST(EmitChildren, MarksEmittedChildrenUsed) {
+TEST(EmitChildren, RecordsEmittedChildrenInScratch) {
   auto t = sample_tree();
   std::vector<Prediction> out;
-  emit_children(t, t.find_root(1), 0.5, out);
+  UsageScratch usage;
+  emit_children(t, t.find_root(1), 0.5, out, &usage);
   const auto child2 = t.find_child(t.find_root(1), 2);
   const auto child4 = t.find_child(t.find_root(1), 4);
+  ASSERT_EQ(usage.nodes.size(), 1u);
+  EXPECT_EQ(usage.nodes[0], child2);  // child4 below threshold, not emitted
+  // The tree itself is untouched until the batch is applied.
+  EXPECT_FALSE(t.node(child2).used);
+  for (const NodeId id : usage.nodes) t.mark_used(id);
   EXPECT_TRUE(t.node(child2).used);
-  EXPECT_FALSE(t.node(child4).used);  // below threshold, not emitted
+  EXPECT_FALSE(t.node(child4).used);
+  // Without a scratch, emission is pure.
+  auto t2 = sample_tree();
+  emit_children(t2, t2.find_root(1), 0.5, out);
+  EXPECT_FALSE(t2.node(t2.find_child(t2.find_root(1), 2)).used);
 }
 
 TEST(FinalizePredictions, DedupKeepsHighestProbability) {

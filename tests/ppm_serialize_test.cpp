@@ -130,6 +130,80 @@ TEST(SerializeModel, PopularityRoundTripWithLinks) {
   expect_same_predictions(m, *back, ctx);  // includes link predictions
 }
 
+TEST(SerializeTree, RejectsDuplicateChildUnderOneParent) {
+  std::stringstream ss("webppm-tree v1 3\n1 5 -1\n2 3 0\n2 2 0\n");
+  EXPECT_FALSE(load_tree(ss).has_value());
+}
+
+TEST(SerializeTree, RejectsDuplicateRoot) {
+  std::stringstream ss("webppm-tree v1 2\n1 5 -1\n1 3 -1\n");
+  EXPECT_FALSE(load_tree(ss).has_value());
+}
+
+TEST(SerializeTree, RejectsNonCanonicalRootParent) {
+  // Roots are written as parent -1 exactly; other negatives are hostile.
+  std::stringstream ss("webppm-tree v1 1\n1 5 -2\n");
+  EXPECT_FALSE(load_tree(ss).has_value());
+}
+
+// A hand-written PB payload around a 4-node tree whose node 2 is the only
+// depth-3 position:  1 -> 2 -> 3  plus a second root 9.
+std::string pb_payload(std::string_view links) {
+  std::string s = "webppm-pb v1 1 3 5 7 0.1 8 1 0.05 4 0 0\n";
+  s += "webppm-tree v1 4\n1 5 -1\n2 3 0\n3 2 1\n9 9 -1\n";
+  s += links;
+  return s;
+}
+
+TEST(SerializeModel, HandWrittenPbPayloadLoads) {
+  // Control for the rejection tests below: the well-formed payload loads.
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 100, 80, 60, 0, 0, 0, 0, 0, 10});
+  std::stringstream ss(pb_payload("webppm-links v1 1\n0 1 2\n"));
+  const auto m = load_popularity(ss, &pop);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->node_count(), 4u);
+  ASSERT_EQ(m->links().size(), 1u);
+}
+
+TEST(SerializeModel, RejectsLinkRootThatIsNotATreeRoot) {
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 100, 80, 60, 0, 0, 0, 0, 0, 10});
+  // Node 1 is an interior node; links may only hang off roots.
+  std::stringstream ss(pb_payload("webppm-links v1 1\n1 1 2\n"));
+  EXPECT_FALSE(load_popularity(ss, &pop).has_value());
+}
+
+TEST(SerializeModel, RejectsDuplicateLinkRoots) {
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 100, 80, 60, 0, 0, 0, 0, 0, 10});
+  std::stringstream ss(
+      pb_payload("webppm-links v1 2\n0 1 2\n0 1 2\n"));
+  EXPECT_FALSE(load_popularity(ss, &pop).has_value());
+}
+
+TEST(SerializeModel, RejectsDuplicateLinkTargets) {
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 100, 80, 60, 0, 0, 0, 0, 0, 10});
+  std::stringstream ss(pb_payload("webppm-links v1 1\n0 2 2 2\n"));
+  EXPECT_FALSE(load_popularity(ss, &pop).has_value());
+}
+
+TEST(SerializeModel, RejectsShallowLinkTarget) {
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 100, 80, 60, 0, 0, 0, 0, 0, 10});
+  // Node 1 sits at depth 2; Rule-3 targets start at depth 3.
+  std::stringstream ss(pb_payload("webppm-links v1 1\n0 1 1\n"));
+  EXPECT_FALSE(load_popularity(ss, &pop).has_value());
+}
+
+TEST(SerializeModel, RejectsOutOfRangeLinkTarget) {
+  const auto pop = popularity::PopularityTable::from_counts(
+      {0, 100, 80, 60, 0, 0, 0, 0, 0, 10});
+  std::stringstream ss(pb_payload("webppm-links v1 1\n0 1 99\n"));
+  EXPECT_FALSE(load_popularity(ss, &pop).has_value());
+}
+
 TEST(SerializeModel, WrongModelKindRejected) {
   StandardPpm m;
   m.train(small_training());

@@ -172,15 +172,24 @@ TEST(StandardPpm, PredictionsSortedByProbability) {
   EXPECT_LT(out[1].url, out[2].url);
 }
 
-TEST(StandardPpm, UsageMarkedOnPrediction) {
+TEST(StandardPpm, UsageRecordedThroughScratch) {
   StandardPpm m;
   m.train(sessions({{1, 2}, {1, 2}}));
   EXPECT_EQ(m.path_usage().used, 0u);
   std::vector<Prediction> out;
   const UrlId ctx[] = {1};
-  m.predict(ctx, out);
-  EXPECT_GT(m.path_usage().used, 0u);
+  UsageScratch usage;
+  m.predict(ctx, out, &usage);
+  EXPECT_TRUE(usage.touched);
+  // Reading the batch directly and folding it into the model agree.
+  EXPECT_GT(m.path_usage(usage).used, 0u);
+  EXPECT_EQ(m.path_usage().used, 0u);  // predict() itself marked nothing
+  m.apply_usage(usage);
+  EXPECT_EQ(m.path_usage().used, m.path_usage(usage).used);
   m.clear_usage();
+  EXPECT_EQ(m.path_usage().used, 0u);
+  // Without a scratch, predict() is pure observation.
+  m.predict(ctx, out);
   EXPECT_EQ(m.path_usage().used, 0u);
 }
 

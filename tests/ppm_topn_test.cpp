@@ -82,7 +82,12 @@ TEST(TopNPredictor, UsageSemantics) {
   EXPECT_EQ(m.path_usage().total, 2u);
   std::vector<Prediction> out;
   const UrlId ctx[] = {1};
-  m.predict(ctx, out);
+  UsageScratch usage;
+  m.predict(ctx, out, &usage);
+  EXPECT_TRUE(usage.touched);
+  EXPECT_EQ(m.path_usage(usage).used, 2u);
+  EXPECT_EQ(m.path_usage().used, 0u);  // not yet folded in
+  m.apply_usage(usage);
   EXPECT_EQ(m.path_usage().used, 2u);
   m.clear_usage();
   EXPECT_EQ(m.path_usage().used, 0u);

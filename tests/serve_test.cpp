@@ -1,0 +1,251 @@
+#include "serve/model_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "ppm/serialize.hpp"
+#include "session/online.hpp"
+
+namespace webppm::serve {
+namespace {
+
+trace::Request click(ClientId c, UrlId u, TimeSec t, std::uint16_t status = 200) {
+  trace::Request r;
+  r.client = c;
+  r.url = u;
+  r.timestamp = t;
+  r.status = status;
+  r.size_bytes = 1000;
+  return r;
+}
+
+session::Session make_session(std::vector<UrlId> urls) {
+  session::Session s;
+  s.urls = std::move(urls);
+  s.times.assign(s.urls.size(), 0);
+  return s;
+}
+
+/// A small standard-PPM snapshot trained on a fixed pattern.
+std::shared_ptr<const Snapshot> tiny_snapshot(std::uint64_t version = 1) {
+  auto m = std::make_unique<ppm::StandardPpm>();
+  const std::vector<session::Session> train{
+      make_session({1, 2, 3}), make_session({1, 2, 3}),
+      make_session({1, 2, 4})};
+  m->train(train);
+  return make_snapshot(std::move(m), popularity::PopularityTable{}, version);
+}
+
+TEST(ModelServer, NoModelPublishedReturnsFalse) {
+  ModelServer server;
+  std::vector<ppm::Prediction> out;
+  EXPECT_FALSE(server.query(click(0, 1, 0), out));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(server.version(), 0u);
+}
+
+TEST(ModelServer, QueryPredictsFromPublishedModel) {
+  ModelServer server;
+  server.publish(tiny_snapshot(7));
+  EXPECT_EQ(server.version(), 7u);
+
+  std::vector<ppm::Prediction> out;
+  ASSERT_TRUE(server.query(click(0, 1, 0), out));
+  ASSERT_TRUE(server.query(click(0, 2, 1), out));
+  // Context {1, 2} -> 3 (p = 2/3) above the 0.25 threshold; 4 (1/3) too.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].url, 3u);
+  EXPECT_EQ(out[1].url, 4u);
+}
+
+TEST(ModelServer, ErrorRequestsAreSkipped) {
+  ModelServer server;
+  server.publish(tiny_snapshot());
+  std::vector<ppm::Prediction> out;
+  server.query(click(0, 1, 0), out);
+  EXPECT_FALSE(server.query(click(0, 2, 1, /*status=*/404), out));
+  // Context is still {1}: the 404 never entered it.
+  ASSERT_TRUE(server.query(click(0, 2, 2), out));
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].url, 3u);
+}
+
+TEST(ModelServer, ContextsArePerClient) {
+  ModelServer server;
+  server.publish(tiny_snapshot());
+  std::vector<ppm::Prediction> a, b;
+  server.query(click(10, 1, 0), a);
+  server.query(click(11, 5, 0), b);  // unrelated URL for another client
+  ASSERT_TRUE(server.query(click(10, 2, 1), a));
+  EXPECT_FALSE(a.empty());  // client 10's context is {1, 2} regardless of 11
+  EXPECT_EQ(server.client_count(), 2u);
+}
+
+TEST(ModelServer, PublishSwapsModelWithoutDroppingContexts) {
+  ModelServer server;
+  server.publish(tiny_snapshot(1));
+  std::vector<ppm::Prediction> out;
+  server.query(click(0, 1, 0), out);
+
+  // New model trained on 1 -> 9 only.
+  auto m = std::make_unique<ppm::StandardPpm>();
+  m->train(std::vector<session::Session>{make_session({1, 9}),
+                                         make_session({1, 9})});
+  server.publish(make_snapshot(std::move(m), {}, 2));
+  EXPECT_EQ(server.version(), 2u);
+
+  // The client's rolling context survived the swap (the repeated click of
+  // 1 is deduplicated against it, leaving context {1}), and the prediction
+  // now comes from the new model.
+  ASSERT_TRUE(server.query(click(0, 1, 10), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].url, 9u);
+  EXPECT_EQ(server.client_count(), 1u);
+}
+
+TEST(ModelServer, LoadSnapshotRoundTripsAllModelKinds) {
+  const std::vector<session::Session> train{
+      make_session({1, 2, 3}), make_session({1, 2, 3}),
+      make_session({4, 2, 3})};
+
+  {
+    ppm::StandardPpm m;
+    m.train(train);
+    std::stringstream ss;
+    ppm::save_model(ss, m);
+    const auto snap = load_snapshot(ss, {}, 1);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->model->node_count(), m.node_count());
+  }
+  {
+    ppm::LrsPpm m;
+    m.train(train);
+    std::stringstream ss;
+    ppm::save_model(ss, m);
+    const auto snap = load_snapshot(ss, {}, 2);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->model->node_count(), m.node_count());
+  }
+  {
+    auto pop = popularity::PopularityTable::from_counts({0, 100, 80, 60, 10});
+    ppm::PopularityPpm m(ppm::PopularityPpmConfig{}, &pop);
+    m.train(train);
+    std::stringstream ss;
+    ppm::save_model(ss, m);
+    const auto snap = load_snapshot(ss, pop, 3);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->model->node_count(), m.node_count());
+    EXPECT_EQ(snap->version, 3u);
+  }
+  {
+    std::stringstream ss("webppm-nonsense v1 0\n");
+    EXPECT_EQ(load_snapshot(ss, {}, 4), nullptr);
+  }
+}
+
+TEST(ModelServer, IdleEvictionBoundsClientCount) {
+  ModelServerConfig cfg;
+  cfg.idle_eviction_factor = 2.0;  // evict after 2 * 30 min idle
+  ModelServer server(cfg);
+  server.publish(tiny_snapshot());
+  std::vector<ppm::Prediction> out;
+  for (ClientId c = 0; c < 50; ++c) server.query(click(c, 1, 0), out);
+  EXPECT_EQ(server.client_count(), 50u);
+
+  // One hour later every context is past the eviction horizon.
+  const TimeSec later = 2 * 1800 + 1;
+  EXPECT_EQ(server.evict_idle(later), 50u);
+  EXPECT_EQ(server.client_count(), 0u);
+
+  // Factor 0 disables eviction entirely.
+  ModelServer keep{ModelServerConfig{}};
+  keep.publish(tiny_snapshot());
+  for (ClientId c = 0; c < 10; ++c) keep.query(click(c, 1, 0), out);
+  EXPECT_EQ(keep.evict_idle(later), 0u);
+  EXPECT_EQ(keep.client_count(), 10u);
+}
+
+// Multi-threaded stress: queries from many threads race against repeated
+// publishes. Run under the tsan preset this is the serve layer's data-race
+// certification; under any build it checks nothing crashes, predictions
+// stay well-formed, and the final version wins.
+TEST(ModelServerStress, ConcurrentQueriesAndPublishes) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kClicksPerThread = 4000;
+  constexpr std::uint64_t kPublishes = 25;
+
+  ModelServerConfig cfg;
+  cfg.shards = 8;
+  ModelServer server(cfg);
+  server.publish(tiny_snapshot(1));
+
+  std::atomic<std::uint64_t> predicted{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      std::vector<ppm::Prediction> out;
+      TimeSec t = 0;
+      for (std::size_t i = 0; i < kClicksPerThread; ++i) {
+        // 64 clients per thread, disjoint across threads; alternate the
+        // trained pattern so predictions fire regularly.
+        const auto c = static_cast<ClientId>(w * 64 + i % 64);
+        const auto u = static_cast<UrlId>(1 + i % 3);
+        if (server.query(click(c, u, t), out)) {
+          for (const auto& p : out) {
+            ASSERT_NE(p.url, kInvalidUrl);
+            ASSERT_GE(p.probability, 0.0f);
+            ASSERT_LE(p.probability, 1.0f);
+          }
+          predicted.fetch_add(1, std::memory_order_relaxed);
+        }
+        t += 1;
+      }
+    });
+  }
+
+  std::thread publisher([&] {
+    for (std::uint64_t v = 2; v <= kPublishes + 1; ++v) {
+      server.publish(tiny_snapshot(v));
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& th : workers) th.join();
+  publisher.join();
+
+  EXPECT_EQ(server.version(), kPublishes + 1);
+  EXPECT_EQ(predicted.load(), kThreads * kClicksPerThread);
+  EXPECT_EQ(server.query_count(), kThreads * kClicksPerThread);
+}
+
+// Readers holding a snapshot across a publish keep a valid model (RCU
+// lifetime guarantee): the old snapshot must stay alive until the last
+// holder drops it.
+TEST(ModelServerStress, SnapshotOutlivesPublish) {
+  ModelServer server;
+  server.publish(tiny_snapshot(1));
+  const auto held = server.snapshot();
+  ASSERT_NE(held, nullptr);
+
+  std::thread publisher([&] {
+    for (std::uint64_t v = 2; v < 30; ++v) server.publish(tiny_snapshot(v));
+  });
+
+  std::vector<ppm::Prediction> out;
+  const UrlId ctx[] = {1, 2};
+  for (int i = 0; i < 1000; ++i) {
+    held->model->predict(ctx, out);
+    ASSERT_EQ(out.size(), 2u);
+  }
+  publisher.join();
+  EXPECT_EQ(held->version, 1u);
+  EXPECT_EQ(server.version(), 29u);
+}
+
+}  // namespace
+}  // namespace webppm::serve

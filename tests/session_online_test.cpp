@@ -77,6 +77,70 @@ TEST(OnlineSessionizer, ErrorsDoNotTouchContext) {
   EXPECT_EQ(to_vec(ctx), (std::vector<UrlId>{10}));
 }
 
+trace::Request click(ClientId c, UrlId u, TimeSec t) {
+  trace::Request r;
+  r.client = c;
+  r.url = u;
+  r.timestamp = t;
+  r.status = 200;
+  return r;
+}
+
+TEST(OnlineSessionizer, EvictIdleDropsOnlyStaleContexts) {
+  OnlineSessionizer s({}, 16, /*idle_eviction_factor=*/2.0);
+  s.observe(click(1, 10, 0));
+  s.observe(click(2, 20, 3000));
+  ASSERT_EQ(s.client_count(), 2u);
+
+  // Horizon is 2 * 1800 s: at t=3601 client 1 (idle 3601s) goes, client 2
+  // (idle 601s) stays.
+  EXPECT_EQ(s.evict_idle(3601), 1u);
+  EXPECT_EQ(s.client_count(), 1u);
+  EXPECT_TRUE(s.context(1).empty());
+  EXPECT_EQ(to_vec(s.context(2)), (std::vector<UrlId>{20}));
+}
+
+TEST(OnlineSessionizer, FactorZeroDisablesEviction) {
+  OnlineSessionizer s;  // default factor 0
+  s.observe(click(1, 10, 0));
+  EXPECT_EQ(s.evict_idle(1'000'000), 0u);
+  EXPECT_EQ(s.client_count(), 1u);
+}
+
+TEST(OnlineSessionizer, ObserveSweepsIdleContextsAmortised) {
+  // With eviction on, a long-running stream sheds idle clients without any
+  // explicit evict_idle() call: one sweep per table-size observes.
+  OnlineSessionizer s({}, 16, /*idle_eviction_factor=*/1.0);
+  for (ClientId c = 0; c < 20; ++c) s.observe(click(c, 1, 0));
+  ASSERT_EQ(s.client_count(), 20u);
+
+  // Client 0 keeps clicking far past everyone else's horizon; within a
+  // couple of sweep periods the other 19 contexts are gone.
+  TimeSec t = 10'000;
+  for (TimeSec i = 0; i < 50; ++i) s.observe(click(0, 2, t + i));
+  EXPECT_EQ(s.client_count(), 1u);
+  EXPECT_FALSE(s.context(0).empty());
+}
+
+TEST(OnlineSessionizer, EvictionMatchesIdleTimeoutReset) {
+  // An evicted context must be indistinguishable from an idle-timeout
+  // reset: the client's next click sees the same (fresh) context either
+  // way. This is the invariant that makes eviction prediction-neutral.
+  OnlineSessionizer evicting({}, 16, /*idle_eviction_factor=*/1.0);
+  OnlineSessionizer keeping({}, 16, /*idle_eviction_factor=*/0.0);
+  for (auto* s : {&evicting, &keeping}) {
+    s->observe(click(7, 1, 0));
+    s->observe(click(7, 2, 10));
+  }
+  evicting.evict_idle(5000);
+  ASSERT_EQ(evicting.client_count(), 0u);
+
+  const auto a = to_vec(evicting.observe(click(7, 3, 5000)));
+  const auto b = to_vec(keeping.observe(click(7, 3, 5000)));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<UrlId>{3}));
+}
+
 TEST(OnlineSessionizer, MatchesBatchSessionizerOnRandomStream) {
   // Property: after feeding a client's full request stream, the online
   // context equals the tail (up to the window) of the last batch session.
