@@ -1,4 +1,5 @@
-// Closed-loop throughput/latency bench for serve::ModelServer.
+// Closed-loop throughput/latency bench for serve::ModelServer, plus the
+// observability overhead gate.
 //
 // Protocol: train PB-PPM on days 1..7 of the nasa-like trace, publish it,
 // then replay day 8 through the server. The eval stream is sharded by
@@ -8,17 +9,34 @@
 // fixed number of passes. Reported: predictions/sec and p50/p99 per-query
 // latency, written to BENCH_serve.json.
 //
-// Correctness gate: before timing, the single-thread replay's prediction
-// lists are compared request-for-request against the simulator's piggyback
-// path (sim::PredictionLog on simulate_direct) on the same frozen model —
-// the serve layer must be prediction-identical to the §4 evaluation path.
+// Gates (any failure exits nonzero):
+//   * piggyback equivalence — the single-thread replay's prediction lists
+//     match the simulator's piggyback path (sim::PredictionLog) request for
+//     request, on a plain server AND on a fully instrumented one (metrics
+//     attached, latency sampled every query): instrumentation must never
+//     change predictions.
+//   * instrumentation overhead — alternating min-of-rounds single-thread
+//     replays, plain vs instrumented (default sampling), no per-query
+//     timing inside the loop; the instrumented walltime must be < 3% above
+//     plain (ISSUE 3 acceptance criterion).
+//
+// Artifacts: BENCH_serve.json (rows + gate results),
+// BENCH_serve_metrics.prom (registry exposition after the instrumented
+// runs), BENCH_serve_trace.json (Chrome trace of the instrumented replay).
+//
+// --quick (or WEBPPM_BENCH_QUICK=1) shrinks passes/rounds/thread counts
+// for CI.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/trace_event.hpp"
 #include "serve/model_server.hpp"
 
 namespace {
@@ -95,13 +113,18 @@ RunResult run_closed_loop(serve::ModelServer& server,
   return res;
 }
 
-/// Replays `eval` through a fresh single-shard-stream server and checks the
-/// prediction list of every non-error request against the simulator's
-/// piggyback log. Returns mismatch count.
+std::shared_ptr<const serve::Snapshot> borrow(const serve::Snapshot& snap) {
+  return {&snap, [](const serve::Snapshot*) {}};  // bench-scoped, never freed
+}
+
+/// Replays `eval` through a fresh single-stream server built from `cfg` and
+/// checks the prediction list of every non-error request against the
+/// simulator's piggyback log. Returns mismatch count.
 std::size_t verify_against_simulator(const trace::Trace& trace,
                                      std::span<const trace::Request> eval,
                                      const serve::Snapshot& snap,
-                                     const core::ModelSpec& spec) {
+                                     const core::ModelSpec& spec,
+                                     const serve::ModelServerConfig& scfg) {
   // Simulator side: log every predict() the piggyback path issues.
   sim::PredictionLog log;
   sim::SimHooks hooks;
@@ -112,9 +135,8 @@ std::size_t verify_against_simulator(const trace::Trace& trace,
                              core::cached_client_classes(trace), cfg, hooks);
 
   // Serve side: same frozen model, same session rules, trace order.
-  serve::ModelServer server;
-  server.publish(std::shared_ptr<const serve::Snapshot>(
-      &snap, [](const serve::Snapshot*) {}));  // borrowed, bench-scoped
+  serve::ModelServer server(scfg);
+  server.publish(borrow(snap));
   std::vector<ppm::Prediction> out;
   std::size_t logged = 0, mismatches = 0;
   for (const auto& r : eval) {
@@ -131,14 +153,63 @@ std::size_t verify_against_simulator(const trace::Trace& trace,
   return mismatches;
 }
 
+/// One single-thread replay of `passes` passes with NO timing inside the
+/// loop — one clock pair around the whole run, so the measurement itself
+/// adds nothing to either variant. A fresh server per call keeps variants
+/// comparable (contexts start empty both times).
+double replay_seconds(const serve::Snapshot& snap,
+                      const serve::ModelServerConfig& scfg,
+                      std::span<const trace::Request> eval,
+                      std::size_t passes) {
+  serve::ModelServer server(scfg);
+  server.publish(borrow(snap));
+  std::vector<ppm::Prediction> out;
+  const auto t0 = Clock::now();
+  for (std::size_t pass = 0; pass < passes; ++pass) {
+    const TimeSec shift = pass * kSecondsPerDay;
+    for (auto r : eval) {
+      r.timestamp += shift;
+      server.query(r, out);
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Instrumented-vs-plain overhead in percent, from `rounds` alternating
+/// min-of-rounds measurements (alternation cancels slow drift — thermal,
+/// background load — that a measure-all-of-A-then-all-of-B order folds
+/// entirely into one variant).
+double measure_overhead_pct(const serve::Snapshot& snap,
+                            const serve::ModelServerConfig& plain,
+                            const serve::ModelServerConfig& instrumented,
+                            std::span<const trace::Request> eval,
+                            std::size_t passes, std::size_t rounds) {
+  // Warm both paths (page in code + data) before any timed round.
+  (void)replay_seconds(snap, plain, eval, 1);
+  (void)replay_seconds(snap, instrumented, eval, 1);
+  double best_plain = 1e300, best_ins = 1e300;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    best_plain = std::min(best_plain, replay_seconds(snap, plain, eval, passes));
+    best_ins =
+        std::min(best_ins, replay_seconds(snap, instrumented, eval, passes));
+  }
+  return best_plain > 0 ? 100.0 * (best_ins - best_plain) / best_plain : 0.0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace webppm::bench;
+  bool quick = std::getenv("WEBPPM_BENCH_QUICK") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
   const auto& trace = nasa_trace();
   print_header("=== serve_throughput: snapshot-swap ModelServer, closed "
                "loop (nasa-like day 8) ===",
                trace);
+  if (quick) std::printf("quick mode: reduced passes/rounds/threads\n\n");
 
   constexpr std::uint32_t kTrainDays = 7;
   const auto spec = core::ModelSpec::pb_model();
@@ -151,43 +222,102 @@ int main() {
               snap->model->name().data(), snap->model->node_count(),
               eval.size());
 
+  obs::MetricsRegistry& reg = obs::registry();
+  serve::ModelServerConfig plain_cfg;
+  serve::ModelServerConfig ins_cfg;
+  ins_cfg.metrics = &reg;  // default latency_sample_every (64)
+
+  // Gate 1a: plain server is prediction-identical to the simulator.
   const std::size_t mismatches =
-      verify_against_simulator(trace, eval, *snap, spec);
-  std::printf("piggyback equivalence: %s (%zu mismatching requests)\n\n",
+      verify_against_simulator(trace, eval, *snap, spec, plain_cfg);
+  std::printf("piggyback equivalence (plain):        %s "
+              "(%zu mismatching requests)\n",
               mismatches == 0 ? "IDENTICAL to simulator" : "MISMATCH",
               mismatches);
 
+  // Gate 1b: so is a fully instrumented one — metrics attached, every
+  // query latency-sampled, trace spans live. Instrumentation observes; it
+  // must never steer.
+  obs::set_tracing_enabled(true);
+  serve::ModelServerConfig full_cfg = ins_cfg;
+  full_cfg.latency_sample_every = 1;
+  const std::size_t ins_mismatches =
+      verify_against_simulator(trace, eval, *snap, spec, full_cfg);
+  obs::set_tracing_enabled(false);
+  std::printf("piggyback equivalence (instrumented): %s "
+              "(%zu mismatching requests)\n\n",
+              ins_mismatches == 0 ? "IDENTICAL to simulator" : "MISMATCH",
+              ins_mismatches);
+
+  // Gate 2: metrics-attached query path costs < 3% walltime. Rounds are
+  // short (~ms), so even quick mode can afford enough passes to pull
+  // min-of-rounds out of the timer-noise floor.
+  const std::size_t oh_passes = quick ? 12 : 16;
+  const std::size_t oh_rounds = 7;
+  const double overhead_pct = measure_overhead_pct(
+      *snap, plain_cfg, ins_cfg, eval, oh_passes, oh_rounds);
+  const bool overhead_ok = overhead_pct < 3.0;
+  std::printf("instrumentation overhead: %+.2f%% walltime "
+              "(min of %zu alternating rounds, %zu passes) -> %s\n\n",
+              overhead_pct, oh_rounds, oh_passes,
+              overhead_ok ? "OK (< 3%)" : "FAIL (>= 3%)");
+
   const std::size_t hw = std::thread::hardware_concurrency();
-  constexpr std::size_t kPasses = 4;
+  const std::size_t passes = quick ? 2 : 4;
+  const std::vector<std::size_t> thread_counts =
+      quick ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4, 8};
   std::vector<RunResult> rows;
   std::printf("%8s %12s %14s %10s %10s\n", "threads", "queries",
               "predictions/s", "p50 (us)", "p99 (us)");
-  for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+  for (const std::size_t n : thread_counts) {
     // Fresh server per run: contexts start empty, runs are independent.
     serve::ModelServer server;
     server.publish(snap);
-    const auto r = run_closed_loop(server, eval, n, kPasses);
+    const auto r = run_closed_loop(server, eval, n, passes);
     rows.push_back(r);
     std::printf("%8zu %12llu %14.0f %10.2f %10.2f\n", r.threads,
                 static_cast<unsigned long long>(r.queries), r.qps, r.p50_us,
                 r.p99_us);
   }
 
-  const double scaling_4t = rows[0].qps > 0 ? rows[2].qps / rows[0].qps : 0.0;
-  std::printf("\n4-thread scaling: %.2fx over single-thread "
-              "(%zu hardware threads available)\n",
-              scaling_4t, hw);
+  const bool have_4t = rows.size() >= 3;
+  const double scaling_4t =
+      have_4t && rows[0].qps > 0 ? rows[2].qps / rows[0].qps : 0.0;
+  if (have_4t) {
+    std::printf("\n4-thread scaling: %.2fx over single-thread "
+                "(%zu hardware threads available)\n",
+                scaling_4t, hw);
+  }
+
+  // Observability artifacts: the instrumented runs above populated the
+  // registry and the trace rings.
+  {
+    std::ofstream out("BENCH_serve_metrics.prom", std::ios::trunc);
+    reg.write_prometheus(out);
+  }
+  {
+    std::ofstream out("BENCH_serve_trace.json", std::ios::trunc);
+    obs::write_chrome_trace(out);
+  }
 
   if (FILE* f = std::fopen("BENCH_serve.json", "w")) {
     std::fprintf(f,
                  "{\n"
                  "  \"benchmark\": \"ModelServer closed-loop replay, "
                  "nasa-like day 8, pb-ppm\",\n"
+                 "  \"quick\": %s,\n"
                  "  \"hardware_threads\": %zu,\n"
                  "  \"piggyback_identical\": %s,\n"
+                 "  \"instrumented_identical\": %s,\n"
+                 "  \"instrumentation_overhead_pct\": %.3f,\n"
+                 "  \"overhead_ok\": %s,\n"
                  "  \"scaling_4t_over_1t\": %.3f,\n"
                  "  \"runs\": [\n",
-                 hw, mismatches == 0 ? "true" : "false", scaling_4t);
+                 quick ? "true" : "false", hw,
+                 mismatches == 0 ? "true" : "false",
+                 ins_mismatches == 0 ? "true" : "false", overhead_pct,
+                 overhead_ok ? "true" : "false", scaling_4t);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
       std::fprintf(f,
@@ -200,8 +330,10 @@ int main() {
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
-    std::printf("wrote BENCH_serve.json\n");
+    std::printf("wrote BENCH_serve.json, BENCH_serve_metrics.prom, "
+                "BENCH_serve_trace.json\n");
   }
 
-  return mismatches == 0 ? 0 : 1;
+  const bool ok = mismatches == 0 && ins_mismatches == 0 && overhead_ok;
+  return ok ? 0 : 1;
 }

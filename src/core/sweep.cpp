@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <chrono>
+#include <cmath>
 #include <string>
 #include <utility>
+
+#include "obs/trace_event.hpp"
 
 namespace webppm::core {
 namespace {
@@ -12,6 +15,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+void record_seconds(obs::LogHistogram* h, double seconds) {
+  if (h != nullptr && seconds >= 0.0) {
+    h->record(static_cast<std::uint64_t>(seconds * 1e9));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -188,8 +197,21 @@ std::unique_ptr<ModelTrainer> make_trainer(const SweepEngine& eng,
 
 SweepEngine::SweepEngine(const trace::Trace& trace,
                          const sim::SimulationConfig& sim_config,
-                         util::ThreadPool* pool)
+                         util::ThreadPool* pool,
+                         obs::MetricsRegistry* metrics)
     : trace_(trace), sim_config_(sim_config), pool_(pool) {
+  if (metrics != nullptr) {
+    ins_ = std::make_unique<Instruments>(Instruments{
+        &metrics->counter("webppm_sweep_cells_total"),
+        &metrics->counter("webppm_sweep_baseline_runs_total"),
+        &metrics->counter("webppm_sweep_baseline_memo_hits_total"),
+        &metrics->counter("webppm_sweep_pb_rebuilds_total"),
+        &metrics->gauge("webppm_sweep_pool_queue_depth"),
+        &metrics->histogram("webppm_sweep_train_cell_ns"),
+        &metrics->histogram("webppm_sweep_eval_cell_ns"),
+    });
+  }
+  WEBPPM_TRACE("sweep.prepare");
   const auto t0 = Clock::now();
   const std::uint32_t day_count = trace_.day_count();
   days_.resize(day_count);
@@ -246,9 +268,11 @@ const sim::Metrics& SweepEngine::baseline(std::uint32_t eval_day) {
     std::lock_guard lock(mu_);
     if (const auto it = baselines_.find(eval_day); it != baselines_.end()) {
       ++timings_.baseline_memo_hits;
+      if (ins_) ins_->baseline_memo_hits->add();
       return it->second;
     }
   }
+  WEBPPM_TRACE("sweep.baseline");
   const auto t0 = Clock::now();
   sim::SimulationConfig cfg = sim_config_;
   cfg.policy.enabled = false;
@@ -262,8 +286,10 @@ const sim::Metrics& SweepEngine::baseline(std::uint32_t eval_day) {
   const auto [it, inserted] = baselines_.emplace(eval_day, metrics);
   if (inserted) {
     ++timings_.baseline_runs;
+    if (ins_) ins_->baseline_runs->add();
   } else {
     ++timings_.baseline_memo_hits;  // raced with another thread; same result
+    if (ins_) ins_->baseline_memo_hits->add();
   }
   return it->second;
 }
@@ -277,6 +303,7 @@ DayEvalResult SweepEngine::evaluate_cell(const ModelSpec& spec,
   res.train_days = train_days;
   res.node_count = model.node_count();
 
+  WEBPPM_TRACE("sweep.eval_cell");
   const auto t0 = Clock::now();
   ppm::UsageScratch usage;
   sim::SimHooks hooks;
@@ -287,6 +314,14 @@ DayEvalResult SweepEngine::evaluate_cell(const ModelSpec& spec,
       apply_prefetch_policy(sim_config_, spec, /*enabled=*/true), hooks);
   res.path_utilization = model.path_usage(usage).rate();
   const double dt = seconds_since(t0);
+  if (ins_) {
+    ins_->cells->add();
+    record_seconds(ins_->eval_cell, dt);
+    if (pool_ != nullptr) {
+      ins_->pool_queue_depth->set(
+          static_cast<std::int64_t>(pool_->stats().queue_depth));
+    }
+  }
   {
     std::lock_guard lock(mu_);
     timings_.simulate_seconds += dt;
@@ -321,10 +356,12 @@ std::vector<std::vector<DayEvalResult>> SweepEngine::sweep_models(
     // pruning must not touch the base).
     for (std::uint32_t k = 1; k <= max_train_days; ++k) {
       for (std::size_t s = 0; s < specs.size(); ++s) {
+        WEBPPM_TRACE("sweep.train_cell");
         const auto t0 = Clock::now();
         trainers[s]->advance(k);
         auto& model = trainers[s]->eval_predictor(k);
         const double dt = seconds_since(t0);
+        if (ins_) record_seconds(ins_->train_cell, dt);
         {
           std::lock_guard lock(mu_);
           timings_.train_seconds += dt;
@@ -343,8 +380,11 @@ std::vector<std::vector<DayEvalResult>> SweepEngine::sweep_models(
     util::parallel_for(*pool_, specs.size(), [&](std::size_t s) {
       snaps[s].resize(max_train_days);
       for (std::uint32_t k = 1; k <= max_train_days; ++k) {
+        WEBPPM_TRACE("sweep.train_cell");
+        const auto tc = Clock::now();
         trainers[s]->advance(k);
         snaps[s][k - 1] = trainers[s]->snapshot(k, k == max_train_days);
+        if (ins_) record_seconds(ins_->train_cell, seconds_since(tc));
       }
     });
     {
@@ -365,8 +405,11 @@ std::vector<std::vector<DayEvalResult>> SweepEngine::sweep_models(
         });
   }
 
+  std::size_t rebuilds = 0;
+  for (const auto& t : trainers) rebuilds += t->pb_rebuilds();
+  if (ins_ && rebuilds != 0) ins_->pb_rebuilds->add(rebuilds);
   std::lock_guard lock(mu_);
-  for (const auto& t : trainers) timings_.pb_base_rebuilds += t->pb_rebuilds();
+  timings_.pb_base_rebuilds += rebuilds;
   return results;
 }
 
@@ -378,6 +421,12 @@ DayEvalResult SweepEngine::evaluate(const ModelSpec& spec,
   trainer->advance(train_days);
   auto& model = trainer->eval_predictor(train_days);
   const double dt = seconds_since(t0);
+  if (ins_) {
+    record_seconds(ins_->train_cell, dt);
+    if (trainer->pb_rebuilds() != 0) {
+      ins_->pb_rebuilds->add(trainer->pb_rebuilds());
+    }
+  }
   {
     std::lock_guard lock(mu_);
     timings_.train_seconds += dt;

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "obs/metrics.hpp"
 #include "session/session.hpp"
 #include "sim/simulator.hpp"
 #include "util/thread_pool.hpp"
@@ -61,9 +62,14 @@ class SweepEngine {
   /// run_day_experiment does). With a non-null `pool` of more than one
   /// thread, sweeps simulate cells concurrently; otherwise they run
   /// serially and in place, which avoids model snapshots entirely.
+  /// `metrics`, when non-null, attaches webppm_sweep_* instrumentation:
+  /// per-cell train/eval latency histograms, baseline-memo hit/miss and
+  /// PB-rebuild counters, and a thread-pool queue-depth gauge sampled at
+  /// cell granularity. SweepTimings stays authoritative either way.
   explicit SweepEngine(const trace::Trace& trace,
                        const sim::SimulationConfig& sim_config = {},
-                       util::ThreadPool* pool = nullptr);
+                       util::ThreadPool* pool = nullptr,
+                       obs::MetricsRegistry* metrics = nullptr);
 
   /// run_day_experiment(trace, spec, k) for k = 1..max_train_days, in day
   /// order, trained incrementally. Identical results to the naive loop.
@@ -131,9 +137,23 @@ class SweepEngine {
     popularity::PopularityTable popularity;  ///< over days [0, d]
   };
 
+  /// Resolved registry handles (null registry => null struct). Counters
+  /// mirror the SweepTimings cache-effectiveness fields live; histograms
+  /// record per-cell nanoseconds.
+  struct Instruments {
+    obs::Counter* cells;
+    obs::Counter* baseline_runs;
+    obs::Counter* baseline_memo_hits;
+    obs::Counter* pb_rebuilds;
+    obs::Gauge* pool_queue_depth;
+    obs::LogHistogram* train_cell;
+    obs::LogHistogram* eval_cell;
+  };
+
   const trace::Trace& trace_;
   sim::SimulationConfig sim_config_;
   util::ThreadPool* pool_ = nullptr;
+  std::unique_ptr<Instruments> ins_;
   session::IncrementalSessionizer sessionizer_;
   std::vector<DayState> days_;
 

@@ -1,0 +1,180 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace webppm::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// One thread's ring plus the lock that lets the exporter read it while the
+/// owner keeps pushing. Owned by the global table so the ring outlives its
+/// thread (a finished worker's spans stay exportable).
+struct ThreadRing {
+  std::mutex mu;
+  TraceRing ring;
+  std::uint32_t tid = 0;
+};
+
+struct RingTable {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadRing>> rings;
+  std::uint32_t next_tid = 1;
+};
+
+RingTable& ring_table() {
+  static RingTable* table = new RingTable;  // leaked: threads may outlive
+                                            // static destruction order
+  return *table;
+}
+
+ThreadRing& this_thread_ring() {
+  static thread_local ThreadRing* ring = [] {
+    auto owned = std::make_unique<ThreadRing>();
+    ThreadRing* raw = owned.get();
+    auto& table = ring_table();
+    std::lock_guard lock(table.mu);
+    raw->tid = table.next_tid++;
+    table.rings.push_back(std::move(owned));
+    return raw;
+  }();
+  return *ring;
+}
+
+struct EventLog {
+  std::mutex mu;
+  std::deque<LoggedEvent> events;
+};
+
+EventLog& event_log() {
+  static EventLog* log = new EventLog;
+  return *log;
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+void write_json_escaped(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) noexcept {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+void TraceSpan::finish() {
+  const TraceEvent e{name_, start_, now_ns() - start_};
+  auto& tr = this_thread_ring();
+  std::lock_guard lock(tr.mu);
+  tr.ring.push(e);
+}
+
+void write_chrome_trace(std::ostream& os) {
+  struct Row {
+    TraceEvent event;
+    std::uint32_t tid;
+  };
+  std::vector<Row> rows;
+  {
+    auto& table = ring_table();
+    std::lock_guard lock(table.mu);
+    for (const auto& tr : table.rings) {
+      std::lock_guard ring_lock(tr->mu);
+      for (const auto& e : tr->ring.snapshot()) {
+        rows.push_back({e, tr->tid});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.event.start_ns < b.event.start_ns;
+  });
+
+  os << "{\"traceEvents\": [";
+  char buf[160];  // fixed row text (~45) + two %.3f of up to ~25 chars each
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [e, tid] = rows[i];
+    os << (i == 0 ? "\n" : ",\n") << R"({"name": ")";
+    write_json_escaped(os, e.name);
+    std::snprintf(buf, sizeof buf,
+                  R"(", "ph": "X", "pid": 1, "tid": %u, "ts": %.3f, )"
+                  R"("dur": %.3f})",
+                  tid, static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    os << buf;
+  }
+  os << "\n]}\n";
+}
+
+void clear_trace() {
+  auto& table = ring_table();
+  std::lock_guard lock(table.mu);
+  for (const auto& tr : table.rings) {
+    std::lock_guard ring_lock(tr->mu);
+    tr->ring.clear();
+  }
+}
+
+void log_event(Severity severity, std::string_view name,
+               std::string_view message) {
+  auto& log = event_log();
+  std::lock_guard lock(log.mu);
+  log.events.push_back(
+      {severity, now_ns(), std::string(name), std::string(message)});
+  while (log.events.size() > kMaxLoggedEvents) log.events.pop_front();
+}
+
+std::vector<LoggedEvent> recent_events() {
+  auto& log = event_log();
+  std::lock_guard lock(log.mu);
+  return {log.events.begin(), log.events.end()};
+}
+
+void clear_events() {
+  auto& log = event_log();
+  std::lock_guard lock(log.mu);
+  log.events.clear();
+}
+
+void write_events_json(std::ostream& os) {
+  const auto events = recent_events();
+  os << "[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& e = events[i];
+    os << (i == 0 ? "\n" : ",\n") << R"({"severity": ")"
+       << severity_name(e.severity) << R"(", "ts_ns": )" << e.ts_ns
+       << R"(, "name": ")";
+    write_json_escaped(os, e.name);
+    os << R"(", "message": ")";
+    write_json_escaped(os, e.message);
+    os << "\"}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace webppm::obs

@@ -1,0 +1,136 @@
+// Structured event tracing: WEBPPM_TRACE scoped spans collected into
+// per-thread ring buffers, exportable as Chrome trace_event JSON
+// (chrome://tracing, Perfetto), plus a small bounded log of structured
+// warning/error events (the "leak canary" channel).
+//
+// Cost model: with tracing disabled (the default) a span is one relaxed
+// atomic load and a branch; enabled, it is two clock reads and a
+// mutex-guarded ring push on span exit. Rings are fixed-size and overwrite
+// the oldest events, so tracing never allocates after a thread's first
+// span and never blocks on a consumer.
+//
+// Building with -DWEBPPM_OBS_DISABLED compiles WEBPPM_TRACE to nothing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace webppm::obs {
+
+inline constexpr std::size_t kDefaultTraceRingCapacity = 4096;
+
+/// One completed span. `name` must point at static storage (the macro
+/// passes string literals); events are POD so ring pushes never allocate.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+};
+
+/// Fixed-capacity overwrite-oldest event buffer. Not thread-safe by
+/// itself — the per-thread rings behind WEBPPM_TRACE guard each ring with
+/// its own mutex (span exit from the owner, snapshot from the exporter).
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = kDefaultTraceRingCapacity)
+      : ring_(capacity == 0 ? 1 : capacity) {}
+
+  void push(const TraceEvent& e) {
+    ring_[static_cast<std::size_t>(pushed_ % ring_.size())] = e;
+    ++pushed_;
+  }
+
+  /// Retained events, oldest first (at most capacity()).
+  std::vector<TraceEvent> snapshot() const {
+    const auto cap = static_cast<std::uint64_t>(ring_.size());
+    const std::uint64_t n = pushed_ < cap ? pushed_ : cap;
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = pushed_ - n; i < pushed_; ++i) {
+      out.push_back(ring_[static_cast<std::size_t>(i % cap)]);
+    }
+    return out;
+  }
+
+  void clear() { pushed_ = 0; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::uint64_t pushed_ = 0;  ///< total pushes; head = pushed_ % capacity
+};
+
+bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool on) noexcept;
+
+/// RAII span: records [construction, destruction) into this thread's ring
+/// when tracing is enabled. Use via WEBPPM_TRACE("name").
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) noexcept
+      : name_(tracing_enabled() ? name : nullptr),
+        start_(name_ != nullptr ? now_ns() : 0) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) finish();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void finish();
+
+  const char* name_;
+  std::uint64_t start_;
+};
+
+/// All rings' retained events as a Chrome trace_event JSON document
+/// ({"traceEvents": [...]}; ts/dur in microseconds), sorted by start time.
+void write_chrome_trace(std::ostream& os);
+
+/// Drops every ring's retained events (rings themselves persist).
+void clear_trace();
+
+// ---------------------------------------------------------------------------
+// Structured events: a bounded in-memory log for rare, noteworthy
+// conditions (snapshot-generation leaks, failed pool tasks). Never the hot
+// path — each call takes a global mutex.
+
+enum class Severity { kInfo, kWarn, kError };
+
+struct LoggedEvent {
+  Severity severity = Severity::kInfo;
+  std::uint64_t ts_ns = 0;
+  std::string name;     ///< stable dotted identifier, e.g. "serve.snapshot_leak"
+  std::string message;  ///< human-readable details
+};
+
+inline constexpr std::size_t kMaxLoggedEvents = 256;
+
+void log_event(Severity severity, std::string_view name,
+               std::string_view message);
+
+/// Retained events, oldest first (at most kMaxLoggedEvents).
+std::vector<LoggedEvent> recent_events();
+void clear_events();
+
+/// JSON array of the retained events.
+void write_events_json(std::ostream& os);
+
+}  // namespace webppm::obs
+
+#ifdef WEBPPM_OBS_DISABLED
+#define WEBPPM_TRACE(name) static_cast<void>(0)
+#else
+#define WEBPPM_OBS_CONCAT2(a, b) a##b
+#define WEBPPM_OBS_CONCAT(a, b) WEBPPM_OBS_CONCAT2(a, b)
+#define WEBPPM_TRACE(name)                                         \
+  ::webppm::obs::TraceSpan WEBPPM_OBS_CONCAT(webppm_trace_span_, \
+                                             __LINE__)(name)
+#endif

@@ -1,0 +1,64 @@
+#include "serve/metrics_reporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/trace_event.hpp"
+
+namespace webppm::serve {
+
+MetricsReporter::MetricsReporter(ModelServer& server,
+                                 obs::MetricsRegistry& registry,
+                                 Options options)
+    : server_(server), registry_(registry), options_(std::move(options)) {
+  if (options_.interval.count() < 1) {
+    options_.interval = std::chrono::milliseconds(1);
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+MetricsReporter::~MetricsReporter() { stop(); }
+
+void MetricsReporter::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  report();  // final flush so the file reflects end-of-run state
+}
+
+void MetricsReporter::tick_now() { report(); }
+
+void MetricsReporter::run() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, options_.interval, [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    report();
+    lock.lock();
+  }
+}
+
+void MetricsReporter::report() {
+  WEBPPM_TRACE("serve.metrics_report");
+  server_.refresh_gauges();
+  const std::string text = registry_.prometheus_text();
+  if (!options_.path.empty()) {
+    const std::string tmp = options_.path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << text;
+    }
+    // Atomic swap: a scraper never sees a half-written exposition.
+    std::rename(tmp.c_str(), options_.path.c_str());
+  }
+  if (options_.sink) options_.sink(text);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace webppm::serve

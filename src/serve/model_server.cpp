@@ -1,8 +1,10 @@
 #include "serve/model_server.hpp"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
+#include "obs/trace_event.hpp"
 #include "ppm/serialize.hpp"
 
 namespace webppm::serve {
@@ -56,14 +58,82 @@ std::shared_ptr<const Snapshot> load_snapshot(
 
 ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
   if (config_.shards == 0) config_.shards = 1;
+  if (config_.latency_sample_every == 0) config_.latency_sample_every = 1;
   shards_.reserve(config_.shards);
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_));
   }
+  if (config_.metrics != nullptr) {
+    auto& reg = *config_.metrics;
+    ins_ = std::make_unique<Instruments>(Instruments{
+        &reg.counter("webppm_serve_queries_total"),
+        &reg.counter("webppm_serve_publish_total"),
+        &reg.counter("webppm_serve_sessionizer_evictions_total"),
+        &reg.counter("webppm_serve_shard_lock_contended_total"),
+        &reg.gauge("webppm_serve_snapshot_version"),
+        &reg.gauge("webppm_serve_snapshot_generations_live"),
+        &reg.gauge("webppm_serve_retired_snapshot_refs"),
+        &reg.gauge("webppm_serve_clients"),
+        &reg.histogram("webppm_serve_query_latency_ns"),
+        &reg.histogram("webppm_serve_shard_lock_wait_ns"),
+    });
+  }
 }
 
 void ModelServer::publish(std::shared_ptr<const Snapshot> snap) {
-  snap_.store(std::move(snap));
+  WEBPPM_TRACE("serve.publish");
+  const std::uint64_t version = snap ? snap->version : 0;
+  const Snapshot* incoming = snap.get();
+  auto old = snap_.exchange(std::move(snap));
+  {
+    std::lock_guard lock(gen_mu_);
+    // Republishing the current snapshot must not count it as retired.
+    if (old != nullptr && old.get() != incoming) {
+      retired_.push_back(old);
+    }
+    std::erase_if(retired_,
+                  [](const auto& w) { return w.expired(); });
+  }
+  if (ins_ != nullptr) {
+    ins_->publishes->add();
+    ins_->snapshot_version->set(static_cast<std::int64_t>(version));
+  }
+  update_generation_metrics();
+  // `old` destroyed here — a whole model, intentionally outside every lock.
+}
+
+void ModelServer::update_generation_metrics() {
+  const std::size_t live = snapshot_generations_live();
+  if (ins_ != nullptr) {
+    ins_->generations_live->set(static_cast<std::int64_t>(live));
+    ins_->retired_refs->set(
+        static_cast<std::int64_t>(retired_snapshot_refs()));
+  }
+  if (live > 2) {
+    obs::log_event(obs::Severity::kWarn, "serve.snapshot_generations_live",
+                   std::to_string(live) +
+                       " snapshot generations alive; in-flight queries or "
+                       "leaked handles are pinning superseded models");
+  }
+}
+
+std::size_t ModelServer::snapshot_generations_live() const {
+  const bool has_current = snapshot() != nullptr;
+  std::lock_guard lock(gen_mu_);
+  std::size_t live = has_current ? 1 : 0;
+  for (const auto& w : retired_) {
+    if (!w.expired()) ++live;
+  }
+  return live;
+}
+
+std::size_t ModelServer::retired_snapshot_refs() const {
+  std::lock_guard lock(gen_mu_);
+  std::size_t refs = 0;
+  for (const auto& w : retired_) {
+    refs += static_cast<std::size_t>(w.use_count());
+  }
+  return refs;
 }
 
 std::shared_ptr<const Snapshot> ModelServer::snapshot() const {
@@ -82,12 +152,28 @@ bool ModelServer::query(const trace::Request& r,
   // simulator's piggyback path skips them the same way).
   if (config_.session.skip_errors && r.status >= 400) return false;
 
+  // Latency is sampled (default 1-in-64) so the common path pays no clock
+  // reads; counters stay exact via the existing queries_ atomic, exported
+  // on refresh_gauges().
+  const bool sample = ins_ != nullptr && sample_latency_now();
+  const std::uint64_t q0 = sample ? obs::now_ns() : 0;
+
   // Copy the context out under the shard lock (it is at most
   // context_window ids), then predict lock-free on the snapshot.
   thread_local std::vector<UrlId> ctx;
   {
     Shard& sh = shard_of(r.client);
-    std::lock_guard lock(sh.mu);
+    if (ins_ != nullptr && !sh.mu.try_lock()) {
+      // Contended: measure the wait. The uncontended fast path records
+      // nothing — try_lock success costs the same as a plain lock.
+      const std::uint64_t w0 = obs::now_ns();
+      sh.mu.lock();
+      ins_->shard_lock_wait->record(obs::now_ns() - w0);
+      ins_->shard_lock_contended->add();
+    } else if (ins_ == nullptr) {
+      sh.mu.lock();
+    }
+    std::lock_guard lock(sh.mu, std::adopt_lock);
     const auto view = sh.contexts.observe(r);
     ctx.assign(view.begin(), view.end());
   }
@@ -96,6 +182,7 @@ bool ModelServer::query(const trace::Request& r,
   if (!snap || !snap->model) return false;
   snap->model->predict(ctx, out);
   queries_.fetch_add(1, std::memory_order_relaxed);
+  if (sample) ins_->query_latency->record(obs::now_ns() - q0);
   return true;
 }
 
@@ -109,12 +196,40 @@ std::size_t ModelServer::client_count() const {
 }
 
 std::size_t ModelServer::evict_idle(TimeSec now) {
+  WEBPPM_TRACE("serve.evict_idle");
   std::size_t evicted = 0;
   for (const auto& sh : shards_) {
     std::lock_guard lock(sh->mu);
     evicted += sh->contexts.evict_idle(now);
   }
   return evicted;
+}
+
+void ModelServer::refresh_gauges() {
+  if (ins_ == nullptr) return;
+  std::size_t clients = 0;
+  std::uint64_t evicted = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    clients += sh->contexts.client_count();
+    evicted += sh->contexts.evicted_total();
+  }
+  ins_->clients->set(static_cast<std::int64_t>(clients));
+
+  const std::uint64_t queries = queries_.load(std::memory_order_relaxed);
+  std::uint64_t evict_delta = 0;
+  std::uint64_t query_delta = 0;
+  {
+    std::lock_guard lock(gen_mu_);
+    evict_delta = evicted - evictions_reported_;
+    evictions_reported_ = evicted;
+    query_delta = queries - queries_reported_;
+    queries_reported_ = queries;
+  }
+  if (evict_delta != 0) ins_->evictions->add(evict_delta);
+  if (query_delta != 0) ins_->queries->add(query_delta);
+  ins_->snapshot_version->set(static_cast<std::int64_t>(version()));
+  update_generation_metrics();
 }
 
 }  // namespace webppm::serve

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "popularity/popularity.hpp"
 #include "ppm/predictor.hpp"
 #include "session/online.hpp"
@@ -77,6 +78,16 @@ struct ModelServerConfig {
   /// idle-timeout reset, so eviction never changes prediction results —
   /// it only bounds memory for million-client populations.
   double idle_eviction_factor = 0.0;
+  /// Observability. Non-null attaches webppm_serve_* metrics: query/publish
+  /// counters, a sampled query-latency histogram, shard-lock contention,
+  /// snapshot-generation gauges and sessionizer eviction totals. Null (the
+  /// default) leaves the query path byte-identical to the uninstrumented
+  /// server — the overhead bench asserts the attached cost < 3%.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Record one query-latency sample every N queries (per thread; >= 1,
+  /// 1 = every query). Sampling keeps the two clock reads off the common
+  /// path; counters are exact regardless.
+  std::uint32_t latency_sample_every = 64;
 };
 
 class ModelServer {
@@ -114,6 +125,22 @@ class ModelServer {
   /// ModelServerConfig::idle_eviction_factor). Returns contexts dropped.
   std::size_t evict_idle(TimeSec now);
 
+  /// Snapshot generations still alive: the current one plus every retired
+  /// snapshot kept pinned by in-flight readers. 1 is steady state; > 2
+  /// means old models are not being released (the leak canary logs a
+  /// structured warning event when publish observes that).
+  std::size_t snapshot_generations_live() const;
+
+  /// Outstanding shared references to retired (non-current) snapshots —
+  /// how many holders still sit on a superseded model.
+  std::size_t retired_snapshot_refs() const;
+
+  /// Re-derives the metrics that are summaries of server state (client
+  /// count, eviction totals, query totals, snapshot generations) into the
+  /// attached registry. Cheap but shard-locking — call it from a reporter
+  /// tick, not the query path. No-op without an attached registry.
+  void refresh_gauges();
+
   const ModelServerConfig& config() const { return config_; }
 
  private:
@@ -145,12 +172,13 @@ class ModelServer {
       std::lock_guard lock(mu_);
       return snap_;
     }
-    void store(std::shared_ptr<const Snapshot> snap) {
-      {
-        std::lock_guard lock(mu_);
-        snap_.swap(snap);
-      }
-      // old snapshot (now in `snap`) destroyed here, lock released
+    /// Installs `snap` and returns the displaced snapshot so the caller
+    /// can track (and eventually destroy) it outside the slot lock.
+    std::shared_ptr<const Snapshot> exchange(
+        std::shared_ptr<const Snapshot> snap) {
+      std::lock_guard lock(mu_);
+      snap_.swap(snap);
+      return snap;
     }
 
    private:
@@ -158,10 +186,48 @@ class ModelServer {
     std::shared_ptr<const Snapshot> snap_;
   };
 
+  /// Registry handles resolved once at construction so the query path
+  /// never does a name lookup. Present only when config.metrics != null.
+  struct Instruments {
+    obs::Counter* queries;
+    obs::Counter* publishes;
+    obs::Counter* evictions;
+    obs::Counter* shard_lock_contended;
+    obs::Gauge* snapshot_version;
+    obs::Gauge* generations_live;
+    obs::Gauge* retired_refs;
+    obs::Gauge* clients;
+    obs::LogHistogram* query_latency;
+    obs::LogHistogram* shard_lock_wait;
+  };
+
+  /// True every config.latency_sample_every-th query on this thread.
+  bool sample_latency_now() {
+    if (config_.latency_sample_every <= 1) return true;
+    thread_local std::uint32_t since = 0;
+    if (++since >= config_.latency_sample_every) {
+      since = 0;
+      return true;
+    }
+    return false;
+  }
+
+  void update_generation_metrics();
+
   ModelServerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   SnapshotSlot snap_;
   std::atomic<std::uint64_t> queries_{0};
+
+  std::unique_ptr<Instruments> ins_;
+
+  /// Retired-snapshot tracking (weak: tracking never keeps a model alive).
+  /// Maintained regardless of instrumentation so the generation accessors
+  /// work on any server; cost is publish-rate only.
+  mutable std::mutex gen_mu_;
+  std::vector<std::weak_ptr<const Snapshot>> retired_;
+  std::uint64_t evictions_reported_ = 0;  ///< under gen_mu_ (counter delta)
+  std::uint64_t queries_reported_ = 0;    ///< under gen_mu_ (counter delta)
 };
 
 }  // namespace webppm::serve

@@ -48,6 +48,7 @@ std::size_t OnlineSessionizer::evict_idle(TimeSec now) {
       ++it;
     }
   }
+  evicted_total_ += evicted;
   return evicted;
 }
 

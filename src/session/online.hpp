@@ -73,11 +73,17 @@ class OnlineSessionizer {
   /// the number evicted; no-op (0) when eviction is disabled.
   std::size_t evict_idle(TimeSec now);
 
+  /// Cumulative contexts evicted over this sessionizer's life (both the
+  /// amortised in-stream sweeps and explicit evict_idle calls) — the
+  /// eviction-pressure signal ModelServer exports as a metric.
+  std::size_t evicted_total() const { return evicted_total_; }
+
  private:
   SessionizerOptions opt_;
   std::size_t window_;
   double idle_eviction_factor_ = 0.0;
   std::size_t observed_since_sweep_ = 0;
+  std::size_t evicted_total_ = 0;
   std::unordered_map<ClientId, OnlineContext> contexts_;
 };
 

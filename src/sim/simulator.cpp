@@ -1,14 +1,33 @@
 #include "sim/simulator.hpp"
 
+#include "obs/trace_event.hpp"
 #include "session/online.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace webppm::sim {
 namespace {
+
+/// Registry handles resolved once per simulation run (registry lookups take
+/// a mutex; the prediction loop must not).
+struct SimInstruments {
+  obs::Counter* passes;        ///< piggyback predict() invocations
+  obs::Counter* predictions;   ///< candidates returned across all passes
+  obs::LogHistogram* per_pass; ///< candidate-list length distribution
+};
+
+std::unique_ptr<SimInstruments> resolve(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return nullptr;
+  auto ins = std::make_unique<SimInstruments>();
+  ins->passes = &registry->counter("webppm_sim_prediction_passes_total");
+  ins->predictions = &registry->counter("webppm_sim_predictions_total");
+  ins->per_pass = &registry->histogram("webppm_sim_predictions_per_pass");
+  return ins;
+}
 
 /// The server keeps a rolling per-client session context with the same
 /// rules the batch sessionizer applies to training data.
@@ -36,11 +55,17 @@ void issue_prefetches(const trace::Trace& trace, const ppm::Predictor& model,
                       ClientId client, std::span<const UrlId> context,
                       UrlId current, cache::DocumentCache& target,
                       const SimulationConfig& cfg, const SimHooks& hooks,
+                      const SimInstruments* ins,
                       std::vector<ppm::Prediction>& scratch, Metrics& m) {
   if (!cfg.policy.enabled || context.empty()) return;
   model.predict(context, scratch, hooks.usage);
   if (hooks.prediction_log != nullptr) {
     hooks.prediction_log->entries.push_back({client, current, scratch});
+  }
+  if (ins != nullptr) {
+    ins->passes->add();
+    ins->predictions->add(scratch.size());
+    ins->per_pass->record(scratch.size());
   }
   std::size_t sent = 0;
   for (const auto& p : scratch) {
@@ -58,6 +83,34 @@ void issue_prefetches(const trace::Trace& trace, const ppm::Predictor& model,
 
 }  // namespace
 
+void export_metrics(const Metrics& m, obs::MetricsRegistry& registry) {
+  registry.counter("webppm_sim_requests_total").add(m.requests);
+  registry.counter("webppm_sim_hits_total").add(m.hits);
+  registry.counter("webppm_sim_browser_hits_total").add(m.browser_hits);
+  registry.counter("webppm_sim_proxy_hits_total").add(m.proxy_hits);
+  registry.counter("webppm_sim_prefetch_hits_total").add(m.prefetch_hits);
+  registry.counter("webppm_sim_popular_prefetch_hits_total")
+      .add(m.popular_prefetch_hits);
+  registry.counter("webppm_sim_demand_misses_total").add(m.demand_misses);
+  registry.counter("webppm_sim_prefetches_sent_total").add(m.prefetches_sent);
+  // A sent prefetch whose document is never demanded is wasted traffic
+  // (the denominator of the paper's traffic-increment metric).
+  const std::uint64_t wasted =
+      m.prefetches_sent > m.prefetch_hits ? m.prefetches_sent - m.prefetch_hits
+                                          : 0;
+  registry.counter("webppm_sim_prefetches_wasted_total").add(wasted);
+  registry.counter("webppm_sim_bytes_demand_total").add(m.bytes_demand);
+  registry.counter("webppm_sim_bytes_prefetched_total")
+      .add(m.bytes_prefetched);
+  registry.counter("webppm_sim_bytes_prefetch_used_total")
+      .add(m.bytes_prefetch_used);
+  // latency_seconds is a double; nanoseconds keep counter integrality
+  // without losing meaningful precision at trace scale.
+  registry.counter("webppm_sim_latency_ns_total")
+      .add(static_cast<std::uint64_t>(std::llround(
+          std::max(0.0, m.latency_seconds) * 1e9)));
+}
+
 Metrics simulate_direct(const trace::Trace& trace,
                         std::span<const trace::Request> eval,
                         const ppm::Predictor& model,
@@ -65,7 +118,9 @@ Metrics simulate_direct(const trace::Trace& trace,
                         const session::ClientClassification& classes,
                         const SimulationConfig& config,
                         const SimHooks& hooks) {
+  WEBPPM_TRACE("sim.simulate_direct");
   Metrics m;
+  const auto ins = resolve(hooks.metrics);
   struct ClientState {
     std::unique_ptr<cache::DocumentCache> cache;
     session::OnlineContext context;
@@ -108,8 +163,9 @@ Metrics simulate_direct(const trace::Trace& trace,
 
     state.context.observe(r.url, r.timestamp);
     issue_prefetches(trace, model, r.client, state.context.view(), r.url,
-                     *state.cache, config, hooks, scratch, m);
+                     *state.cache, config, hooks, ins.get(), scratch, m);
   }
+  if (hooks.metrics != nullptr) export_metrics(m, *hooks.metrics);
   return m;
 }
 
@@ -120,7 +176,9 @@ Metrics simulate_proxy_group(const trace::Trace& trace,
                              std::span<const ClientId> clients,
                              const SimulationConfig& config,
                              const SimHooks& hooks) {
+  WEBPPM_TRACE("sim.simulate_proxy_group");
   Metrics m;
+  const auto ins = resolve(hooks.metrics);
   const std::unordered_set<ClientId> members(clients.begin(), clients.end());
 
   const auto proxy_cache = cache::make_cache(
@@ -175,8 +233,9 @@ Metrics simulate_proxy_group(const trace::Trace& trace,
     // client's requests); prefetched documents are pushed to the proxy.
     state.context.observe(r.url, r.timestamp);
     issue_prefetches(trace, model, r.client, state.context.view(), r.url,
-                     *proxy_cache, config, hooks, scratch, m);
+                     *proxy_cache, config, hooks, ins.get(), scratch, m);
   }
+  if (hooks.metrics != nullptr) export_metrics(m, *hooks.metrics);
   return m;
 }
 

@@ -18,6 +18,7 @@
 
 #include "cache/document_cache.hpp"
 #include "net/latency.hpp"
+#include "obs/metrics.hpp"
 #include "popularity/popularity.hpp"
 #include "ppm/predictor.hpp"
 #include "session/session.hpp"
@@ -78,7 +79,20 @@ struct PredictionLog {
 struct SimHooks {
   ppm::UsageScratch* usage = nullptr;
   PredictionLog* prediction_log = nullptr;
+  /// Non-null surfaces the run's accounting as webppm_sim_* registry
+  /// metrics: per-pass prediction counts (a candidates-per-pass histogram
+  /// recorded inline) plus every sim::Metrics field exported as counters
+  /// when the run completes. Totals reconcile exactly with the
+  /// PredictionLog: prediction_passes_total == entries, predictions_total
+  /// == summed candidate-list lengths.
+  obs::MetricsRegistry* metrics = nullptr;
 };
+
+/// Folds one finished run's accounting into `registry` as webppm_sim_*
+/// counters (requests/hits/prefetch hits/wasted prefetches/bytes...).
+/// Called automatically by the simulators when hooks.metrics is set;
+/// public so external replay drivers can reuse the same metric names.
+void export_metrics(const Metrics& m, obs::MetricsRegistry& registry);
 
 /// §4 topology. `trace` supplies URL sizes; `eval` is the evaluation-day
 /// request stream (a sub-span of trace.requests). The predictor must have

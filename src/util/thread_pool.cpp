@@ -1,9 +1,27 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 
 namespace webppm::util {
+namespace {
+
+/// Must be called from inside a catch block.
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception type";
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -25,28 +43,78 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> pt(std::move(task));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  std::packaged_task<void()> pt(
+      [this, t = std::move(task)] { run_task(t); });
   auto fut = pt.get_future();
+  std::size_t depth;
   {
     std::lock_guard lock(mu_);
     queue_.push_back(std::move(pt));
+    depth = queue_.size();
+    queue_high_water_ = std::max(queue_high_water_, depth);
+  }
+  if (metric_queue_depth_ != nullptr) {
+    metric_queue_depth_->set(static_cast<std::int64_t>(depth));
   }
   cv_.notify_one();
   return fut;
 }
 
+void ThreadPool::run_task(const std::function<void()>& task) {
+  try {
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_executed_ != nullptr) metric_executed_->add();
+  } catch (...) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_failed_ != nullptr) metric_failed_->add();
+    const std::string what = describe_current_exception();
+    obs::log_event(obs::Severity::kError, "thread_pool.task_failed", what);
+    std::fprintf(stderr, "webppm::util::ThreadPool: task failed: %s\n",
+                 what.c_str());
+    throw;  // re-captured by the packaged_task into the future
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
+    std::size_t depth;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      depth = queue_.size();
+    }
+    if (metric_queue_depth_ != nullptr) {
+      metric_queue_depth_->set(static_cast<std::int64_t>(depth));
     }
     task();  // packaged_task captures exceptions into the future
   }
+}
+
+ThreadPoolStats ThreadPool::stats() const {
+  ThreadPoolStats s;
+  s.tasks_submitted = submitted_.load(std::memory_order_relaxed);
+  s.tasks_executed = executed_.load(std::memory_order_relaxed);
+  s.tasks_failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(mu_);
+    s.queue_depth = queue_.size();
+    s.queue_high_water = queue_high_water_;
+  }
+  return s;
+}
+
+void ThreadPool::attach_metrics(obs::MetricsRegistry& registry,
+                                std::string_view prefix) {
+  const std::string p(prefix);
+  metric_executed_ = &registry.counter(p + "_tasks_executed_total");
+  metric_failed_ = &registry.counter(p + "_tasks_failed_total");
+  metric_queue_depth_ = &registry.gauge(p + "_queue_depth");
 }
 
 void parallel_for(ThreadPool& pool, std::size_t n,

@@ -3,18 +3,44 @@
 // The experiment harnesses sweep independent configurations (training-day
 // counts, models, client counts); each configuration is an independent
 // simulation, so the sweep parallelises trivially across cores.
+//
+// Failure visibility: a task that throws stores its exception in the
+// future returned by submit() (parallel_for rethrows the first one), and —
+// because fire-and-forget callers may never touch that future — every
+// failure is additionally counted (stats().tasks_failed), reported as a
+// structured obs error event, and echoed to stderr. Nothing is silently
+// swallowed.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+namespace webppm::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace webppm::obs
+
 namespace webppm::util {
+
+/// Point-in-time pool accounting. Counters are cumulative over the pool's
+/// life; queue_depth is the instantaneous backlog (tasks not yet started).
+struct ThreadPoolStats {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_executed = 0;  ///< completed without throwing
+  std::uint64_t tasks_failed = 0;    ///< threw; exception kept in the future
+  std::size_t queue_depth = 0;
+  std::size_t queue_high_water = 0;
+};
 
 class ThreadPool {
  public:
@@ -30,14 +56,33 @@ class ThreadPool {
   /// Enqueues a task; the returned future reports completion/exceptions.
   std::future<void> submit(std::function<void()> task);
 
+  ThreadPoolStats stats() const;
+
+  /// Mirrors the pool's accounting into live registry metrics:
+  /// {prefix}_tasks_executed_total / {prefix}_tasks_failed_total counters
+  /// and a {prefix}_queue_depth gauge. Attach before submitting work (the
+  /// metric pointers are read unsynchronised on the task path).
+  void attach_metrics(obs::MetricsRegistry& registry,
+                      std::string_view prefix = "webppm_pool");
+
  private:
   void worker_loop();
+  void run_task(const std::function<void()>& task);
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  std::size_t queue_high_water_ = 0;  ///< under mu_
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+
+  obs::Counter* metric_executed_ = nullptr;
+  obs::Counter* metric_failed_ = nullptr;
+  obs::Gauge* metric_queue_depth_ = nullptr;
 };
 
 /// Runs fn(i) for i in [0, n), distributing iterations across the pool and

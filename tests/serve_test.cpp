@@ -6,6 +6,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace_event.hpp"
 #include "ppm/serialize.hpp"
 #include "session/online.hpp"
 
@@ -221,6 +223,129 @@ TEST(ModelServerStress, ConcurrentQueriesAndPublishes) {
   EXPECT_EQ(server.version(), kPublishes + 1);
   EXPECT_EQ(predicted.load(), kThreads * kClicksPerThread);
   EXPECT_EQ(server.query_count(), kThreads * kClicksPerThread);
+}
+
+// --- Observability (ISSUE 3): instrumentation must observe, never steer --
+
+/// Replays a fixed click stream and returns the concatenated predictions.
+std::vector<ppm::Prediction> replay(ModelServer& server, int clicks) {
+  std::vector<ppm::Prediction> all, out;
+  for (int i = 0; i < clicks; ++i) {
+    const auto c = static_cast<ClientId>(i % 7);
+    const auto u = static_cast<UrlId>(1 + i % 3);
+    server.query(click(c, u, static_cast<TimeSec>(i)), out);
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  return all;
+}
+
+TEST(ModelServerObs, InstrumentedPredictionsIdentical) {
+  constexpr int kClicks = 500;
+  ModelServer plain;
+  plain.publish(tiny_snapshot(3));
+
+  obs::MetricsRegistry reg;
+  ModelServerConfig cfg;
+  cfg.metrics = &reg;
+  cfg.latency_sample_every = 1;  // sample every query: counts must match
+  ModelServer instrumented(cfg);
+  instrumented.publish(tiny_snapshot(3));
+
+  const auto a = replay(plain, kClicks);
+  const auto b = replay(instrumented, kClicks);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].url, b[i].url);
+    EXPECT_EQ(a[i].probability, b[i].probability);
+  }
+  EXPECT_EQ(plain.query_count(), instrumented.query_count());
+
+  // Totals reconcile exactly with the server's own accounting.
+  const auto* lat = reg.find_histogram("webppm_serve_query_latency_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count(), instrumented.query_count());
+
+  instrumented.refresh_gauges();
+  EXPECT_EQ(reg.counter("webppm_serve_queries_total").value(),
+            instrumented.query_count());
+  EXPECT_EQ(reg.counter("webppm_serve_publish_total").value(), 1u);
+  EXPECT_EQ(reg.gauge("webppm_serve_snapshot_version").value(), 3);
+  EXPECT_EQ(reg.gauge("webppm_serve_clients").value(),
+            static_cast<std::int64_t>(instrumented.client_count()));
+
+  // refresh_gauges is a delta export: calling it again must not double-add.
+  instrumented.refresh_gauges();
+  EXPECT_EQ(reg.counter("webppm_serve_queries_total").value(),
+            instrumented.query_count());
+}
+
+TEST(ModelServerObs, EvictionCounterReconciles) {
+  obs::MetricsRegistry reg;
+  ModelServerConfig cfg;
+  cfg.metrics = &reg;
+  cfg.idle_eviction_factor = 2.0;
+  ModelServer server(cfg);
+  server.publish(tiny_snapshot());
+  std::vector<ppm::Prediction> out;
+  for (ClientId c = 0; c < 20; ++c) server.query(click(c, 1, 0), out);
+
+  EXPECT_EQ(server.evict_idle(2 * 1800 + 1), 20u);
+  server.refresh_gauges();
+  EXPECT_EQ(reg.counter("webppm_serve_sessionizer_evictions_total").value(),
+            20u);
+  EXPECT_EQ(reg.gauge("webppm_serve_clients").value(), 0);
+}
+
+TEST(ModelServerObs, GenerationGaugesAndLeakCanary) {
+  obs::clear_events();
+  obs::MetricsRegistry reg;
+  ModelServerConfig cfg;
+  cfg.metrics = &reg;
+  ModelServer server(cfg);
+
+  server.publish(tiny_snapshot(1));
+  EXPECT_EQ(server.snapshot_generations_live(), 1u);
+  EXPECT_EQ(reg.gauge("webppm_serve_snapshot_generations_live").value(), 1);
+
+  // A held reader pins the retired generation.
+  auto held1 = server.snapshot();
+  server.publish(tiny_snapshot(2));
+  EXPECT_EQ(server.snapshot_generations_live(), 2u);
+  EXPECT_GE(server.retired_snapshot_refs(), 1u);
+  EXPECT_EQ(reg.gauge("webppm_serve_snapshot_generations_live").value(), 2);
+  EXPECT_TRUE(obs::recent_events().empty());  // 2 generations: no canary yet
+
+  // A second pinned generation crosses the leak threshold (> 2 live).
+  auto held2 = server.snapshot();
+  server.publish(tiny_snapshot(3));
+  EXPECT_EQ(server.snapshot_generations_live(), 3u);
+  bool canary = false;
+  for (const auto& e : obs::recent_events()) {
+    if (e.name == "serve.snapshot_generations_live" &&
+        e.severity == obs::Severity::kWarn) {
+      canary = true;
+    }
+  }
+  EXPECT_TRUE(canary);
+
+  // Releasing the holders lets retirement drain back to steady state.
+  held1.reset();
+  held2.reset();
+  server.refresh_gauges();
+  EXPECT_EQ(server.snapshot_generations_live(), 1u);
+  EXPECT_EQ(server.retired_snapshot_refs(), 0u);
+  EXPECT_EQ(reg.gauge("webppm_serve_snapshot_generations_live").value(), 1);
+  EXPECT_EQ(reg.gauge("webppm_serve_retired_snapshot_refs").value(), 0);
+  obs::clear_events();
+}
+
+TEST(ModelServerObs, RepublishingSameSnapshotIsNotRetirement) {
+  ModelServer server;
+  const auto snap = tiny_snapshot(1);
+  server.publish(snap);
+  server.publish(snap);  // idempotent republish
+  EXPECT_EQ(server.snapshot_generations_live(), 1u);
+  EXPECT_EQ(server.retired_snapshot_refs(), 0u);
 }
 
 // Readers holding a snapshot across a publish keep a valid model (RCU

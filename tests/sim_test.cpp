@@ -265,5 +265,83 @@ TEST(Metrics, ZeroSafeDerived) {
   EXPECT_DOUBLE_EQ(latency_reduction(m, m), 0.0);
 }
 
+// The SimHooks metrics tap must reconcile exactly with the run's own
+// accounting: per-pass counters with the PredictionLog, end-of-run counters
+// with the returned Metrics — and attaching it must not change results.
+TEST(SimObs, RegistryReconcilesWithPredictionLog) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             {20, "train", "/c", 1000},
+             {kDay + 0, "eval", "/a", 1000},
+             {kDay + 10, "eval", "/b", 1000},
+             {kDay + 20, "eval", "/c", 1000}});
+  SimulationConfig cfg;
+
+  const auto plain = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                     f.popularity, f.classes, cfg);
+
+  obs::MetricsRegistry reg;
+  PredictionLog log;
+  SimHooks hooks;
+  hooks.prediction_log = &log;
+  hooks.metrics = &reg;
+  const auto m = simulate_direct(f.trace, f.trace.day_slice(1), f.model,
+                                 f.popularity, f.classes, cfg, hooks);
+
+  // Instrumentation observes, never steers.
+  EXPECT_EQ(m.requests, plain.requests);
+  EXPECT_EQ(m.hits, plain.hits);
+  EXPECT_EQ(m.prefetch_hits, plain.prefetch_hits);
+  EXPECT_EQ(m.prefetches_sent, plain.prefetches_sent);
+  EXPECT_EQ(m.bytes_prefetched, plain.bytes_prefetched);
+
+  // Per-pass accounting == the prediction log, entry for entry.
+  std::uint64_t candidates = 0;
+  for (const auto& e : log.entries) candidates += e.predictions.size();
+  EXPECT_EQ(reg.counter("webppm_sim_prediction_passes_total").value(),
+            log.entries.size());
+  EXPECT_EQ(reg.counter("webppm_sim_predictions_total").value(), candidates);
+  EXPECT_EQ(reg.histogram("webppm_sim_predictions_per_pass").count(),
+            log.entries.size());
+
+  // End-of-run export == the returned Metrics, field for field.
+  EXPECT_EQ(reg.counter("webppm_sim_requests_total").value(), m.requests);
+  EXPECT_EQ(reg.counter("webppm_sim_hits_total").value(), m.hits);
+  EXPECT_EQ(reg.counter("webppm_sim_prefetch_hits_total").value(),
+            m.prefetch_hits);
+  EXPECT_EQ(reg.counter("webppm_sim_demand_misses_total").value(),
+            m.demand_misses);
+  EXPECT_EQ(reg.counter("webppm_sim_prefetches_sent_total").value(),
+            m.prefetches_sent);
+  EXPECT_EQ(reg.counter("webppm_sim_prefetches_wasted_total").value(),
+            m.prefetches_sent - m.prefetch_hits);
+  EXPECT_EQ(reg.counter("webppm_sim_bytes_demand_total").value(),
+            m.bytes_demand);
+  EXPECT_EQ(reg.counter("webppm_sim_bytes_prefetched_total").value(),
+            m.bytes_prefetched);
+  EXPECT_EQ(reg.counter("webppm_sim_bytes_prefetch_used_total").value(),
+            m.bytes_prefetch_used);
+}
+
+TEST(SimObs, ProxyGroupExportsCounters) {
+  Fixture f({{0, "train", "/a", 1000},
+             {10, "train", "/b", 1000},
+             {kDay + 0, "c1", "/a", 1000},
+             {kDay + 10, "c1", "/b", 1000},
+             {kDay + 20, "c2", "/b", 1000}});
+  const std::vector<ClientId> members{f.trace.clients.intern("c1"),
+                                      f.trace.clients.intern("c2")};
+  obs::MetricsRegistry reg;
+  SimHooks hooks;
+  hooks.metrics = &reg;
+  SimulationConfig cfg;
+  const auto m = simulate_proxy_group(f.trace, f.trace.day_slice(1), f.model,
+                                      f.popularity, members, cfg, hooks);
+  EXPECT_EQ(reg.counter("webppm_sim_requests_total").value(), m.requests);
+  EXPECT_EQ(reg.counter("webppm_sim_browser_hits_total").value(),
+            m.browser_hits);
+  EXPECT_EQ(reg.counter("webppm_sim_proxy_hits_total").value(), m.proxy_hits);
+}
+
 }  // namespace
 }  // namespace webppm::sim

@@ -71,6 +71,31 @@ TEST(ParallelFor, PropagatesFirstException) {
                std::logic_error);
 }
 
+TEST(ThreadPool, StatsCountSubmittedExecutedFailed) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.submit([i] {
+      if (i % 5 == 4) throw std::runtime_error("intentional");
+    }));
+  }
+  std::size_t threw = 0;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (const std::runtime_error&) {
+      ++threw;
+    }
+  }
+  EXPECT_EQ(threw, 2u);  // futures still deliver the exceptions
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.tasks_submitted, 10u);
+  EXPECT_EQ(stats.tasks_executed, 8u);
+  EXPECT_EQ(stats.tasks_failed, 2u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_LE(stats.queue_high_water, 10u);
+}
+
 TEST(ParallelFor, ComputesPartialSums) {
   ThreadPool pool(4);
   std::vector<long> out(1000, 0);
