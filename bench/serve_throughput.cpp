@@ -19,6 +19,10 @@
 //     replays, plain vs instrumented (default sampling), no per-query
 //     timing inside the loop; the instrumented walltime must be < 3% above
 //     plain (ISSUE 3 acceptance criterion).
+//   * fault layer armed-idle — a fault plan that names no serving site is
+//     prediction-identical and < 3% walltime over the disarmed fast path
+//     (ISSUE 4 acceptance criterion; WEBPPM_FAULT_DISABLED removes the
+//     sites entirely).
 //
 // Artifacts: BENCH_serve.json (rows + gate results),
 // BENCH_serve_metrics.prom (registry exposition after the instrumented
@@ -36,6 +40,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace_event.hpp"
 #include "serve/model_server.hpp"
 
@@ -196,6 +201,38 @@ double measure_overhead_pct(const serve::Snapshot& snap,
   return best_plain > 0 ? 100.0 * (best_ins - best_plain) / best_plain : 0.0;
 }
 
+/// An armed-but-idle fault plan: rules exist, none name a serving site, so
+/// every WEBPPM_FAULT_INJECT on the query path takes the armed-idle branch
+/// (epoch check + null rules pointer) without ever firing.
+fault::Plan inert_fault_plan() {
+  return fault::Plan{}.fail("bench.no_such_site");
+}
+
+/// Disarmed-vs-armed-idle fault-layer overhead, same alternating
+/// min-of-rounds protocol as measure_overhead_pct. Both variants use the
+/// plain (uninstrumented) config so only the fault layer differs.
+double measure_fault_idle_overhead_pct(const serve::Snapshot& snap,
+                                       const serve::ModelServerConfig& cfg,
+                                       std::span<const trace::Request> eval,
+                                       std::size_t passes,
+                                       std::size_t rounds) {
+  fault::disarm();
+  (void)replay_seconds(snap, cfg, eval, 1);  // warm
+  double best_disarmed = 1e300, best_armed = 1e300;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    fault::disarm();
+    best_disarmed =
+        std::min(best_disarmed, replay_seconds(snap, cfg, eval, passes));
+    fault::arm(inert_fault_plan());
+    best_armed =
+        std::min(best_armed, replay_seconds(snap, cfg, eval, passes));
+  }
+  fault::disarm();
+  return best_disarmed > 0
+             ? 100.0 * (best_armed - best_disarmed) / best_disarmed
+             : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,6 +299,27 @@ int main(int argc, char** argv) {
               overhead_pct, oh_rounds, oh_passes,
               overhead_ok ? "OK (< 3%)" : "FAIL (>= 3%)");
 
+  // Gate 3: the fault-injection layer, armed with a plan that matches no
+  // serving site, is prediction-identical and costs < 3% walltime over the
+  // disarmed fast path. (A WEBPPM_FAULT_DISABLED build compiles the sites
+  // out entirely — this gate bounds the cost of leaving them in.)
+  fault::arm(inert_fault_plan());
+  const std::size_t fault_mismatches =
+      verify_against_simulator(trace, eval, *snap, spec, plain_cfg);
+  fault::disarm();
+  const bool fault_identical = fault_mismatches == 0;
+  std::printf("fault layer armed-idle equivalence:   %s "
+              "(%zu mismatching requests)\n",
+              fault_identical ? "IDENTICAL to simulator" : "MISMATCH",
+              fault_mismatches);
+  const double fault_overhead_pct = measure_fault_idle_overhead_pct(
+      *snap, plain_cfg, eval, oh_passes, oh_rounds);
+  const bool fault_overhead_ok = fault_overhead_pct < 3.0;
+  std::printf("fault layer armed-idle overhead: %+.2f%% walltime "
+              "(min of %zu alternating rounds, %zu passes) -> %s\n\n",
+              fault_overhead_pct, oh_rounds, oh_passes,
+              fault_overhead_ok ? "OK (< 3%)" : "FAIL (>= 3%)");
+
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t passes = quick ? 2 : 4;
   const std::vector<std::size_t> thread_counts =
@@ -312,12 +370,17 @@ int main(int argc, char** argv) {
                  "  \"instrumented_identical\": %s,\n"
                  "  \"instrumentation_overhead_pct\": %.3f,\n"
                  "  \"overhead_ok\": %s,\n"
+                 "  \"fault_idle_identical\": %s,\n"
+                 "  \"fault_idle_overhead_pct\": %.3f,\n"
+                 "  \"fault_idle_overhead_ok\": %s,\n"
                  "  \"scaling_4t_over_1t\": %.3f,\n"
                  "  \"runs\": [\n",
                  quick ? "true" : "false", hw,
                  mismatches == 0 ? "true" : "false",
                  ins_mismatches == 0 ? "true" : "false", overhead_pct,
-                 overhead_ok ? "true" : "false", scaling_4t);
+                 overhead_ok ? "true" : "false",
+                 fault_identical ? "true" : "false", fault_overhead_pct,
+                 fault_overhead_ok ? "true" : "false", scaling_4t);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
       std::fprintf(f,
@@ -334,6 +397,7 @@ int main(int argc, char** argv) {
                 "BENCH_serve_trace.json\n");
   }
 
-  const bool ok = mismatches == 0 && ins_mismatches == 0 && overhead_ok;
+  const bool ok = mismatches == 0 && ins_mismatches == 0 && overhead_ok &&
+                  fault_identical && fault_overhead_ok;
   return ok ? 0 : 1;
 }

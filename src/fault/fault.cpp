@@ -1,0 +1,200 @@
+#include "fault/fault.hpp"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace webppm::fault {
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+std::atomic<std::uint64_t> g_epoch{0};
+
+namespace {
+
+/// Runtime state of one plan rule: scripted parameters plus the hit/fired
+/// bookkeeping, serialised by its own mutex so Nth-hit semantics hold under
+/// concurrent site hits.
+struct RuleState {
+  explicit RuleState(Rule r, std::uint64_t seed)
+      : rule(std::move(r)), rng(seed) {}
+  Rule rule;
+  std::mutex mu;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  util::Rng rng;
+};
+
+}  // namespace
+
+/// The rules of the armed plan that name one site, in plan order.
+struct BoundRules {
+  std::vector<RuleState*> rules;
+};
+
+namespace {
+
+/// One armed plan's full runtime state. Retained until process exit so
+/// sites can hold BoundRules pointers without reclamation (fault.hpp).
+struct PlanState {
+  std::vector<std::unique_ptr<RuleState>> rules;
+  std::map<std::string, BoundRules, std::less<>> by_site;
+  std::atomic<std::uint64_t> total_fired{0};
+};
+
+std::mutex g_mu;  // guards everything below
+std::vector<std::unique_ptr<PlanState>> g_plans;  // all ever armed, retained
+PlanState* g_current = nullptr;  // last armed plan (survives disarm for stats)
+
+std::atomic<obs::Counter*> g_injected_counter{nullptr};
+std::atomic<obs::Counter*> g_throws_counter{nullptr};
+
+}  // namespace
+
+Site::Site(const char* name) : name_(name) {}
+
+void Site::rebind(std::uint64_t /*epoch*/) {
+  std::lock_guard lock(g_mu);
+  // Bind against the plan and epoch as they are *now* — a plan swapped in
+  // between the caller's epoch read and this lock binds correctly.
+  const BoundRules* bound = nullptr;
+  if (g_armed.load(std::memory_order_relaxed) && g_current != nullptr) {
+    const auto it = g_current->by_site.find(std::string_view(name_));
+    if (it != g_current->by_site.end()) bound = &it->second;
+  }
+  rules_.store(bound, std::memory_order_release);
+  bound_epoch_.store(g_epoch.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+}
+
+bool Site::evaluate(const BoundRules* rules) {
+  // Every rule sees every hit of the site — an earlier rule's firing never
+  // hides the hit from later rules, so "fail the Nth hit" always means the
+  // Nth hit of the *site*. Rules firing on the same hit compose: delays
+  // add up and apply before the failure, a throw wins over error-return.
+  bool error_return = false;
+  bool do_throw = false;
+  std::uint64_t delay_ns = 0;
+  std::uint64_t fired_n = 0;
+  for (RuleState* rs : rules->rules) {
+    std::lock_guard lock(rs->mu);
+    ++rs->hits;
+    const Rule& r = rs->rule;
+    const bool eligible = rs->hits > r.skip && rs->fired < r.times;
+    const bool fire = eligible && (r.probability >= 1.0 ||
+                                   rs->rng.chance(r.probability));
+    if (!fire) continue;
+    ++rs->fired;
+    ++fired_n;
+    delay_ns += r.delay_ns;
+    if (r.mode == Mode::kThrow) do_throw = true;
+    if (r.mode == Mode::kErrorReturn) error_return = true;
+  }
+  if (fired_n == 0) return false;
+  {
+    std::lock_guard lock(g_mu);
+    if (g_current != nullptr) {
+      g_current->total_fired.fetch_add(fired_n, std::memory_order_relaxed);
+    }
+  }
+  if (auto* c = g_injected_counter.load(std::memory_order_relaxed)) {
+    c->add(fired_n);
+  }
+  if (delay_ns != 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay_ns));
+  }
+  if (do_throw) {
+    if (auto* c = g_throws_counter.load(std::memory_order_relaxed)) {
+      c->add();
+    }
+    throw FaultInjected(name_);
+  }
+  return error_return;
+}
+
+}  // namespace detail
+
+void arm(Plan plan) {
+  using namespace detail;
+  std::lock_guard lock(g_mu);
+  auto state = std::make_unique<PlanState>();
+  std::uint64_t sm = plan.seed;
+  for (auto& r : plan.rules) {
+    // Each rule gets an independent seeded stream so its probability draws
+    // do not depend on other rules' hit interleaving.
+    state->rules.push_back(
+        std::make_unique<RuleState>(std::move(r), util::splitmix64(sm)));
+    auto* rs = state->rules.back().get();
+    state->by_site[rs->rule.site].rules.push_back(rs);
+  }
+  g_current = state.get();
+  g_plans.push_back(std::move(state));
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm() {
+  using namespace detail;
+  std::lock_guard lock(g_mu);
+  g_armed.store(false, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t hit_count(std::string_view site) {
+  using namespace detail;
+  std::lock_guard lock(g_mu);
+  if (g_current == nullptr) return 0;
+  std::uint64_t total = 0;
+  const auto it = g_current->by_site.find(site);
+  if (it == g_current->by_site.end()) return 0;
+  for (RuleState* rs : it->second.rules) {
+    std::lock_guard rule_lock(rs->mu);
+    total += rs->hits;
+  }
+  return total;
+}
+
+std::uint64_t fired_count(std::string_view site) {
+  using namespace detail;
+  std::lock_guard lock(g_mu);
+  if (g_current == nullptr) return 0;
+  std::uint64_t total = 0;
+  const auto it = g_current->by_site.find(site);
+  if (it == g_current->by_site.end()) return 0;
+  for (RuleState* rs : it->second.rules) {
+    std::lock_guard rule_lock(rs->mu);
+    total += rs->fired;
+  }
+  return total;
+}
+
+std::uint64_t total_fired() {
+  using namespace detail;
+  std::lock_guard lock(g_mu);
+  return g_current == nullptr
+             ? 0
+             : g_current->total_fired.load(std::memory_order_relaxed);
+}
+
+void attach_metrics(obs::MetricsRegistry* registry) {
+  using namespace detail;
+  if (registry == nullptr) {
+    g_injected_counter.store(nullptr, std::memory_order_relaxed);
+    g_throws_counter.store(nullptr, std::memory_order_relaxed);
+    return;
+  }
+  g_injected_counter.store(&registry->counter("webppm_fault_injected_total"),
+                           std::memory_order_relaxed);
+  g_throws_counter.store(&registry->counter("webppm_fault_throws_total"),
+                         std::memory_order_relaxed);
+}
+
+}  // namespace webppm::fault

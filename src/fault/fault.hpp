@@ -1,0 +1,180 @@
+// webppm::fault — deterministic, seeded fault injection for chaos testing
+// the serving path (DESIGN.md §9).
+//
+// A *fault site* is a named point in production code where a failure can be
+// scripted:
+//
+//   if (WEBPPM_FAULT_INJECT("serve.snapshot.write")) {
+//     return io_error("snapshot write failed");
+//   }
+//
+// A *plan* is a list of rules, each bound to a site by exact name: fire on
+// the Nth hit, fire with probability p (from an Rng seeded by the plan, so
+// a plan replays identically), inject latency before proceeding, and fail
+// either by returning true from the site (the caller takes its error path)
+// or by throwing fault::FaultInjected. Plans are armed process-wide
+// (arm/disarm) — arming is a test/chaos-time operation, never part of
+// production configuration.
+//
+// Cost model (mirrors the obs layer):
+//   * WEBPPM_FAULT_DISABLED compiles every site to the constant `false`:
+//     the hot path is byte-identical to a build without the framework.
+//   * Enabled but disarmed: one relaxed atomic load and a branch per hit.
+//   * Armed but no rule for the site: the site binds to "no rules" once per
+//     plan (epoch check) and then pays two relaxed loads and a null check —
+//     the serve_throughput bench gates this idle cost at < 3%.
+//   * Armed with matching rules: a per-rule mutex serialises hit counting so
+//     "fail the Nth hit" is exact even under concurrency.
+//
+// Plan states are retained until process exit (arming happens O(tests)
+// times); retaining them lets sites cache rule bindings without any
+// reclamation protocol on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace webppm::fault {
+
+/// Thrown by a site whose matched rule uses Mode::kThrow. The message names
+/// the site, so chaos tests can assert which site blew up.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const std::string& site)
+      : std::runtime_error("fault injected at " + site) {}
+};
+
+/// What a firing rule does to the calling operation.
+enum class Mode : std::uint8_t {
+  kErrorReturn,  ///< site returns true; caller takes its error path
+  kThrow,        ///< site throws FaultInjected
+  kDelayOnly,    ///< only the injected latency; operation proceeds
+};
+
+/// One scripted failure. Every hit of the site advances `skip`/`times`
+/// bookkeeping; a rule fires on hits (skip, skip + times] that also pass
+/// the probability draw.
+struct Rule {
+  std::string site;       ///< exact fault-site name
+  std::uint64_t skip = 0; ///< let this many hits pass before firing
+  std::uint64_t times = std::uint64_t(-1);  ///< fire at most this many times
+  double probability = 1.0;  ///< chance an eligible hit fires (seeded)
+  std::uint64_t delay_ns = 0;  ///< latency injected when the rule fires
+  Mode mode = Mode::kErrorReturn;
+};
+
+/// A scripted fault plan: rules plus the seed that makes probabilistic
+/// rules replayable. Built with the fluent helpers or by pushing Rules.
+struct Plan {
+  std::uint64_t seed = 1;
+  std::vector<Rule> rules;
+
+  /// Fail every hit of `site` (error-return).
+  Plan& fail(std::string site) {
+    rules.push_back({std::move(site), 0, std::uint64_t(-1), 1.0, 0,
+                     Mode::kErrorReturn});
+    return *this;
+  }
+  /// Fail hits (skip, skip + times] of `site` (error-return). skip = 2,
+  /// times = 1 fails exactly the third hit.
+  Plan& fail_nth(std::string site, std::uint64_t skip,
+                 std::uint64_t times = 1) {
+    rules.push_back(
+        {std::move(site), skip, times, 1.0, 0, Mode::kErrorReturn});
+    return *this;
+  }
+  /// Fail each hit of `site` independently with probability `p`.
+  Plan& fail_with_probability(std::string site, double p) {
+    rules.push_back(
+        {std::move(site), 0, std::uint64_t(-1), p, 0, Mode::kErrorReturn});
+    return *this;
+  }
+  /// Throw FaultInjected on hits (skip, skip + times] of `site`.
+  Plan& throw_nth(std::string site, std::uint64_t skip = 0,
+                  std::uint64_t times = 1) {
+    rules.push_back({std::move(site), skip, times, 1.0, 0, Mode::kThrow});
+    return *this;
+  }
+  /// Inject `delay_ns` of latency into every hit; the operation proceeds.
+  Plan& delay(std::string site, std::uint64_t delay_ns) {
+    rules.push_back({std::move(site), 0, std::uint64_t(-1), 1.0, delay_ns,
+                     Mode::kDelayOnly});
+    return *this;
+  }
+};
+
+/// Installs `plan` process-wide, resetting all hit/fired counters. Replaces
+/// any previously armed plan.
+void arm(Plan plan);
+
+/// Removes the armed plan; every site falls back to the disarmed fast path.
+void disarm();
+
+bool armed() noexcept;
+
+/// Counters for the armed (or most recently armed) plan, aggregated over
+/// rules matching `site`. Hits are counted only while a plan with a rule
+/// for the site is armed — the disarmed fast path counts nothing.
+std::uint64_t hit_count(std::string_view site);
+std::uint64_t fired_count(std::string_view site);
+/// Total rule firings (any site, any mode) since the last arm().
+std::uint64_t total_fired();
+
+/// Attaches a registry: every firing counts webppm_fault_injected_total
+/// (and webppm_fault_throws_total for Mode::kThrow). Pass nullptr to
+/// detach. The registry must outlive the attachment.
+void attach_metrics(obs::MetricsRegistry* registry);
+
+namespace detail {
+extern std::atomic<bool> g_armed;           ///< disarmed fast-path gate
+extern std::atomic<std::uint64_t> g_epoch;  ///< bumped by arm()/disarm()
+
+struct BoundRules;  ///< per-site slice of the armed plan (fault.cpp)
+
+/// Per-call-site state behind WEBPPM_FAULT_INJECT: caches which rules of
+/// the current plan apply to this site so the armed-but-idle path stays
+/// lock-free. Function-local static — one per macro expansion.
+class Site {
+ public:
+  explicit Site(const char* name);
+
+  bool check() {
+    if (!g_armed.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t e = g_epoch.load(std::memory_order_relaxed);
+    if (e != bound_epoch_.load(std::memory_order_acquire)) rebind(e);
+    const BoundRules* rules = rules_.load(std::memory_order_acquire);
+    if (rules == nullptr) return false;
+    return evaluate(rules);
+  }
+
+ private:
+  void rebind(std::uint64_t epoch);
+  bool evaluate(const BoundRules* rules);
+
+  const char* name_;
+  std::atomic<std::uint64_t> bound_epoch_{std::uint64_t(-1)};
+  std::atomic<const BoundRules*> rules_{nullptr};
+};
+}  // namespace detail
+
+}  // namespace webppm::fault
+
+#ifdef WEBPPM_FAULT_DISABLED
+#define WEBPPM_FAULT_INJECT(site) false
+#else
+/// Evaluates to true when the armed plan fails this hit (error-return
+/// mode); may throw fault::FaultInjected or sleep per the matched rule.
+/// `site` must be a string literal (it names a function-local static).
+#define WEBPPM_FAULT_INJECT(site)                      \
+  ([]() -> bool {                                      \
+    static ::webppm::fault::detail::Site webppm_site_( \
+        site);                                         \
+    return webppm_site_.check();                       \
+  }())
+#endif

@@ -28,8 +28,12 @@ namespace webppm::ppm {
 /// and the loader reconstructs in one pass.
 void save_tree(std::ostream& out, const PredictionTree& tree);
 
-/// Reads a tree written by save_tree. Returns nullopt on malformed input.
-std::optional<PredictionTree> load_tree(std::istream& in);
+/// Reads a tree written by save_tree. Returns nullopt on malformed input;
+/// when `error` is non-null it receives the reason (which header field or
+/// node line was rejected and why) so operators can log what a corrupt
+/// stream actually violated.
+std::optional<PredictionTree> load_tree(std::istream& in,
+                                        std::string* error = nullptr);
 
 /// Whole-model round-trips. Configuration is serialised alongside the
 /// structure so a loaded model predicts identically.
@@ -37,10 +41,17 @@ void save_model(std::ostream& out, const StandardPpm& model);
 void save_model(std::ostream& out, const LrsPpm& model);
 void save_model(std::ostream& out, const PopularityPpm& model);
 
-std::optional<StandardPpm> load_standard(std::istream& in);
-std::optional<LrsPpm> load_lrs(std::istream& in);
+/// Loaders mirror save_model. On malformed input they return nullopt and,
+/// when `error` is non-null, a one-line reason (the rejected field or
+/// structural rule) — the snapshot store logs these when rolling back past
+/// a corrupt generation.
+std::optional<StandardPpm> load_standard(std::istream& in,
+                                         std::string* error = nullptr);
+std::optional<LrsPpm> load_lrs(std::istream& in,
+                               std::string* error = nullptr);
 /// `grades` must outlive the returned model (as with the constructor).
 std::optional<PopularityPpm> load_popularity(
-    std::istream& in, const popularity::PopularityTable* grades);
+    std::istream& in, const popularity::PopularityTable* grades,
+    std::string* error = nullptr);
 
 }  // namespace webppm::ppm

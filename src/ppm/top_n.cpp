@@ -7,6 +7,19 @@ namespace webppm::ppm {
 
 TopNPredictor::TopNPredictor(const TopNConfig& config) : config_(config) {}
 
+TopNPredictor TopNPredictor::from_popularity(
+    const popularity::PopularityTable& table, const TopNConfig& config) {
+  TopNPredictor p(config);
+  for (UrlId u = 0; u < table.url_count(); ++u) {
+    const auto c = table.accesses(u);
+    if (c == 0) continue;
+    p.counts_[u] = c;
+    p.total_ += c;
+  }
+  p.rebuild_push_set();
+  return p;
+}
+
 void TopNPredictor::train(std::span<const session::Session> sessions) {
   counts_.clear();
   total_ = 0;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "popularity/popularity.hpp"
 #include "ppm/predictor.hpp"
 #include "session/session.hpp"
 
@@ -22,6 +23,13 @@ struct TopNConfig {
 class TopNPredictor final : public Predictor {
  public:
   explicit TopNPredictor(const TopNConfig& config = {});
+
+  /// Builds the push set straight from a popularity table's access counts —
+  /// no sessions needed. This is the serve layer's graceful-degradation
+  /// fallback: when the full Markov model is unavailable, the server can
+  /// still push the N most popular documents of the training window.
+  static TopNPredictor from_popularity(
+      const popularity::PopularityTable& table, const TopNConfig& config = {});
 
   /// Counts document accesses and fixes the push set to the N most
   /// frequent (ties broken by URL id for determinism). train() replaces

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "fault/fault.hpp"
 #include "obs/trace_event.hpp"
 
 namespace webppm::serve {
@@ -14,6 +15,8 @@ MetricsReporter::MetricsReporter(ModelServer& server,
   if (options_.interval.count() < 1) {
     options_.interval = std::chrono::milliseconds(1);
   }
+  failures_counter_ =
+      &registry_.counter("webppm_serve_report_failures_total");
   thread_ = std::thread([this] { run(); });
 }
 
@@ -50,12 +53,29 @@ void MetricsReporter::report() {
   const std::string text = registry_.prometheus_text();
   if (!options_.path.empty()) {
     const std::string tmp = options_.path + ".tmp";
-    {
+    bool ok = !WEBPPM_FAULT_INJECT("serve.report.write");
+    if (ok) {
       std::ofstream out(tmp, std::ios::trunc);
       out << text;
+      out.flush();
+      ok = static_cast<bool>(out);  // caught: open failure, disk full, ...
     }
-    // Atomic swap: a scraper never sees a half-written exposition.
-    std::rename(tmp.c_str(), options_.path.c_str());
+    if (ok && (WEBPPM_FAULT_INJECT("serve.report.rename") ||
+               std::rename(tmp.c_str(), options_.path.c_str()) != 0)) {
+      ok = false;
+    }
+    // On any failure: keep the last successfully renamed exposition (a
+    // scraper reads last-good, never a torn file) and remove the stale
+    // .tmp so a recovering disk isn't left with half-written litter.
+    if (!ok) {
+      std::remove(tmp.c_str());
+      if (report_failures_.fetch_add(1, std::memory_order_relaxed) == 0) {
+        obs::log_event(obs::Severity::kWarn, "serve.report_write_failed",
+                       "cannot rewrite " + options_.path +
+                           "; keeping last-good exposition");
+      }
+      failures_counter_->add();
+    }
   }
   if (options_.sink) options_.sink(text);
   ticks_.fetch_add(1, std::memory_order_relaxed);

@@ -53,6 +53,14 @@ class MetricsReporter {
     return ticks_.load(std::memory_order_relaxed);
   }
 
+  /// Report ticks that failed to rewrite the target file (write error or
+  /// rename failure). The last successfully written exposition stays in
+  /// place — a scraper keeps seeing the last-good text, never a torn file.
+  /// Also counted as webppm_serve_report_failures_total in the registry.
+  std::uint64_t report_failures() const {
+    return report_failures_.load(std::memory_order_relaxed);
+  }
+
  private:
   void run();
   void report();
@@ -65,6 +73,8 @@ class MetricsReporter {
   std::condition_variable cv_;
   bool stop_ = false;
   std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> report_failures_{0};
+  obs::Counter* failures_counter_ = nullptr;  ///< resolved in the ctor
   std::thread thread_;
 };
 

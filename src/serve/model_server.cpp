@@ -1,17 +1,36 @@
 #include "serve/model_server.hpp"
 
 #include <cassert>
-#include <string>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/trace_event.hpp"
 #include "ppm/serialize.hpp"
+#include "ppm/top_n.hpp"
 
 namespace webppm::serve {
+namespace {
+
+/// Derives the snapshot's popularity-only fallback; null when the table is
+/// empty (nothing to push).
+std::unique_ptr<const ppm::Predictor> make_fallback(
+    const popularity::PopularityTable& popularity, std::size_t top_n) {
+  if (popularity.url_count() == 0 || popularity.max_accesses() == 0 ||
+      top_n == 0) {
+    return nullptr;
+  }
+  ppm::TopNConfig cfg;
+  cfg.n = top_n;
+  return std::make_unique<ppm::TopNPredictor>(
+      ppm::TopNPredictor::from_popularity(popularity, cfg));
+}
+
+}  // namespace
 
 std::shared_ptr<const Snapshot> make_snapshot(
     std::unique_ptr<ppm::Predictor> model,
-    popularity::PopularityTable popularity, std::uint64_t version) {
+    popularity::PopularityTable popularity, std::uint64_t version,
+    std::size_t fallback_top_n) {
   assert(model != nullptr);
   auto snap = std::make_shared<Snapshot>();
   snap->popularity = std::move(popularity);
@@ -23,37 +42,62 @@ std::shared_ptr<const Snapshot> make_snapshot(
     pb->rebind_grades(&snap->popularity);
   }
   snap->model = std::move(model);
+  snap->fallback = make_fallback(snap->popularity, fallback_top_n);
   return snap;
 }
 
-std::shared_ptr<const Snapshot> load_snapshot(
-    std::istream& in, popularity::PopularityTable popularity,
-    std::uint64_t version) {
+std::shared_ptr<const Snapshot> make_degraded_snapshot(
+    popularity::PopularityTable popularity, std::uint64_t version,
+    std::size_t fallback_top_n) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->popularity = std::move(popularity);
+  snap->version = version;
+  snap->fallback = make_fallback(snap->popularity, fallback_top_n);
+  return snap;
+}
+
+SnapshotLoadResult load_snapshot_ex(std::istream& in,
+                                    popularity::PopularityTable popularity,
+                                    std::uint64_t version,
+                                    std::size_t fallback_top_n) {
+  SnapshotLoadResult result;
   // Dispatch on the magic word without consuming it.
   std::string magic;
   const auto pos = in.tellg();
-  if (!(in >> magic)) return nullptr;
+  if (!(in >> magic)) {
+    result.error = "empty or unreadable model stream";
+    return result;
+  }
   in.seekg(pos);
 
   auto snap = std::make_shared<Snapshot>();
   snap->popularity = std::move(popularity);
   snap->version = version;
   if (magic == "webppm-standard") {
-    auto m = ppm::load_standard(in);
-    if (!m) return nullptr;
+    auto m = ppm::load_standard(in, &result.error);
+    if (!m) return result;
     snap->model = std::make_unique<ppm::StandardPpm>(std::move(*m));
   } else if (magic == "webppm-lrs") {
-    auto m = ppm::load_lrs(in);
-    if (!m) return nullptr;
+    auto m = ppm::load_lrs(in, &result.error);
+    if (!m) return result;
     snap->model = std::make_unique<ppm::LrsPpm>(std::move(*m));
   } else if (magic == "webppm-pb") {
-    auto m = ppm::load_popularity(in, &snap->popularity);
-    if (!m) return nullptr;
+    auto m = ppm::load_popularity(in, &snap->popularity, &result.error);
+    if (!m) return result;
     snap->model = std::make_unique<ppm::PopularityPpm>(std::move(*m));
   } else {
-    return nullptr;
+    result.error = "unknown model magic '" + magic + "'";
+    return result;
   }
-  return snap;
+  snap->fallback = make_fallback(snap->popularity, fallback_top_n);
+  result.snapshot = std::move(snap);
+  return result;
+}
+
+std::shared_ptr<const Snapshot> load_snapshot(
+    std::istream& in, popularity::PopularityTable popularity,
+    std::uint64_t version) {
+  return load_snapshot_ex(in, std::move(popularity), version).snapshot;
 }
 
 ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
@@ -70,10 +114,15 @@ ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
         &reg.counter("webppm_serve_publish_total"),
         &reg.counter("webppm_serve_sessionizer_evictions_total"),
         &reg.counter("webppm_serve_shard_lock_contended_total"),
+        &reg.counter("webppm_serve_degraded_queries_total"),
+        &reg.counter("webppm_serve_degraded_shed_total"),
+        &reg.counter("webppm_serve_fault_query_rejected_total"),
+        &reg.counter("webppm_serve_degraded_transitions_total"),
         &reg.gauge("webppm_serve_snapshot_version"),
         &reg.gauge("webppm_serve_snapshot_generations_live"),
         &reg.gauge("webppm_serve_retired_snapshot_refs"),
         &reg.gauge("webppm_serve_clients"),
+        &reg.gauge("webppm_serve_degraded_mode"),
         &reg.histogram("webppm_serve_query_latency_ns"),
         &reg.histogram("webppm_serve_shard_lock_wait_ns"),
     });
@@ -83,8 +132,10 @@ ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
 void ModelServer::publish(std::shared_ptr<const Snapshot> snap) {
   WEBPPM_TRACE("serve.publish");
   const std::uint64_t version = snap ? snap->version : 0;
+  const bool degraded_now = snap != nullptr && snap->degraded();
   const Snapshot* incoming = snap.get();
   auto old = snap_.exchange(std::move(snap));
+  bool transitioned = false;
   {
     std::lock_guard lock(gen_mu_);
     // Republishing the current snapshot must not count it as retired.
@@ -93,10 +144,24 @@ void ModelServer::publish(std::shared_ptr<const Snapshot> snap) {
     }
     std::erase_if(retired_,
                   [](const auto& w) { return w.expired(); });
+    if (degraded_now != degraded_mode_) {
+      degraded_mode_ = degraded_now;
+      transitioned = true;
+    }
+  }
+  if (transitioned) {
+    obs::log_event(degraded_now ? obs::Severity::kWarn : obs::Severity::kInfo,
+                   "serve.degraded_mode",
+                   degraded_now
+                       ? "entered degraded mode: serving popularity "
+                         "fallback (published snapshot has no full model)"
+                       : "exited degraded mode: full model restored");
   }
   if (ins_ != nullptr) {
     ins_->publishes->add();
     ins_->snapshot_version->set(static_cast<std::int64_t>(version));
+    ins_->degraded_mode->set(degraded_now ? 1 : 0);
+    if (transitioned) ins_->degraded_transitions->add();
   }
   update_generation_metrics();
   // `old` destroyed here — a whole model, intentionally outside every lock.
@@ -145,12 +210,27 @@ std::uint64_t ModelServer::version() const {
   return snap ? snap->version : 0;
 }
 
-bool ModelServer::query(const trace::Request& r,
-                        std::vector<ppm::Prediction>& out) {
+bool ModelServer::degraded() const {
+  const auto snap = snapshot();
+  return snap != nullptr && snap->degraded();
+}
+
+QueryResult ModelServer::query_ex(const trace::Request& r,
+                                  std::vector<ppm::Prediction>& out) {
   out.clear();
+  QueryResult result;
   // The prefetching server does not predict on failed requests (the
   // simulator's piggyback path skips them the same way).
-  if (config_.session.skip_errors && r.status >= 400) return false;
+  if (config_.session.skip_errors && r.status >= 400) return result;
+
+  // Chaos hook: a scripted plan can refuse queries outright (overload
+  // shedding at the front door) or inject latency. Disarmed this is one
+  // relaxed load; WEBPPM_FAULT_DISABLED compiles it out entirely.
+  if (WEBPPM_FAULT_INJECT("serve.query")) {
+    fault_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->fault_rejected->add();
+    return result;
+  }
 
   // Latency is sampled (default 1-in-64) so the common path pays no clock
   // reads; counters stay exact via the existing queries_ atomic, exported
@@ -161,6 +241,7 @@ bool ModelServer::query(const trace::Request& r,
   // Copy the context out under the shard lock (it is at most
   // context_window ids), then predict lock-free on the snapshot.
   thread_local std::vector<UrlId> ctx;
+  bool shed = false;
   {
     Shard& sh = shard_of(r.client);
     if (ins_ != nullptr && !sh.mu.try_lock()) {
@@ -174,16 +255,36 @@ bool ModelServer::query(const trace::Request& r,
       sh.mu.lock();
     }
     std::lock_guard lock(sh.mu, std::adopt_lock);
-    const auto view = sh.contexts.observe(r);
+    const auto view = sh.contexts.observe(r, &shed);
     ctx.assign(view.begin(), view.end());
+  }
+  if (shed) {
+    result.shed = true;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->shed->add();
   }
 
   const auto snap = snapshot();
-  if (!snap || !snap->model) return false;
-  snap->model->predict(ctx, out);
+  if (!snap) return result;
+
+  // Full service needs both the model and an admitted context; a shed
+  // client or a degraded (fallback-only) snapshot falls back to the
+  // popularity push set — prefetching degrades, it does not stop.
+  const ppm::Predictor* predictor =
+      (!shed && snap->model != nullptr) ? snap->model.get()
+                                        : snap->fallback.get();
+  if (predictor == nullptr) return result;
+  predictor->predict(ctx, out);
+  result.predicted = true;
+  result.served = predictor == snap->model.get() ? ServedBy::kModel
+                                                 : ServedBy::kFallback;
+  if (result.served == ServedBy::kFallback) {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->degraded_queries->add();
+  }
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (sample) ins_->query_latency->record(obs::now_ns() - q0);
-  return true;
+  return result;
 }
 
 std::size_t ModelServer::client_count() const {
@@ -229,6 +330,7 @@ void ModelServer::refresh_gauges() {
   if (evict_delta != 0) ins_->evictions->add(evict_delta);
   if (query_delta != 0) ins_->queries->add(query_delta);
   ins_->snapshot_version->set(static_cast<std::int64_t>(version()));
+  ins_->degraded_mode->set(degraded() ? 1 : 0);
   update_generation_metrics();
 }
 

@@ -18,6 +18,15 @@
 //     mutex. A query locks exactly one shard, copies the (<= window-length)
 //     context out, and predicts outside the lock.
 //
+// Graceful degradation (DESIGN.md §9): every snapshot also owns a
+// popularity-only Top-N fallback predictor built from its popularity
+// table. When the full model is unavailable (a degraded snapshot published
+// after total snapshot-store loss) or a client is shed by the per-shard
+// client cap, the server answers from the fallback instead of failing —
+// prefetching degrades to the paper's Top-10 baseline rather than
+// stopping. Every degraded answer and shed admission is counted in
+// webppm_serve_degraded_* metrics.
+//
 // The snapshot owns everything prediction needs: the predictor and the
 // popularity table its grades point into (PB-PPM reads grades at predict
 // time), so a snapshot outlives any retraining cycle that produced its
@@ -29,6 +38,7 @@
 #include <istream>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -41,25 +51,56 @@
 namespace webppm::serve {
 
 /// Immutable published model: a predictor plus the popularity table of its
-/// training window. Never mutated after construction — shared freely across
-/// query threads.
+/// training window, plus the popularity-only fallback used for degraded
+/// service. Never mutated after construction — shared freely across query
+/// threads. `model` may be null in a *degraded snapshot* (fallback-only
+/// service); `fallback` is null only when the popularity table is empty.
 struct Snapshot {
   popularity::PopularityTable popularity;
   std::unique_ptr<const ppm::Predictor> model;
+  std::unique_ptr<const ppm::Predictor> fallback;
   std::uint64_t version = 0;
+
+  bool degraded() const { return model == nullptr; }
 };
 
 /// Wraps a trained predictor into a publishable snapshot. `popularity` is
 /// moved in and, for PB-PPM, the model's grade pointer is rebound to the
-/// snapshot-owned copy, making the snapshot self-contained.
+/// snapshot-owned copy, making the snapshot self-contained. A Top-N
+/// fallback is derived from the popularity table (absent when the table is
+/// empty). `fallback_top_n` sizes its push set.
 std::shared_ptr<const Snapshot> make_snapshot(
     std::unique_ptr<ppm::Predictor> model,
-    popularity::PopularityTable popularity, std::uint64_t version);
+    popularity::PopularityTable popularity, std::uint64_t version,
+    std::size_t fallback_top_n = 10);
+
+/// Fallback-only snapshot for when no full model can be recovered (every
+/// snapshot-store generation corrupt, say): serves the popularity table's
+/// Top-N push set to every query. Publishing one flips the server into
+/// degraded mode.
+std::shared_ptr<const Snapshot> make_degraded_snapshot(
+    popularity::PopularityTable popularity, std::uint64_t version,
+    std::size_t fallback_top_n = 10);
+
+/// Structured result of load_snapshot_ex: exactly one of `snapshot` /
+/// `error` is meaningful. The error string names what the stream violated
+/// ("tree: node 12: parent 14 does not precede child"), so snapshot-store
+/// rollback can log *why* a generation was rejected.
+struct SnapshotLoadResult {
+  std::shared_ptr<const Snapshot> snapshot;
+  std::string error;
+};
 
 /// Reads any save_model stream (standard / LRS / PB — dispatched on the
 /// leading magic word) into a snapshot. `popularity` is the training
-/// window's table (PB grades; may be empty for the other models). Returns
-/// nullptr on malformed input.
+/// window's table (PB grades; may be empty for the other models).
+SnapshotLoadResult load_snapshot_ex(std::istream& in,
+                                    popularity::PopularityTable popularity,
+                                    std::uint64_t version,
+                                    std::size_t fallback_top_n = 10);
+
+/// Nullptr-compatible form of load_snapshot_ex (the pre-robustness API):
+/// returns nullptr on malformed input, discarding the reason.
 std::shared_ptr<const Snapshot> load_snapshot(
     std::istream& in, popularity::PopularityTable popularity,
     std::uint64_t version);
@@ -78,16 +119,39 @@ struct ModelServerConfig {
   /// idle-timeout reset, so eviction never changes prediction results —
   /// it only bounds memory for million-client populations.
   double idle_eviction_factor = 0.0;
+  /// Hard cap on client contexts per shard (0 = unbounded). A request from
+  /// an unseen client that lands on a full shard is *shed*: no context is
+  /// created and the query is answered from the snapshot's popularity
+  /// fallback (degraded service) instead of growing the table. Known
+  /// clients keep full service — the cap only refuses new admissions.
+  std::size_t max_clients_per_shard = 0;
   /// Observability. Non-null attaches webppm_serve_* metrics: query/publish
   /// counters, a sampled query-latency histogram, shard-lock contention,
-  /// snapshot-generation gauges and sessionizer eviction totals. Null (the
-  /// default) leaves the query path byte-identical to the uninstrumented
-  /// server — the overhead bench asserts the attached cost < 3%.
+  /// snapshot-generation gauges, sessionizer eviction totals, and the
+  /// degradation/fault counters. Null (the default) leaves the query path
+  /// byte-identical to the uninstrumented server — the overhead bench
+  /// asserts the attached cost < 3%.
   obs::MetricsRegistry* metrics = nullptr;
-  /// Record one query-latency sample every N queries (per thread; >= 1,
-  /// 1 = every query). Sampling keeps the two clock reads off the common
-  /// path; counters are exact regardless.
+  /// Record one query-latency sample every N queries (>= 1, 1 = every
+  /// query). Sampling keeps the two clock reads off the common path;
+  /// counters are exact regardless. The cadence counter is per-instance,
+  /// so two servers sharing a thread each sample every Nth of *their own*
+  /// queries.
   std::uint32_t latency_sample_every = 64;
+};
+
+/// How a query was answered (QueryResult::served).
+enum class ServedBy : std::uint8_t {
+  kNone,      ///< no snapshot, skipped error request, or refused
+  kModel,     ///< the full Markov model
+  kFallback,  ///< the popularity-only fallback (degraded service)
+};
+
+/// Outcome of one query_ex() call.
+struct QueryResult {
+  bool predicted = false;        ///< a prediction pass ran (out is valid)
+  ServedBy served = ServedBy::kNone;
+  bool shed = false;             ///< client refused by the per-shard cap
 };
 
 class ModelServer {
@@ -96,7 +160,9 @@ class ModelServer {
 
   /// Atomically installs `snap` as the serving model. Queries in flight
   /// finish on the previous snapshot; new queries see `snap`. Never blocks
-  /// readers. Typically called from a training thread.
+  /// readers. Typically called from a training thread. Publishing a
+  /// degraded (fallback-only) snapshot flips the server into degraded
+  /// mode; transitions are counted and logged.
   void publish(std::shared_ptr<const Snapshot> snap);
 
   /// Current snapshot (nullptr before the first publish). Readers may hold
@@ -106,16 +172,43 @@ class ModelServer {
   /// Version of the current snapshot; 0 before the first publish.
   std::uint64_t version() const;
 
-  /// Feeds one client click and fills `out` with the model's prefetch
-  /// candidates for that client's updated context. Thread-safe against
-  /// concurrent query() and publish() calls. Returns false — with `out`
-  /// empty — when no model is published yet or the request is a skipped
-  /// error (the prefetching server does not predict on failed requests).
-  bool query(const trace::Request& r, std::vector<ppm::Prediction>& out);
+  /// True when the current snapshot is fallback-only (no full model).
+  bool degraded() const;
 
-  /// Total query() calls that produced a prediction pass.
+  /// Feeds one client click and fills `out` with prefetch candidates for
+  /// that client's updated context. Thread-safe against concurrent
+  /// query_ex() and publish() calls. The result says whether a prediction
+  /// pass ran, which predictor answered, and whether the client was shed
+  /// by the per-shard cap.
+  QueryResult query_ex(const trace::Request& r,
+                       std::vector<ppm::Prediction>& out);
+
+  /// Compatibility form: true when a prediction pass ran (model or
+  /// fallback), false when no model is published yet or the request is a
+  /// skipped error.
+  bool query(const trace::Request& r, std::vector<ppm::Prediction>& out) {
+    return query_ex(r, out).predicted;
+  }
+
+  /// Total query calls that produced a prediction pass (full or degraded).
   std::uint64_t query_count() const {
     return queries_.load(std::memory_order_relaxed);
+  }
+
+  /// Queries answered by the popularity fallback (degraded snapshot or
+  /// shed client).
+  std::uint64_t degraded_query_count() const {
+    return degraded_queries_.load(std::memory_order_relaxed);
+  }
+
+  /// Queries from unseen clients refused by the per-shard client cap.
+  std::uint64_t shed_count() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  /// Queries refused by an injected "serve.query" fault.
+  std::uint64_t fault_rejected_count() const {
+    return fault_rejected_.load(std::memory_order_relaxed);
   }
 
   /// Client contexts currently held (sums all shards; locks each briefly).
@@ -148,8 +241,8 @@ class ModelServer {
     mutable std::mutex mu;
     session::OnlineSessionizer contexts;
     explicit Shard(const ModelServerConfig& cfg)
-        : contexts(cfg.session, cfg.context_window,
-                   cfg.idle_eviction_factor) {}
+        : contexts(cfg.session, cfg.context_window, cfg.idle_eviction_factor,
+                   cfg.max_clients_per_shard) {}
   };
 
   Shard& shard_of(ClientId client) {
@@ -193,23 +286,27 @@ class ModelServer {
     obs::Counter* publishes;
     obs::Counter* evictions;
     obs::Counter* shard_lock_contended;
+    obs::Counter* degraded_queries;
+    obs::Counter* shed;
+    obs::Counter* fault_rejected;
+    obs::Counter* degraded_transitions;
     obs::Gauge* snapshot_version;
     obs::Gauge* generations_live;
     obs::Gauge* retired_refs;
     obs::Gauge* clients;
+    obs::Gauge* degraded_mode;
     obs::LogHistogram* query_latency;
     obs::LogHistogram* shard_lock_wait;
   };
 
-  /// True every config.latency_sample_every-th query on this thread.
+  /// True every config.latency_sample_every-th query *of this server* —
+  /// the cadence counter is a per-instance atomic, so two servers sharing
+  /// a thread (tests, benches) keep independent sampling cadences.
   bool sample_latency_now() {
     if (config_.latency_sample_every <= 1) return true;
-    thread_local std::uint32_t since = 0;
-    if (++since >= config_.latency_sample_every) {
-      since = 0;
-      return true;
-    }
-    return false;
+    return latency_tick_.fetch_add(1, std::memory_order_relaxed) %
+               config_.latency_sample_every ==
+           0;
   }
 
   void update_generation_metrics();
@@ -218,6 +315,10 @@ class ModelServer {
   std::vector<std::unique_ptr<Shard>> shards_;
   SnapshotSlot snap_;
   std::atomic<std::uint64_t> queries_{0};
+  std::atomic<std::uint64_t> degraded_queries_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> fault_rejected_{0};
+  std::atomic<std::uint32_t> latency_tick_{0};
 
   std::unique_ptr<Instruments> ins_;
 
@@ -226,6 +327,7 @@ class ModelServer {
   /// work on any server; cost is publish-rate only.
   mutable std::mutex gen_mu_;
   std::vector<std::weak_ptr<const Snapshot>> retired_;
+  bool degraded_mode_ = false;            ///< under gen_mu_ (publish state)
   std::uint64_t evictions_reported_ = 0;  ///< under gen_mu_ (counter delta)
   std::uint64_t queries_reported_ = 0;    ///< under gen_mu_ (counter delta)
 };

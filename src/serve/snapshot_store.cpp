@@ -1,0 +1,426 @@
+#include "serve/snapshot_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "fault/fault.hpp"
+#include "obs/trace_event.hpp"
+#include "ppm/serialize.hpp"
+#include "util/crc32.hpp"
+
+namespace webppm::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::string_view kSnapMagic = "webppm-snap";
+constexpr std::string_view kPopMagic = "webppm-pop";
+constexpr std::string_view kManifestMagic = "webppm-manifest";
+
+std::string errno_string() {
+  return std::strerror(errno);
+}
+
+/// The checksummed prefix: header fields after the magic, newline-
+/// terminated, so the CRC covers generation, version and length too.
+std::string checksum_prefix(std::uint64_t gen, std::uint64_t version,
+                            std::size_t payload_bytes) {
+  return std::to_string(gen) + ' ' + std::to_string(version) + ' ' +
+         std::to_string(payload_bytes) + '\n';
+}
+
+/// Generation id of "gen-<id>.snap", or nullopt for other names.
+std::optional<std::uint64_t> parse_gen_name(const std::string& name) {
+  if (name.size() < 10 || name.rfind("gen-", 0) != 0 ||
+      name.substr(name.size() - 5) != ".snap") {
+    return std::nullopt;
+  }
+  const std::string digits = name.substr(4, name.size() - 9);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  return std::stoull(digits);
+}
+
+}  // namespace
+
+std::string serialize_snapshot_payload(const Snapshot& snap) {
+  std::ostringstream out;
+  out << kPopMagic << " v1 " << snap.popularity.url_count() << '\n';
+  for (UrlId u = 0; u < snap.popularity.url_count(); ++u) {
+    out << snap.popularity.accesses(u)
+        << (u + 1 == snap.popularity.url_count() ? '\n' : ' ');
+  }
+  if (snap.model != nullptr) {
+    if (const auto* m =
+            dynamic_cast<const ppm::StandardPpm*>(snap.model.get())) {
+      ppm::save_model(out, *m);
+    } else if (const auto* m =
+                   dynamic_cast<const ppm::LrsPpm*>(snap.model.get())) {
+      ppm::save_model(out, *m);
+    } else if (const auto* m = dynamic_cast<const ppm::PopularityPpm*>(
+                   snap.model.get())) {
+      ppm::save_model(out, *m);
+    } else {
+      // Unserialisable predictor (e.g. a bare Top-N): persist the
+      // popularity section only — it reloads as a degraded generation,
+      // which is exactly what such a snapshot serves anyway.
+    }
+  }
+  return out.str();
+}
+
+SnapshotStore::SnapshotStore(SnapshotStoreConfig config)
+    : config_(std::move(config)) {
+  if (config_.retain == 0) config_.retain = 1;
+  if (config_.publish_attempts == 0) config_.publish_attempts = 1;
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);  // best-effort; writes will tell
+  if (config_.metrics != nullptr) {
+    auto& reg = *config_.metrics;
+    ins_ = std::make_unique<Instruments>(Instruments{
+        &reg.counter("webppm_serve_fault_snapshot_write_failures_total"),
+        &reg.counter("webppm_serve_fault_publish_retries_total"),
+        &reg.counter("webppm_serve_fault_publish_failures_total"),
+        &reg.counter("webppm_serve_fault_snapshot_rejected_total"),
+        &reg.counter("webppm_serve_fault_rollback_total"),
+    });
+  }
+}
+
+std::string SnapshotStore::gen_path(std::uint64_t gen) const {
+  return (fs::path(config_.dir) / ("gen-" + std::to_string(gen) + ".snap"))
+      .string();
+}
+
+std::string SnapshotStore::manifest_path() const {
+  return (fs::path(config_.dir) / "MANIFEST").string();
+}
+
+std::string SnapshotStore::write_atomic(const std::string& final_name,
+                                        const std::string& content,
+                                        FaultHook write_fault,
+                                        FaultHook fsync_fault,
+                                        FaultHook rename_fault) const {
+  const std::string tmp = final_name + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return "open " + tmp + ": " + errno_string();
+
+  // An injected write fault models a mid-write crash: half the bytes land,
+  // then the writer dies. The partial .tmp is never renamed, so readers
+  // can never observe it as a generation.
+  std::size_t to_write = content.size();
+  bool injected = false;
+  if (write_fault()) {
+    to_write /= 2;
+    injected = true;
+  }
+  std::size_t written = 0;
+  while (written < to_write) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, to_write - written);
+    if (n < 0) {
+      const std::string err = errno_string();
+      ::close(fd);
+      return "write " + tmp + ": " + err;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (injected) {
+    ::close(fd);
+    return "write " + tmp + ": injected fault (partial write)";
+  }
+
+  // fsync before rename: the rename must never make visible a file whose
+  // bytes could still be lost by a crash.
+  if (fsync_fault()) {
+    ::close(fd);
+    return "fsync " + tmp + ": injected fault";
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = errno_string();
+    ::close(fd);
+    return "fsync " + tmp + ": " + err;
+  }
+  ::close(fd);
+
+  if (rename_fault()) {
+    std::remove(tmp.c_str());
+    return "rename " + tmp + " -> " + final_name + ": injected fault";
+  }
+  if (std::rename(tmp.c_str(), final_name.c_str()) != 0) {
+    const std::string err = errno_string();
+    std::remove(tmp.c_str());
+    return "rename " + tmp + " -> " + final_name + ": " + err;
+  }
+  return {};
+}
+
+PublishResult SnapshotStore::publish(const Snapshot& snap) {
+  WEBPPM_TRACE("serve.snapshot_store.publish");
+  PublishResult result;
+
+  if (WEBPPM_FAULT_INJECT("serve.snapshot.serialize")) {
+    result.error = "serialize: injected fault";
+    if (ins_ != nullptr) ins_->publish_failures->add();
+    return result;
+  }
+  const std::string payload = serialize_snapshot_payload(snap);
+
+  const auto existing = generations();
+  const std::uint64_t gen = existing.empty() ? 1 : existing.back() + 1;
+  const std::string prefix = checksum_prefix(gen, snap.version,
+                                             payload.size());
+  const std::uint32_t crc = util::crc32(payload, util::crc32(prefix));
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof crc_hex, "%08x", crc);
+  std::string content;
+  content.reserve(payload.size() + 64);
+  content.append(kSnapMagic).append(" v1 ").append(prefix.substr(
+      0, prefix.size() - 1));  // prefix without its trailing newline
+  content.append(" ").append(crc_hex).append("\n").append(payload);
+
+  auto backoff = config_.backoff;
+  for (std::size_t attempt = 1; attempt <= config_.publish_attempts;
+       ++attempt) {
+    result.attempts = attempt;
+    const std::string err = write_atomic(
+        gen_path(gen), content,
+        [] { return WEBPPM_FAULT_INJECT("serve.snapshot.write"); },
+        [] { return WEBPPM_FAULT_INJECT("serve.snapshot.fsync"); },
+        [] { return WEBPPM_FAULT_INJECT("serve.snapshot.rename"); });
+    if (err.empty()) {
+      result.ok = true;
+      result.generation = gen;
+      break;
+    }
+    result.error = err;
+    if (ins_ != nullptr) ins_->write_failures->add();
+    obs::log_event(obs::Severity::kWarn, "serve.snapshot_publish_retry",
+                   "generation " + std::to_string(gen) + " attempt " +
+                       std::to_string(attempt) + " failed: " + err);
+    if (attempt < config_.publish_attempts) {
+      if (ins_ != nullptr) ins_->publish_retries->add();
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
+    }
+  }
+  if (!result.ok) {
+    if (ins_ != nullptr) ins_->publish_failures->add();
+    obs::log_event(obs::Severity::kError, "serve.snapshot_publish_failed",
+                   "generation " + std::to_string(gen) +
+                       " abandoned after " +
+                       std::to_string(result.attempts) +
+                       " attempts: " + result.error);
+    return result;
+  }
+
+  // The generation is durable; retention and the manifest are best-effort
+  // bookkeeping on top (load_latest() scans the directory regardless, so a
+  // failure here can delay pruning but never lose data).
+  prune(gen);
+  std::string manifest;
+  manifest.append(kManifestMagic).append(" v1\n");
+  for (const auto g : generations()) {
+    manifest.append(std::to_string(g)).append("\n");
+  }
+  const std::string merr = write_atomic(
+      manifest_path(), manifest,
+      [] { return WEBPPM_FAULT_INJECT("serve.manifest.write"); },
+      [] { return WEBPPM_FAULT_INJECT("serve.manifest.fsync"); },
+      [] { return WEBPPM_FAULT_INJECT("serve.manifest.rename"); });
+  if (!merr.empty()) {
+    if (ins_ != nullptr) ins_->write_failures->add();
+    obs::log_event(obs::Severity::kWarn, "serve.manifest_write_failed",
+                   merr + " (directory scan remains authoritative)");
+  }
+  return result;
+}
+
+SnapshotLoadResult SnapshotStore::load_generation(std::uint64_t gen) const {
+  SnapshotLoadResult result;
+  if (WEBPPM_FAULT_INJECT("serve.snapshot.read")) {
+    result.error = "read: injected fault";
+    return result;
+  }
+  std::ifstream in(gen_path(gen), std::ios::binary);
+  if (!in) {
+    result.error = "unreadable: " + errno_string();
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string content = buf.str();
+
+  // Header line: "webppm-snap v1 <gen> <version> <bytes> <crc32hex>".
+  const auto nl = content.find('\n');
+  if (nl == std::string::npos) {
+    result.error = "header: no newline";
+    return result;
+  }
+  std::istringstream header(content.substr(0, nl));
+  std::string magic, ver_word, crc_word;
+  std::uint64_t hdr_gen = 0, snap_version = 0;
+  std::size_t payload_bytes = 0;
+  if (!(header >> magic >> ver_word >> hdr_gen >> snap_version >>
+        payload_bytes >> crc_word) ||
+      magic != kSnapMagic || ver_word != "v1") {
+    result.error = "header: malformed";
+    return result;
+  }
+  if (hdr_gen != gen) {
+    result.error = "header: generation " + std::to_string(hdr_gen) +
+                   " does not match filename";
+    return result;
+  }
+  const std::string_view payload =
+      std::string_view(content).substr(nl + 1);
+  if (payload.size() < payload_bytes) {
+    result.error = "payload truncated: have " +
+                   std::to_string(payload.size()) + " of " +
+                   std::to_string(payload_bytes) + " bytes";
+    return result;
+  }
+  if (payload.size() > payload_bytes) {
+    result.error = "payload: trailing garbage";
+    return result;
+  }
+  const std::string prefix =
+      checksum_prefix(hdr_gen, snap_version, payload_bytes);
+  const std::uint32_t crc = util::crc32(payload, util::crc32(prefix));
+  char expect_hex[16];
+  std::snprintf(expect_hex, sizeof expect_hex, "%08x", crc);
+  if (crc_word != expect_hex) {
+    result.error = "payload crc mismatch: header " + crc_word +
+                   ", computed " + expect_hex;
+    return result;
+  }
+
+  // Payload verified; parse the popularity section then the model stream.
+  std::istringstream body{std::string(payload)};
+  std::string pop_magic, pop_ver;
+  std::size_t url_count = 0;
+  if (!(body >> pop_magic >> pop_ver >> url_count) ||
+      pop_magic != kPopMagic || pop_ver != "v1") {
+    result.error = "popularity: malformed header";
+    return result;
+  }
+  if (url_count > payload_bytes) {  // each count needs >= 1 byte + separator
+    result.error = "popularity: url count " + std::to_string(url_count) +
+                   " exceeds payload size";
+    return result;
+  }
+  std::vector<std::uint32_t> counts(url_count);
+  for (auto& c : counts) {
+    if (!(body >> c)) {
+      result.error = "popularity: truncated counts";
+      return result;
+    }
+  }
+  auto popularity = popularity::PopularityTable::from_counts(
+      std::move(counts));
+
+  // A degraded generation ends here (no model stream).
+  std::string peek;
+  const auto model_pos = body.tellg();
+  if (!(body >> peek)) {
+    result.snapshot = make_degraded_snapshot(std::move(popularity),
+                                             snap_version,
+                                             config_.fallback_top_n);
+    return result;
+  }
+  body.seekg(model_pos);
+  return load_snapshot_ex(body, std::move(popularity), snap_version,
+                          config_.fallback_top_n);
+}
+
+LoadLatestResult SnapshotStore::load_latest() const {
+  WEBPPM_TRACE("serve.snapshot_store.load_latest");
+  LoadLatestResult result;
+
+  // Candidates: manifest entries ∪ directory scan, newest first. The union
+  // covers both a stale manifest (crash before its rewrite) and a manifest
+  // naming files that were since corrupted or deleted.
+  std::set<std::uint64_t> candidates;
+  for (const auto g : generations()) candidates.insert(g);
+  {
+    std::ifstream m(manifest_path());
+    std::string magic, ver;
+    if (m >> magic >> ver && magic == kManifestMagic && ver == "v1") {
+      std::uint64_t g = 0;
+      while (m >> g) candidates.insert(g);
+    }
+  }
+  if (candidates.empty()) {
+    result.error = "no snapshot generations in " + config_.dir;
+    return result;
+  }
+
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    auto loaded = load_generation(*it);
+    if (loaded.snapshot != nullptr) {
+      result.snapshot = std::move(loaded.snapshot);
+      result.generation = *it;
+      break;
+    }
+    result.rejected.push_back("gen " + std::to_string(*it) + ": " +
+                              loaded.error);
+    if (ins_ != nullptr) ins_->rejected->add();
+    obs::log_event(obs::Severity::kWarn, "serve.snapshot_rejected",
+                   result.rejected.back());
+  }
+  if (result.snapshot == nullptr) {
+    result.error = "all " + std::to_string(candidates.size()) +
+                   " generations rejected";
+    obs::log_event(obs::Severity::kError, "serve.snapshot_store_empty",
+                   result.error);
+    return result;
+  }
+  if (!result.rejected.empty()) {
+    if (ins_ != nullptr) ins_->rollbacks->add();
+    obs::log_event(obs::Severity::kWarn, "serve.snapshot_rollback",
+                   "rolled back past " +
+                       std::to_string(result.rejected.size()) +
+                       " corrupt generation(s) to gen " +
+                       std::to_string(result.generation));
+  }
+  return result;
+}
+
+std::vector<std::uint64_t> SnapshotStore::generations() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (const auto g = parse_gen_name(entry.path().filename().string())) {
+      gens.push_back(*g);
+    }
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+void SnapshotStore::prune(std::uint64_t newest) const {
+  auto gens = generations();
+  if (gens.size() <= config_.retain) return;
+  const std::size_t drop = gens.size() - config_.retain;
+  for (std::size_t i = 0; i < drop; ++i) {
+    if (gens[i] == newest) continue;  // never prune what we just wrote
+    std::remove(gen_path(gens[i]).c_str());
+  }
+}
+
+}  // namespace webppm::serve

@@ -1,0 +1,141 @@
+// serve::SnapshotStore — durable, checksummed snapshot generations with
+// last-good rollback (DESIGN.md §9).
+//
+// The paper's deployment trains offline and hands the frozen model to the
+// server; this store is that handoff made crash-safe. Each publish writes
+// one *generation* file:
+//
+//   gen-<id>.snap:
+//     webppm-snap v1 <generation> <snapshot-version> <payload-bytes> <crc32>
+//     <payload>                # exactly payload-bytes bytes
+//
+//   payload:
+//     webppm-pop v1 <url-count>
+//     <access-count>*url-count # the snapshot's popularity table
+//     <save_model stream>      # absent in a degraded (fallback-only) gen
+//
+// The CRC-32 covers "<generation> <snapshot-version> <payload-bytes>\n" +
+// payload, so a bit flip anywhere — header fields included — fails
+// verification. Files are written temp + fsync + atomic rename, then the
+// MANIFEST (same discipline) records the generation list; a crash between
+// the two leaves a valid generation file that load_latest() still finds by
+// directory scan, so the manifest is a hint, never a single point of
+// failure.
+//
+// load_latest() walks candidates newest-first, verifying checksum and
+// structure, and returns the newest *intact* generation — rolling back
+// past corrupt, truncated, or half-written ones, with a reason recorded
+// for every rejected generation. publish() retries transient IO failures
+// with doubling backoff. Retention keeps the newest K generations on disk.
+//
+// Fault sites (chaos suite): serve.snapshot.serialize, .write, .fsync,
+// .rename, serve.manifest.write, serve.snapshot.read.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/model_server.hpp"
+
+namespace webppm::serve {
+
+struct SnapshotStoreConfig {
+  /// Directory holding gen-*.snap files and the MANIFEST. Created (one
+  /// level) if absent.
+  std::string dir;
+  /// Newest generations kept on disk; older ones are pruned after a
+  /// successful publish. 0 is treated as 1 — the store never prunes the
+  /// generation it just wrote.
+  std::size_t retain = 3;
+  /// Total attempts per publish (first try + retries) for transient IO
+  /// failures. >= 1.
+  std::size_t publish_attempts = 3;
+  /// Backoff before retry i (doubled each time). Zero disables sleeping —
+  /// chaos tests script failures, they don't wait out real IO.
+  std::chrono::milliseconds backoff{10};
+  /// Size of the popularity fallback attached to loaded snapshots.
+  std::size_t fallback_top_n = 10;
+  /// Non-null attaches webppm_serve_fault_* store metrics: write failures,
+  /// publish retries/failures, generations rejected at load, rollbacks.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Outcome of one publish(): the durable generation id on success, or the
+/// last attempt's failure reason.
+struct PublishResult {
+  bool ok = false;
+  std::uint64_t generation = 0;
+  std::size_t attempts = 0;  ///< write attempts consumed (1 = first try)
+  std::string error;
+};
+
+/// Outcome of load_latest(): the newest intact generation, plus one reason
+/// line per newer generation that had to be rolled back past.
+struct LoadLatestResult {
+  std::shared_ptr<const Snapshot> snapshot;
+  std::uint64_t generation = 0;
+  std::vector<std::string> rejected;  ///< "gen 7: payload crc mismatch", ...
+  std::string error;                  ///< set when snapshot == nullptr
+};
+
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(SnapshotStoreConfig config);
+
+  /// Serialises `snap` and durably installs it as the next generation
+  /// (write temp, fsync, atomic rename, manifest update, prune). Retries
+  /// transient failures per config. Thread-compatible: one publisher at a
+  /// time (the training loop), concurrent with any number of load_latest()
+  /// readers.
+  PublishResult publish(const Snapshot& snap);
+
+  /// Newest generation that verifies (checksum + structure), rolling back
+  /// past corrupt ones. Candidates come from the manifest *and* a
+  /// directory scan, so a generation orphaned by a crash between rename
+  /// and manifest write is still found.
+  LoadLatestResult load_latest() const;
+
+  /// Generation ids currently on disk, oldest first (directory scan).
+  std::vector<std::uint64_t> generations() const;
+
+  const SnapshotStoreConfig& config() const { return config_; }
+
+ private:
+  std::string gen_path(std::uint64_t gen) const;
+  std::string manifest_path() const;
+  /// One write-fsync-rename attempt of `content` into `final_name`.
+  /// Returns empty on success, else the failure reason. The fault hooks are
+  /// captureless lambdas wrapping WEBPPM_FAULT_INJECT — the macro needs a
+  /// literal site name per expansion point, so the caller supplies the
+  /// sites and this function supplies the IO discipline.
+  using FaultHook = bool (*)();
+  std::string write_atomic(const std::string& final_name,
+                           const std::string& content, FaultHook write_fault,
+                           FaultHook fsync_fault,
+                           FaultHook rename_fault) const;
+  /// Verifies and parses one generation file. Returns nullptr + reason.
+  SnapshotLoadResult load_generation(std::uint64_t gen) const;
+  void prune(std::uint64_t newest) const;
+
+  SnapshotStoreConfig config_;
+
+  struct Instruments {
+    obs::Counter* write_failures;
+    obs::Counter* publish_retries;
+    obs::Counter* publish_failures;
+    obs::Counter* rejected;
+    obs::Counter* rollbacks;
+  };
+  std::unique_ptr<Instruments> ins_;
+};
+
+/// Serialises a snapshot into the store's payload format (popularity
+/// section + model stream). Exposed for tests that corrupt payloads
+/// deliberately.
+std::string serialize_snapshot_payload(const Snapshot& snap);
+
+}  // namespace webppm::serve

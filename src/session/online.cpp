@@ -17,7 +17,9 @@ std::span<const UrlId> OnlineContext::observe(UrlId url, TimeSec t) {
   return urls_;
 }
 
-std::span<const UrlId> OnlineSessionizer::observe(const trace::Request& r) {
+std::span<const UrlId> OnlineSessionizer::observe(const trace::Request& r,
+                                                  bool* shed) {
+  if (shed != nullptr) *shed = false;
   // Amortised idle sweep: at most one full-table pass per table-size
   // observes, so the table stays bounded by the live-client population at
   // O(1) amortised cost per click.
@@ -27,6 +29,14 @@ std::span<const UrlId> OnlineSessionizer::observe(const trace::Request& r) {
   }
   auto it = contexts_.find(r.client);
   if (it == contexts_.end()) {
+    if (max_clients_ != 0 && contexts_.size() >= max_clients_) {
+      // Hard cap: refuse the admission rather than grow. The idle sweep
+      // above already ran, so a full table here really is full of
+      // recently-active clients.
+      ++shed_total_;
+      if (shed != nullptr) *shed = true;
+      return {};
+    }
     it = contexts_.emplace(r.client, OnlineContext(opt_, window_)).first;
   }
   if (opt_.skip_errors && r.status >= 400) return it->second.view();

@@ -52,17 +52,31 @@ class OnlineContext {
 /// still-live sessions early, so >= 1 is the sensible range.
 class OnlineSessionizer {
  public:
+  /// `max_clients` is a hard cap on tracked contexts (0 = unbounded): once
+  /// reached, requests from *unseen* clients are shed — no context is
+  /// created and observe() reports the shed through its out-param. Known
+  /// clients are always served; the cap only refuses new admissions, so a
+  /// flood of fresh client ids cannot grow the table past the cap.
   explicit OnlineSessionizer(const SessionizerOptions& opt = {},
                              std::size_t window = 16,
-                             double idle_eviction_factor = 0.0)
+                             double idle_eviction_factor = 0.0,
+                             std::size_t max_clients = 0)
       : opt_(opt), window_(window),
-        idle_eviction_factor_(idle_eviction_factor) {}
+        idle_eviction_factor_(idle_eviction_factor),
+        max_clients_(max_clients) {}
 
   /// Feeds one request and returns the client's updated context.
   /// Error-status requests (when opt.skip_errors) return the unchanged
   /// context. With eviction enabled, a table-size-amortised idle sweep
-  /// runs automatically as the stream advances.
-  std::span<const UrlId> observe(const trace::Request& r);
+  /// runs automatically as the stream advances. When the client cap sheds
+  /// the request, the returned context is empty and `*shed` (if non-null)
+  /// is set; shed requests are not observed at all.
+  std::span<const UrlId> observe(const trace::Request& r,
+                                 bool* shed = nullptr);
+
+  /// Cumulative requests shed by the client cap over this sessionizer's
+  /// life — the overload-pressure signal ModelServer exports as a metric.
+  std::size_t shed_total() const { return shed_total_; }
 
   /// Context of a client without feeding anything (empty if unseen).
   std::span<const UrlId> context(ClientId client) const;
@@ -82,8 +96,10 @@ class OnlineSessionizer {
   SessionizerOptions opt_;
   std::size_t window_;
   double idle_eviction_factor_ = 0.0;
+  std::size_t max_clients_ = 0;
   std::size_t observed_since_sweep_ = 0;
   std::size_t evicted_total_ = 0;
+  std::size_t shed_total_ = 0;
   std::unordered_map<ClientId, OnlineContext> contexts_;
 };
 

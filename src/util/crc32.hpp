@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the snapshot
+// store's payload checksum. Chosen over a hand-rolled sum because every
+// single-bit flip (and any burst up to 32 bits) is guaranteed to change the
+// digest, which is exactly the corruption model the chaos suite injects.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace webppm::util {
+
+/// CRC of `data`, optionally continuing from a previous crc32 result so a
+/// digest can be computed over discontiguous pieces:
+///   crc32(b, crc32(a)) == crc32(a + b).
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace webppm::util

@@ -1,0 +1,195 @@
+// webppm::fault — plan semantics must be exact and replayable, because the
+// chaos suite's assertions ("the second publish write fails, the third
+// succeeds") are only meaningful if the framework fires exactly as
+// scripted.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace webppm::fault {
+namespace {
+
+// One shared expansion point per site name used below. Each call hits the
+// same function-local static Site the production macro would create.
+bool hit_alpha() { return WEBPPM_FAULT_INJECT("test.alpha"); }
+bool hit_beta() { return WEBPPM_FAULT_INJECT("test.beta"); }
+bool hit_alpha_second_expansion() {
+  return WEBPPM_FAULT_INJECT("test.alpha");
+}
+
+/// Disarms on scope exit so a failing test never leaks its plan into the
+/// next one (plans are process-global).
+struct PlanGuard {
+  ~PlanGuard() { disarm(); }
+};
+
+TEST(Fault, DisarmedSitesNeverFire) {
+  PlanGuard guard;
+  disarm();
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(hit_alpha());
+  EXPECT_FALSE(armed());
+}
+
+TEST(Fault, FailFiresEveryHit) {
+  PlanGuard guard;
+  arm(Plan{}.fail("test.alpha"));
+  EXPECT_TRUE(armed());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(hit_alpha());
+  EXPECT_EQ(hit_count("test.alpha"), 10u);
+  EXPECT_EQ(fired_count("test.alpha"), 10u);
+  // An unrelated site is untouched.
+  EXPECT_FALSE(hit_beta());
+}
+
+TEST(Fault, FailNthFiresExactlyTheScriptedHits) {
+  PlanGuard guard;
+  // skip = 2, times = 2: hits 3 and 4 fail, everything else passes.
+  arm(Plan{}.fail_nth("test.alpha", 2, 2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(hit_alpha());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, false,
+                                      false}));
+  EXPECT_EQ(hit_count("test.alpha"), 6u);
+  EXPECT_EQ(fired_count("test.alpha"), 2u);
+  EXPECT_EQ(total_fired(), 2u);
+}
+
+TEST(Fault, RearmResetsCounters) {
+  PlanGuard guard;
+  arm(Plan{}.fail_nth("test.alpha", 0, 1));
+  EXPECT_TRUE(hit_alpha());
+  arm(Plan{}.fail_nth("test.alpha", 0, 1));
+  EXPECT_EQ(hit_count("test.alpha"), 0u);
+  EXPECT_TRUE(hit_alpha());  // the fresh plan's first hit fires again
+}
+
+TEST(Fault, ProbabilityPlansReplayIdentically) {
+  PlanGuard guard;
+  Plan plan;
+  plan.seed = 42;
+  plan.fail_with_probability("test.alpha", 0.5);
+
+  std::vector<bool> first;
+  arm(plan);
+  for (int i = 0; i < 64; ++i) first.push_back(hit_alpha());
+
+  std::vector<bool> second;
+  arm(plan);
+  for (int i = 0; i < 64; ++i) second.push_back(hit_alpha());
+
+  EXPECT_EQ(first, second);
+  // Sanity: p = 0.5 over 64 draws fires sometimes but not always.
+  const auto fired =
+      static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, 64u);
+
+  // A different seed produces a different firing pattern.
+  plan.seed = 43;
+  arm(plan);
+  std::vector<bool> other;
+  for (int i = 0; i < 64; ++i) other.push_back(hit_alpha());
+  EXPECT_NE(first, other);
+}
+
+TEST(Fault, ThrowModeThrowsFaultInjectedNamingTheSite) {
+  PlanGuard guard;
+  arm(Plan{}.throw_nth("test.alpha", 1));
+  EXPECT_FALSE(hit_alpha());  // hit 1 passes
+  try {
+    hit_alpha();  // hit 2 throws
+    FAIL() << "expected FaultInjected";
+  } catch (const FaultInjected& e) {
+    EXPECT_NE(std::string(e.what()).find("test.alpha"), std::string::npos);
+  }
+  EXPECT_FALSE(hit_alpha());  // times = 1: hit 3 passes again
+}
+
+TEST(Fault, DelayOnlyInjectsLatencyButProceeds) {
+  PlanGuard guard;
+  arm(Plan{}.delay("test.alpha", 20'000'000));  // 20 ms
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(hit_alpha());  // operation proceeds
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(20));
+  EXPECT_EQ(fired_count("test.alpha"), 1u);
+}
+
+TEST(Fault, DisarmRestoresFastPathButKeepsStats) {
+  PlanGuard guard;
+  arm(Plan{}.fail("test.alpha"));
+  EXPECT_TRUE(hit_alpha());
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(hit_alpha());
+  // Stats of the last armed plan stay readable post-mortem.
+  EXPECT_EQ(fired_count("test.alpha"), 1u);
+}
+
+TEST(Fault, SameSiteNameAtTwoExpansionPointsSharesCounters) {
+  PlanGuard guard;
+  // The snapshot store expands the macro in several lambdas that may name
+  // the same site; rule bookkeeping must be by name, not expansion point.
+  arm(Plan{}.fail_nth("test.alpha", 1, 1));
+  EXPECT_FALSE(hit_alpha());                   // hit 1 (expansion A)
+  EXPECT_TRUE(hit_alpha_second_expansion());   // hit 2 (expansion B) fires
+  EXPECT_FALSE(hit_alpha());                   // hit 3
+  EXPECT_EQ(hit_count("test.alpha"), 3u);
+  EXPECT_EQ(fired_count("test.alpha"), 1u);
+}
+
+TEST(Fault, MultipleRulesOnOneSiteCompose) {
+  PlanGuard guard;
+  // Fail hit 1 and hit 3; hits 2 and 4 pass.
+  arm(Plan{}.fail_nth("test.alpha", 0, 1).fail_nth("test.alpha", 2, 1));
+  std::vector<bool> fired;
+  for (int i = 0; i < 4; ++i) fired.push_back(hit_alpha());
+  EXPECT_EQ(fired, (std::vector<bool>{true, false, true, false}));
+}
+
+TEST(Fault, NthHitIsExactUnderConcurrency) {
+  PlanGuard guard;
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 500;
+  arm(Plan{}.fail_nth("test.alpha", 1000, 1));  // exactly hit 1001 fires
+
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fired] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        if (hit_alpha()) fired.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(hit_count("test.alpha"),
+            static_cast<std::uint64_t>(kThreads) * kHitsPerThread);
+  EXPECT_EQ(fired_count("test.alpha"), 1u);
+}
+
+TEST(Fault, AttachedRegistryCountsInjections) {
+  PlanGuard guard;
+  obs::MetricsRegistry registry;
+  attach_metrics(&registry);
+  arm(Plan{}.fail_nth("test.alpha", 0, 2).throw_nth("test.beta", 0, 1));
+  EXPECT_TRUE(hit_alpha());
+  EXPECT_TRUE(hit_alpha());
+  EXPECT_THROW(hit_beta(), FaultInjected);
+  attach_metrics(nullptr);
+
+  EXPECT_EQ(registry.counter("webppm_fault_injected_total").value(), 3u);
+  EXPECT_EQ(registry.counter("webppm_fault_throws_total").value(), 1u);
+}
+
+}  // namespace
+}  // namespace webppm::fault

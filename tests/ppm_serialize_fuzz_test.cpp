@@ -1,0 +1,228 @@
+// Serialization fuzzing: save_model output subjected to random bit flips
+// and truncations must never crash the loaders (the sanitizer presets make
+// this bite) — every rejected stream yields nullopt/nullptr plus a
+// non-empty reason, and unmutated streams always round-trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "popularity/popularity.hpp"
+#include "ppm/lrs_ppm.hpp"
+#include "ppm/popularity_ppm.hpp"
+#include "ppm/serialize.hpp"
+#include "ppm/standard_ppm.hpp"
+#include "serve/model_server.hpp"
+#include "session/session.hpp"
+#include "util/rng.hpp"
+
+namespace webppm::ppm {
+namespace {
+
+session::Session make_session(std::vector<UrlId> urls) {
+  session::Session s;
+  s.urls = std::move(urls);
+  s.times.assign(s.urls.size(), 0);
+  return s;
+}
+
+std::vector<session::Session> train_set() {
+  return {make_session({1, 2, 3}), make_session({1, 2, 3}),
+          make_session({1, 2, 4}), make_session({5, 2, 3}),
+          make_session({5, 6, 7, 1})};
+}
+
+popularity::PopularityTable grades() {
+  return popularity::PopularityTable::from_counts({0, 4, 5, 3, 1, 2, 1, 1});
+}
+
+/// save_model streams of all three kinds, the fuzz corpus.
+std::vector<std::string> corpus() {
+  std::vector<std::string> streams;
+  {
+    StandardPpm m;
+    m.train(train_set());
+    std::ostringstream ss;
+    save_model(ss, m);
+    streams.push_back(ss.str());
+  }
+  {
+    LrsPpm m;
+    m.train(train_set());
+    std::ostringstream ss;
+    save_model(ss, m);
+    streams.push_back(ss.str());
+  }
+  {
+    const auto g = grades();
+    PopularityPpm m({}, &g);
+    m.train(train_set());
+    std::ostringstream ss;
+    save_model(ss, m);
+    streams.push_back(ss.str());
+  }
+  return streams;
+}
+
+/// Runs one mutated stream through the snapshot loader (which dispatches to
+/// the right model loader). Crash-freedom is the property; on rejection the
+/// error must name a reason.
+void check_load(const std::string& stream) {
+  std::istringstream in(stream);
+  const auto result =
+      serve::load_snapshot_ex(in, grades(), /*version=*/1);
+  if (result.snapshot == nullptr) {
+    EXPECT_FALSE(result.error.empty());
+  }
+}
+
+class SerializeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string reserialize(const serve::Snapshot& snap) {
+  std::ostringstream back;
+  if (const auto* std_m =
+          dynamic_cast<const StandardPpm*>(snap.model.get())) {
+    save_model(back, *std_m);
+  } else if (const auto* lrs_m =
+                 dynamic_cast<const LrsPpm*>(snap.model.get())) {
+    save_model(back, *lrs_m);
+  } else if (const auto* pb_m =
+                 dynamic_cast<const PopularityPpm*>(snap.model.get())) {
+    save_model(back, *pb_m);
+  }
+  return back.str();
+}
+
+TEST_P(SerializeFuzzTest, UnmutatedStreamsRoundTrip) {
+  for (const auto& stream : corpus()) {
+    std::istringstream in(stream);
+    const auto result = serve::load_snapshot_ex(in, grades(), 1);
+    ASSERT_NE(result.snapshot, nullptr) << result.error;
+    EXPECT_TRUE(result.error.empty());
+
+    // Serialisation is deterministic (PB links sorted by root), so a
+    // loaded model re-serialises byte-identically — and predicts
+    // identically to the original.
+    const std::string canonical = reserialize(*result.snapshot);
+    EXPECT_EQ(canonical, stream);
+    std::istringstream in2(canonical);
+    const auto again = serve::load_snapshot_ex(in2, grades(), 1);
+    ASSERT_NE(again.snapshot, nullptr) << again.error;
+
+    std::vector<Prediction> a, b;
+    const UrlId ctx[] = {1, 2};
+    result.snapshot->model->predict(ctx, a);
+    again.snapshot->model->predict(ctx, b);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_P(SerializeFuzzTest, SingleBitFlipsNeverCrash) {
+  util::Rng rng(GetParam());
+  for (const auto& stream : corpus()) {
+    for (int round = 0; round < 300; ++round) {
+      std::string mutated = stream;
+      const auto pos = rng.below(mutated.size());
+      mutated[pos] = static_cast<char>(
+          static_cast<unsigned char>(mutated[pos]) ^
+          (1u << (rng.below(8) & 7u)));
+      check_load(mutated);
+    }
+  }
+}
+
+TEST_P(SerializeFuzzTest, BurstsOfFlipsNeverCrash) {
+  util::Rng rng(GetParam() ^ 0xb00b5);
+  for (const auto& stream : corpus()) {
+    for (int round = 0; round < 150; ++round) {
+      std::string mutated = stream;
+      const auto flips = rng.between(2, 16);
+      for (std::uint64_t i = 0; i < flips; ++i) {
+        const auto pos = rng.below(mutated.size());
+        mutated[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutated[pos]) ^
+            (1u << (rng.below(8) & 7u)));
+      }
+      check_load(mutated);
+    }
+  }
+}
+
+TEST_P(SerializeFuzzTest, EveryTruncationNeverCrashesAndIsRejected) {
+  for (const auto& stream : corpus()) {
+    // The parsers are token-based: shaving trailing whitespace still
+    // loads, and a cut *inside* the final numeric token can leave a valid
+    // shorter number. Rejection is guaranteed once at least one whole
+    // token is gone — the section headers pin how many tokens must follow.
+    const std::size_t significant = stream.find_last_not_of(" \n\t") + 1;
+    const std::size_t last_token_start =
+        stream.find_last_of(" \n\t", significant - 1) + 1;
+    for (std::size_t keep = 0; keep < stream.size(); ++keep) {
+      std::istringstream in(stream.substr(0, keep));
+      const auto result = serve::load_snapshot_ex(in, grades(), 1);
+      if (keep <= last_token_start) {
+        EXPECT_EQ(result.snapshot, nullptr) << "truncated to " << keep;
+        EXPECT_FALSE(result.error.empty());
+      } else if (keep >= significant) {
+        EXPECT_NE(result.snapshot, nullptr)
+            << "whitespace-only truncation to " << keep
+            << " rejected: " << result.error;
+      } else if (result.snapshot == nullptr) {
+        EXPECT_FALSE(result.error.empty());
+      }
+    }
+  }
+}
+
+TEST_P(SerializeFuzzTest, RandomByteSoupNeverCrashes) {
+  util::Rng rng(GetParam() ^ 0x5009ull);
+  for (int round = 0; round < 400; ++round) {
+    std::string soup;
+    const auto len = rng.below(200);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      soup.push_back(static_cast<char>(rng.between(1, 255)));
+    }
+    check_load(soup);
+  }
+}
+
+TEST_P(SerializeFuzzTest, DirectLoadersReportReasons) {
+  util::Rng rng(GetParam() ^ 0xd00d);
+  const auto streams = corpus();
+  const auto g = grades();
+  for (int round = 0; round < 100; ++round) {
+    std::string mutated = streams[rng.below(streams.size())];
+    const auto pos = rng.below(mutated.size());
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x10);
+
+    std::string error;
+    {
+      std::istringstream in(mutated);
+      if (!load_standard(in, &error)) {
+        EXPECT_FALSE(error.empty());
+      }
+    }
+    {
+      std::istringstream in(mutated);
+      error.clear();
+      if (!load_lrs(in, &error)) {
+        EXPECT_FALSE(error.empty());
+      }
+    }
+    {
+      std::istringstream in(mutated);
+      error.clear();
+      if (!load_popularity(in, &g, &error)) {
+        EXPECT_FALSE(error.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzzTest,
+                         ::testing::Values(0x5eedull, 0xc0ffeeull,
+                                           0x1234abcdull));
+
+}  // namespace
+}  // namespace webppm::ppm

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_event.hpp"
 #include "ppm/serialize.hpp"
+#include "serve/metrics_reporter.hpp"
 #include "session/online.hpp"
 
 namespace webppm::serve {
@@ -351,6 +355,198 @@ TEST(ModelServerObs, RepublishingSameSnapshotIsNotRetirement) {
 // Readers holding a snapshot across a publish keep a valid model (RCU
 // lifetime guarantee): the old snapshot must stay alive until the last
 // holder drops it.
+TEST(ModelServerObs, TwoServersSampleLatencyIndependently) {
+  // Regression: the sampling cadence counter used to be a shared
+  // thread_local, so two servers on one thread stole each other's ticks —
+  // one of them could record zero latency samples. Per-instance cadence
+  // gives each server exactly every Nth of its *own* queries.
+  obs::MetricsRegistry reg_a, reg_b;
+  ModelServerConfig cfg;
+  cfg.latency_sample_every = 4;
+
+  cfg.metrics = &reg_a;
+  ModelServer a(cfg);
+  cfg.metrics = &reg_b;
+  ModelServer b(cfg);
+  a.publish(tiny_snapshot(1));
+  b.publish(tiny_snapshot(1));
+
+  std::vector<ppm::Prediction> out;
+  for (int i = 0; i < 40; ++i) {  // strictly interleaved on one thread
+    a.query(click(0, 1, static_cast<TimeSec>(i)), out);
+    b.query(click(0, 1, static_cast<TimeSec>(i)), out);
+  }
+  EXPECT_EQ(
+      reg_a.histogram("webppm_serve_query_latency_ns").count(), 10u);
+  EXPECT_EQ(
+      reg_b.histogram("webppm_serve_query_latency_ns").count(), 10u);
+}
+
+/// A snapshot whose popularity table is non-empty, so it carries a Top-N
+/// fallback (url 7 most popular, then 8, then 9).
+std::shared_ptr<const Snapshot> snapshot_with_fallback(
+    std::uint64_t version) {
+  auto m = std::make_unique<ppm::StandardPpm>();
+  m->train(std::vector<session::Session>{make_session({1, 2, 3}),
+                                         make_session({1, 2, 3})});
+  return make_snapshot(
+      std::move(m),
+      popularity::PopularityTable::from_counts(
+          {0, 1, 1, 1, 0, 0, 0, 9, 5, 2}),
+      version);
+}
+
+TEST(ModelServerDegraded, ShedClientsAreServedByFallback) {
+  obs::MetricsRegistry registry;
+  ModelServerConfig cfg;
+  cfg.shards = 1;
+  cfg.max_clients_per_shard = 1;
+  cfg.metrics = &registry;
+  ModelServer server(cfg);
+  server.publish(snapshot_with_fallback(1));
+
+  std::vector<ppm::Prediction> out;
+  // Client 1 is admitted and gets full model service.
+  auto r = server.query_ex(click(1, 1, 0), out);
+  EXPECT_TRUE(r.predicted);
+  EXPECT_EQ(r.served, ServedBy::kModel);
+  EXPECT_FALSE(r.shed);
+
+  // Client 2 lands on the full shard: shed, but still answered — with the
+  // popularity push set, not silence.
+  r = server.query_ex(click(2, 1, 1), out);
+  EXPECT_TRUE(r.predicted);
+  EXPECT_EQ(r.served, ServedBy::kFallback);
+  EXPECT_TRUE(r.shed);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].url, 7u);
+
+  // The admitted client keeps full service.
+  r = server.query_ex(click(1, 2, 2), out);
+  EXPECT_EQ(r.served, ServedBy::kModel);
+
+  EXPECT_EQ(server.shed_count(), 1u);
+  EXPECT_EQ(server.degraded_query_count(), 1u);
+  EXPECT_EQ(registry.counter("webppm_serve_degraded_shed_total").value(),
+            1u);
+  EXPECT_EQ(registry.counter("webppm_serve_degraded_queries_total").value(),
+            1u);
+}
+
+TEST(ModelServerDegraded, DegradedSnapshotFlipsModeAndServesTopN) {
+  obs::MetricsRegistry registry;
+  ModelServerConfig cfg;
+  cfg.metrics = &registry;
+  ModelServer server(cfg);
+  EXPECT_FALSE(server.degraded());
+
+  server.publish(make_degraded_snapshot(
+      popularity::PopularityTable::from_counts({0, 2, 8, 4}), 3));
+  EXPECT_TRUE(server.degraded());
+  EXPECT_EQ(registry.gauge("webppm_serve_degraded_mode").value(), 1);
+  EXPECT_EQ(
+      registry.counter("webppm_serve_degraded_transitions_total").value(),
+      1u);
+
+  std::vector<ppm::Prediction> out;
+  const auto r = server.query_ex(click(5, 1, 0), out);
+  EXPECT_TRUE(r.predicted);
+  EXPECT_EQ(r.served, ServedBy::kFallback);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].url, 2u);  // most popular first
+
+  // Publishing a full model clears degraded mode (a second transition).
+  server.publish(tiny_snapshot(4));
+  EXPECT_FALSE(server.degraded());
+  EXPECT_EQ(registry.gauge("webppm_serve_degraded_mode").value(), 0);
+  EXPECT_EQ(
+      registry.counter("webppm_serve_degraded_transitions_total").value(),
+      2u);
+}
+
+TEST(ModelServerDegraded, QueryFaultRejectsAndCounts) {
+#ifdef WEBPPM_FAULT_DISABLED
+  GTEST_SKIP() << "fault layer compiled out";
+#else
+  obs::MetricsRegistry registry;
+  ModelServerConfig cfg;
+  cfg.metrics = &registry;
+  ModelServer server(cfg);
+  server.publish(tiny_snapshot(1));
+
+  fault::arm(fault::Plan{}.fail_nth("serve.query", 1, 1));
+  std::vector<ppm::Prediction> out;
+  EXPECT_TRUE(server.query(click(0, 1, 0), out));   // hit 1 passes
+  const auto r = server.query_ex(click(0, 2, 1), out);  // hit 2 rejected
+  EXPECT_FALSE(r.predicted);
+  EXPECT_EQ(r.served, ServedBy::kNone);
+  EXPECT_TRUE(server.query(click(0, 2, 2), out));   // hit 3 passes
+  fault::disarm();
+
+  EXPECT_EQ(server.fault_rejected_count(), 1u);
+  EXPECT_EQ(
+      registry.counter("webppm_serve_fault_query_rejected_total").value(),
+      1u);
+#endif
+}
+
+TEST(MetricsReporter, UnwritablePathCountsFailuresAndNeverTearsFile) {
+  namespace fs = std::filesystem;
+  obs::MetricsRegistry registry;
+  ModelServer server;
+
+  // A path whose parent directory does not exist is permanently
+  // unwritable: every tick must count a failure and leave no file behind.
+  {
+    MetricsReporter::Options opt;
+    opt.interval = std::chrono::milliseconds(100000);  // manual ticks only
+    opt.path = (fs::path(::testing::TempDir()) / "no_such_dir" / "m.prom")
+                   .string();
+    MetricsReporter reporter(server, registry, opt);
+    reporter.tick_now();
+    reporter.tick_now();
+    EXPECT_EQ(reporter.report_failures(), 2u);
+    EXPECT_FALSE(fs::exists(opt.path));
+    reporter.stop();  // final flush fails too, still no crash
+    EXPECT_EQ(reporter.report_failures(), 3u);
+  }
+  EXPECT_EQ(registry.counter("webppm_serve_report_failures_total").value(),
+            3u);
+
+  // A transient failure (injected) keeps the last-good exposition intact
+  // and removes the stale temp file. Needs the fault layer compiled in.
+#ifndef WEBPPM_FAULT_DISABLED
+  {
+    const std::string path =
+        (fs::path(::testing::TempDir()) / "reporter_lastgood.prom").string();
+    std::remove(path.c_str());
+    MetricsReporter::Options opt;
+    opt.interval = std::chrono::milliseconds(100000);
+    opt.path = path;
+    MetricsReporter reporter(server, registry, opt);
+    reporter.tick_now();  // clean tick: file exists
+    ASSERT_TRUE(fs::exists(path));
+    std::ifstream in(path);
+    std::stringstream good;
+    good << in.rdbuf();
+    ASSERT_FALSE(good.str().empty());
+
+    fault::arm(fault::Plan{}.fail("serve.report.rename"));
+    registry.counter("test_extra_counter").add();  // change the exposition
+    reporter.tick_now();
+    fault::disarm();
+
+    EXPECT_FALSE(fs::exists(path + ".tmp"));  // stale temp removed
+    std::ifstream again(path);
+    std::stringstream now;
+    now << again.rdbuf();
+    EXPECT_EQ(now.str(), good.str());  // last-good exposition untouched
+    reporter.stop();  // clean final flush now succeeds and updates the file
+    std::remove(path.c_str());
+  }
+#endif
+}
+
 TEST(ModelServerStress, SnapshotOutlivesPublish) {
   ModelServer server;
   server.publish(tiny_snapshot(1));
