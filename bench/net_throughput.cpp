@@ -1,0 +1,407 @@
+// Socket throughput/latency bench for net::PredictServer, plus the ISSUE 5
+// acceptance gates.
+//
+// Protocol: train PB-PPM on days 1..7 of the nasa-like trace, publish it
+// into a ModelServer fronted by the epoll PredictServer on 127.0.0.1, then
+// replay day 8 through net::LoadClient closed-loop over 1/2/4 connections.
+// Reported: predictions/sec over the wire and p50/p99 round-trip latency,
+// written to BENCH_net.json.
+//
+// Gates (any failure exits nonzero):
+//   * byte identity — with responses recorded, every frame the socket
+//     returns is byte-identical to what an in-process ModelServer replay of
+//     the same client-sharded stream produces through the shared
+//     make_wire_response + encode_response path, for 1, 2 and 4
+//     connections;
+//   * chaos variant — with net.conn.read / net.conn.write short-IO faults
+//     armed, plus a slow client that never reads and a connection flood
+//     past max_connections, the replay stays byte-identical, the shed /
+//     slow-disconnect / short-IO counters account for every injected event
+//     (registry and exact counters agree), and no connection leaks
+//     (accepted == closed, active == 0 after the storm);
+//   * recovery — a clean replay after disarm is byte-identical again.
+//
+// Artifacts: BENCH_net.json (rows + gate results) and
+// BENCH_net_metrics.prom (a real GET /metrics scrape taken from the chaos
+// server after the storm — the CI-uploaded evidence for the accounting).
+//
+// --quick (or WEBPPM_BENCH_QUICK=1) shrinks the stream and burst sizes.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+#include "bench_common.hpp"
+#include "fault/fault.hpp"
+#include "net/load_client.hpp"
+#include "net/server.hpp"
+#include "serve/model_server.hpp"
+
+namespace {
+
+using namespace webppm;
+
+std::shared_ptr<const serve::Snapshot> borrow(const serve::Snapshot& snap) {
+  return {&snap, [](const serve::Snapshot*) {}};  // bench-scoped, never freed
+}
+
+/// Replays `shards` against a fresh in-process ModelServer holding `snap`
+/// and byte-compares every recorded socket frame against the locally
+/// encoded answer (shared make_wire_response + encode_response path).
+/// `warm` (optional) is replayed first without comparison — it reproduces
+/// per-client context state a longer-lived server already accumulated
+/// before the recorded exchange (the chaos gate's recovery replay runs on
+/// a server that already served the storm). Returns mismatching frames.
+std::size_t count_frame_mismatches(
+    const serve::Snapshot& snap,
+    const std::vector<std::vector<net::WireRequest>>& shards,
+    const std::vector<std::vector<std::vector<std::uint8_t>>>& frames,
+    const std::vector<std::vector<net::WireRequest>>* warm = nullptr) {
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (s >= frames.size() || frames[s].size() != shards[s].size()) {
+      ++mismatches;
+    }
+  }
+  // One shared local server replayed shard by shard reproduces exactly what
+  // the event-loop workers computed: contexts are per-client and the shards
+  // are client-disjoint, so cross-shard interleaving cannot matter.
+  serve::ModelServer local;
+  local.publish(borrow(snap));
+  if (warm != nullptr) {
+    std::vector<ppm::Prediction> preds;
+    for (const auto& shard : *warm) {
+      for (const auto& req : shard) {
+        (void)local.query_ex(net::to_trace_request(req), preds);
+      }
+    }
+  }
+  for (std::size_t s = 0; s < shards.size() && s < frames.size(); ++s) {
+    for (std::size_t i = 0;
+         i < shards[s].size() && i < frames[s].size(); ++i) {
+      std::vector<ppm::Prediction> preds;
+      const auto qr =
+          local.query_ex(net::to_trace_request(shards[s][i]), preds);
+      std::vector<std::uint8_t> expected;
+      net::encode_response(net::make_wire_response(qr, shards[s][i],
+                                                   local.version(),
+                                                   std::move(preds)),
+                           expected);
+      if (frames[s][i] != expected) ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+/// A raw client for the chaos storm: connects (optionally with a tiny
+/// receive buffer), writes `burst` and never reads.
+int raw_connect(std::uint16_t port, int rcvbuf) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool wait_for(const std::function<bool()>& cond, int deadline_ms) {
+  for (int waited = 0; waited < deadline_ms; waited += 5) {
+    if (cond()) return true;
+    ::usleep(5'000);
+  }
+  return cond();
+}
+
+struct Row {
+  std::size_t connections = 0;
+  std::uint64_t responses = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace webppm::bench;
+  bool quick = std::getenv("WEBPPM_BENCH_QUICK") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const auto& trace = nasa_trace();
+  print_header("=== net_throughput: epoll PredictServer over loopback, "
+               "closed loop (nasa-like day 8) ===",
+               trace);
+  if (quick) std::printf("quick mode: reduced stream/burst sizes\n\n");
+
+  constexpr std::uint32_t kTrainDays = 7;
+  const auto spec = core::ModelSpec::pb_model();
+  auto trained = core::train_model(spec, trace, 0, kTrainDays - 1);
+  auto eval = trace.day_slice(kTrainDays);
+  if (quick && eval.size() > 4000) eval = eval.first(4000);
+
+  auto snap = serve::make_snapshot(std::move(trained.predictor),
+                                   std::move(trained.popularity), 1);
+  std::printf("model: %s, %zu nodes; eval stream: %zu requests\n\n",
+              snap->model->name().data(), snap->model->node_count(),
+              eval.size());
+
+  // --- Gate 1: byte identity over 1 / 2 / 4 connections. -----------------
+  std::vector<Row> rows;
+  bool identity_ok = true;
+  std::printf("%12s %12s %14s %10s %10s %10s\n", "connections", "responses",
+              "predictions/s", "p50 (us)", "p99 (us)", "identity");
+  for (const std::size_t conns : {1u, 2u, 4u}) {
+    serve::ModelServer model;
+    model.publish(borrow(*snap));
+    net::PredictServer server(model, {});
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+      return 1;
+    }
+
+    const auto shards = net::LoadClient::shard(eval, conns);
+    net::LoadClientConfig lc;
+    lc.port = server.port();
+    lc.connections = conns;
+    lc.record_responses = true;
+    const auto res = net::LoadClient(lc).run_sharded(shards);
+    if (!res.ok) {
+      std::fprintf(stderr, "replay failed: %s\n", res.error.c_str());
+      return 1;
+    }
+    const std::size_t mismatches =
+        count_frame_mismatches(*snap, shards, res.frames);
+
+    Row row;
+    row.connections = conns;
+    row.responses = res.responses;
+    row.qps = res.qps;
+    row.p50_us = res.p50_us;
+    row.p99_us = res.p99_us;
+    row.identical = mismatches == 0;
+    identity_ok = identity_ok && row.identical;
+    rows.push_back(row);
+    std::printf("%12zu %12llu %14.0f %10.2f %10.2f %10s\n", conns,
+                static_cast<unsigned long long>(res.responses), res.qps,
+                res.p50_us, res.p99_us,
+                row.identical ? "IDENTICAL" : "MISMATCH");
+
+    server.shutdown();
+    if (server.active_connections() != 0 ||
+        server.accepted() != server.closed()) {
+      std::fprintf(stderr, "connection leak at %zu connections\n", conns);
+      return 1;
+    }
+  }
+  std::printf("\nbyte identity vs in-process ModelServer: %s\n\n",
+              identity_ok ? "OK" : "FAIL");
+
+  // --- Gate 2: chaos variant. --------------------------------------------
+  // Short reads/writes on every fifth IO, a slow client that never reads,
+  // and a connection flood past the cap — replay must stay byte-identical,
+  // every injected event must be accounted, and nothing may leak.
+  obs::MetricsRegistry registry;
+  serve::ModelServer chaos_model;
+  chaos_model.publish(borrow(*snap));
+  net::NetServerConfig chaos_cfg;
+  chaos_cfg.max_connections = 6;
+  chaos_cfg.max_write_queue_bytes = 4 * 1024;
+  chaos_cfg.sndbuf_bytes = 4 * 1024;
+  chaos_cfg.metrics = &registry;
+  net::PredictServer chaos_server(chaos_model, chaos_cfg);
+  std::string err;
+  if (!chaos_server.start(&err)) {
+    std::fprintf(stderr, "chaos server start failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  fault::arm(fault::Plan{}
+                 .fail_with_probability("net.conn.read", 0.2)
+                 .fail_with_probability("net.conn.write", 0.2));
+
+  // Storm part 1: byte-identical replay through short-IO faults.
+  const auto chaos_shards = net::LoadClient::shard(eval, 2);
+  net::LoadClientConfig chaos_lc;
+  chaos_lc.port = chaos_server.port();
+  chaos_lc.connections = 2;
+  chaos_lc.record_responses = true;
+  const auto chaos_res = net::LoadClient(chaos_lc).run_sharded(chaos_shards);
+  const bool chaos_replay_ok = chaos_res.ok;
+  const std::size_t chaos_mismatches =
+      chaos_res.ok
+          ? count_frame_mismatches(*snap, chaos_shards, chaos_res.frames)
+          : chaos_shards.size();
+
+  // Storm part 2: a slow client pipelines a burst and never reads a byte.
+  // The fd stays open until the shed is observed — closing early would
+  // race an RST into the server's write path and turn the slow-client
+  // disconnect into a plain write error.
+  bool slow_shed = false;
+  {
+    const int fd = raw_connect(chaos_server.port(), /*rcvbuf=*/2048);
+    if (fd >= 0) {
+      std::vector<std::uint8_t> burst;
+      const int burst_reqs = quick ? 2000 : 6000;
+      for (int i = 0; i < burst_reqs; ++i) {
+        net::WireRequest r;
+        r.client = 999'999;
+        r.url = 1;
+        r.timestamp = static_cast<TimeSec>(i);
+        net::encode_request(r, burst);
+      }
+      std::size_t done = 0;
+      while (done < burst.size()) {
+        const ssize_t n = ::send(fd, burst.data() + done,
+                                 burst.size() - done, MSG_NOSIGNAL);
+        if (n <= 0) break;  // server shed us mid-burst: exactly the point
+        done += static_cast<std::size_t>(n);
+      }
+      slow_shed = wait_for(
+          [&] { return chaos_server.slow_client_disconnects() >= 1; },
+          10'000);
+      ::close(fd);
+    }
+  }
+
+  // Storm part 3: flood past max_connections; extras get one kRetryLater
+  // frame and a close.
+  std::vector<int> flood;
+  for (std::size_t i = 0; i < chaos_cfg.max_connections + 4; ++i) {
+    const int fd = raw_connect(chaos_server.port(), 0);
+    if (fd >= 0) flood.push_back(fd);
+  }
+  const bool flood_shed =
+      wait_for([&] { return chaos_server.shed() >= 4; }, 10'000);
+  for (const int fd : flood) ::close(fd);
+
+  fault::disarm();
+  const bool no_leak = wait_for(
+      [&] {
+        return chaos_server.active_connections() == 0 &&
+               chaos_server.accepted() == chaos_server.closed();
+      },
+      10'000);
+
+  // Storm part 4: recovery — a clean replay is byte-identical again.
+  net::LoadClientConfig rec_lc;
+  rec_lc.port = chaos_server.port();
+  rec_lc.connections = 1;
+  rec_lc.record_responses = true;
+  const auto rec_shards = net::LoadClient::shard(eval, 1);
+  const auto rec_res = net::LoadClient(rec_lc).run_sharded(rec_shards);
+  const std::size_t rec_mismatches =
+      rec_res.ok ? count_frame_mismatches(*snap, rec_shards, rec_res.frames,
+                                          &chaos_shards)
+                 : 1;
+
+  // Accounting: the injected faults show up in the counters, and the
+  // registry's webppm_net_* values agree with the exact atomics.
+  const bool short_io_seen =
+      chaos_server.short_reads() >= 1 && chaos_server.short_writes() >= 1;
+  const bool registry_agrees =
+      registry.counter("webppm_net_short_reads_total").value() ==
+          chaos_server.short_reads() &&
+      registry.counter("webppm_net_short_writes_total").value() ==
+          chaos_server.short_writes() &&
+      registry.counter("webppm_net_shed_total").value() ==
+          chaos_server.shed() &&
+      registry.counter("webppm_net_slow_client_disconnects_total").value() ==
+          chaos_server.slow_client_disconnects() &&
+      registry.counter("webppm_net_connections_closed_total").value() ==
+          chaos_server.closed();
+
+  // The CI-uploaded scrape artifact: a real GET /metrics from the chaos
+  // server, post-storm — the accounting above, as a scraper would see it.
+  std::string scrape_err;
+  const std::string scrape = net::fetch_admin(
+      "127.0.0.1", chaos_server.admin_port(), "/metrics", &scrape_err);
+  if (scrape_err.empty()) {
+    std::ofstream out("BENCH_net_metrics.prom", std::ios::trunc);
+    out << scrape;
+  }
+  chaos_server.shutdown();
+
+  const bool chaos_ok = chaos_replay_ok && chaos_mismatches == 0 &&
+                        slow_shed && flood_shed && no_leak &&
+                        rec_res.ok && rec_mismatches == 0 && short_io_seen &&
+                        registry_agrees && scrape_err.empty();
+  std::printf("chaos variant:\n");
+  std::printf("  short-IO replay identical:  %s (%zu mismatches)\n",
+              chaos_replay_ok && chaos_mismatches == 0 ? "OK" : "FAIL",
+              chaos_mismatches);
+  std::printf("  slow client shed:           %s (%llu disconnects)\n",
+              slow_shed ? "OK" : "FAIL",
+              static_cast<unsigned long long>(
+                  chaos_server.slow_client_disconnects()));
+  std::printf("  flood shed (cap %zu):        %s (%llu shed)\n",
+              chaos_cfg.max_connections, flood_shed ? "OK" : "FAIL",
+              static_cast<unsigned long long>(chaos_server.shed()));
+  std::printf("  short IO accounted:         %s (%llu reads, %llu writes)\n",
+              short_io_seen ? "OK" : "FAIL",
+              static_cast<unsigned long long>(chaos_server.short_reads()),
+              static_cast<unsigned long long>(chaos_server.short_writes()));
+  std::printf("  registry matches exact:     %s\n",
+              registry_agrees ? "OK" : "FAIL");
+  std::printf("  no connection leak:         %s (accepted %llu, "
+              "closed %llu, active %zu)\n",
+              no_leak ? "OK" : "FAIL",
+              static_cast<unsigned long long>(chaos_server.accepted()),
+              static_cast<unsigned long long>(chaos_server.closed()),
+              chaos_server.active_connections());
+  std::printf("  post-chaos replay identical: %s (%zu mismatches)\n\n",
+              rec_res.ok && rec_mismatches == 0 ? "OK" : "FAIL",
+              rec_mismatches);
+
+  if (FILE* f = std::fopen("BENCH_net.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"PredictServer loopback replay, "
+                 "nasa-like day 8, pb-ppm\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"byte_identity_ok\": %s,\n"
+                 "  \"chaos_ok\": %s,\n"
+                 "  \"runs\": [\n",
+                 quick ? "true" : "false", identity_ok ? "true" : "false",
+                 chaos_ok ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(f,
+                   "    {\"connections\": %zu, \"responses\": %llu, "
+                   "\"predictions_per_sec\": %.0f, \"p50_us\": %.2f, "
+                   "\"p99_us\": %.2f, \"byte_identical\": %s}%s\n",
+                   r.connections,
+                   static_cast<unsigned long long>(r.responses), r.qps,
+                   r.p50_us, r.p99_us, r.identical ? "true" : "false",
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_net.json, BENCH_net_metrics.prom\n");
+  }
+
+  return identity_ok && chaos_ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// net_client — drive a running net_server with a replayed workload.
+//
+// Generates the nasa-like day-8 evaluation stream (the same one the
+// benches replay), shards it over N connections by client id, replays it
+// closed-loop through net::LoadClient, and prints throughput, latency
+// percentiles and the per-status response breakdown. Finishes with a
+// GET /healthz and GET /metrics scrape when --admin-port is given.
+//
+//   net_client [--port N] [--connections N] [--admin-port N] [--days N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/load_client.hpp"
+#include "net/wire.hpp"
+#include "workload/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace webppm;
+
+  std::uint16_t port = 8970;
+  std::uint16_t admin_port = 0;
+  std::size_t connections = 2;
+  std::uint32_t days = 8;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--admin-port") == 0) {
+      admin_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      connections = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--days") == 0) {
+      days = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    }
+  }
+
+  const auto trace =
+      workload::generate_page_trace(workload::nasa_like(days));
+  const auto eval = trace.day_slice(days - 1);
+  std::printf("replaying %zu requests (day %u) over %zu connections to "
+              "127.0.0.1:%u\n",
+              eval.size(), days, connections, port);
+
+  net::LoadClientConfig cfg;
+  cfg.port = port;
+  cfg.connections = connections;
+  const auto res = net::LoadClient(cfg).run(eval);
+  if (!res.ok) {
+    std::fprintf(stderr, "replay failed: %s\n", res.error.c_str());
+    return 1;
+  }
+
+  std::printf("\n%llu responses in %.2fs — %.0f predictions/s, "
+              "p50 %.1fus, p99 %.1fus\n",
+              static_cast<unsigned long long>(res.responses), res.seconds,
+              res.qps, res.p50_us, res.p99_us);
+  std::printf("status breakdown:\n");
+  for (std::size_t s = 0; s < res.status_counts.size(); ++s) {
+    if (res.status_counts[s] == 0) continue;
+    std::printf("  %-12s %llu\n",
+                net::status_name(static_cast<net::Status>(s)),
+                static_cast<unsigned long long>(res.status_counts[s]));
+  }
+
+  if (admin_port != 0) {
+    std::string err, status_line;
+    const auto health = net::fetch_admin("127.0.0.1", admin_port, "/healthz",
+                                         &err, &status_line);
+    if (err.empty()) {
+      std::printf("\n/healthz: %s (%s)\n", status_line.c_str(),
+                  health.substr(0, health.find('\n')).c_str());
+    }
+    const auto metrics =
+        net::fetch_admin("127.0.0.1", admin_port, "/metrics", &err);
+    if (err.empty()) {
+      std::printf("/metrics: %zu bytes of exposition "
+                  "(webppm_net_* counters included)\n",
+                  metrics.size());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// net_server — stand up the epoll prediction service on a real port.
+//
+// Trains PB-PPM on the first days of the built-in nasa-like trace (or a CLF
+// file), publishes the snapshot into a ModelServer, and serves it over TCP
+// until SIGINT/SIGTERM. The admin listener exposes GET /metrics and
+// GET /healthz for a scraper.
+//
+//   net_server [--port N] [--admin-port N] [--workers N] [--clf FILE]
+//              [--train-days N]
+//
+// Pair with examples/net_client to drive it.
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/webppm.hpp"
+#include "net/server.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_server.hpp"
+#include "trace/clf.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+webppm::trace::Trace load_trace(const std::string& clf_path) {
+  using namespace webppm;
+  if (!clf_path.empty()) {
+    trace::Trace t;
+    std::ifstream in(clf_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s; falling back to the built-in "
+                           "nasa-like workload\n",
+                   clf_path.c_str());
+    } else {
+      const auto stats = trace::read_clf(in, t);
+      std::printf("loaded %llu requests from %s (%llu lines skipped)\n",
+                  static_cast<unsigned long long>(stats.parsed),
+                  clf_path.c_str(),
+                  static_cast<unsigned long long>(stats.skipped));
+      return t;
+    }
+  }
+  std::printf("using the built-in nasa-like workload (8 days)\n");
+  return workload::generate_page_trace(workload::nasa_like(/*days=*/8));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace webppm;
+
+  std::uint16_t port = 8970;
+  std::uint16_t admin_port = 8971;
+  std::size_t workers = 2;
+  std::uint32_t train_days = 7;
+  std::string clf_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--admin-port") == 0) {
+      admin_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--clf") == 0) {
+      clf_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--train-days") == 0) {
+      train_days = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    }
+  }
+
+  const auto trace = load_trace(clf_path);
+  const auto spec = core::ModelSpec::pb_model();
+  auto trained = core::train_model(spec, trace, 0, train_days - 1);
+  auto snap = serve::make_snapshot(std::move(trained.predictor),
+                                   std::move(trained.popularity), 1);
+  std::printf("trained %s on days 1..%u: %zu nodes\n",
+              snap->model->name().data(), train_days,
+              snap->model->node_count());
+
+  obs::MetricsRegistry registry;
+  serve::ModelServerConfig mcfg;
+  mcfg.metrics = &registry;
+  serve::ModelServer model(mcfg);
+  model.publish(std::move(snap));
+
+  net::NetServerConfig cfg;
+  cfg.port = port;
+  cfg.admin_port = admin_port;
+  cfg.workers = workers;
+  cfg.metrics = &registry;
+  net::PredictServer server(model, cfg);
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "start failed: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("serving predictions on 127.0.0.1:%u "
+              "(admin: http://127.0.0.1:%u/metrics, /healthz)\n",
+              server.port(), server.admin_port());
+  std::printf("press Ctrl-C to drain and stop\n");
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    ::usleep(100'000);
+  }
+
+  std::printf("\ndraining...\n");
+  server.shutdown();
+  std::printf("served %llu responses over %llu connections "
+              "(%llu shed, %llu protocol errors)\n",
+              static_cast<unsigned long long>(server.responses()),
+              static_cast<unsigned long long>(server.accepted()),
+              static_cast<unsigned long long>(server.shed()),
+              static_cast<unsigned long long>(server.protocol_errors()));
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "net/event_loop.hpp"
+
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace webppm::net {
+
+void OwnedFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::uint64_t now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+EventLoop::EventLoop() {
+  epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_.valid()) {
+    error_ = std::string("epoll_create1: ") + std::strerror(errno);
+    return;
+  }
+  wake_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_.valid()) {
+    error_ = std::string("eventfd: ") + std::strerror(errno);
+    return;
+  }
+  add(wake_.get(), EPOLLIN, wake_tag());
+}
+
+bool EventLoop::add(int fd, std::uint32_t events, void* data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = data;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool EventLoop::mod(int fd, std::uint32_t events, void* data) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = data;
+  return ::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::del(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::wait(int timeout_ms, std::vector<epoll_event>& out) {
+  if (out.size() < 64) out.resize(64);
+  const int n = ::epoll_wait(epoll_.get(), out.data(),
+                             static_cast<int>(out.size()), timeout_ms);
+  return n < 0 ? 0 : n;  // EINTR and transient errors read as a timeout
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (impossible here) or EINTR both leave a wake
+  // pending or delivered; nothing useful to do with the result.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_.get(), &one, sizeof one);
+}
+
+void EventLoop::drain_wake() {
+  std::uint64_t buf = 0;
+  while (::read(wake_.get(), &buf, sizeof buf) > 0) {
+  }
+}
+
+TimeoutWheel::TimeoutWheel(std::uint64_t granularity_ms, std::size_t slots,
+                           std::uint64_t start_ms)
+    : granularity_ms_(granularity_ms == 0 ? 1 : granularity_ms),
+      slots_(slots == 0 ? 1 : slots),
+      cursor_ms_(start_ms) {}
+
+void TimeoutWheel::schedule(std::uint64_t key, std::uint64_t deadline_ms) {
+  // Beyond-horizon deadlines park one full rotation out; the entry fires
+  // early, the owner sees the real deadline is still ahead and re-arms.
+  const std::uint64_t horizon =
+      cursor_ms_ + granularity_ms_ * (slots_.size() - 1);
+  const std::uint64_t at = deadline_ms > horizon ? horizon : deadline_ms;
+  slots_[slot_of(at)].push_back(key);
+  ++pending_;
+}
+
+void TimeoutWheel::advance(std::uint64_t now_ms,
+                           const std::function<void(std::uint64_t)>& cb) {
+  if (now_ms <= cursor_ms_) return;
+  std::uint64_t steps = (now_ms - cursor_ms_) / granularity_ms_;
+  if (steps == 0) return;
+  if (steps > slots_.size()) steps = slots_.size();
+  std::size_t slot = slot_of(cursor_ms_);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    auto& bucket = slots_[slot];
+    // cb may schedule() into any slot, including this one (a re-armed
+    // deadline in the past parks at the cursor); swap the bucket out first
+    // so the iteration only sees entries due this tick.
+    std::vector<std::uint64_t> due;
+    due.swap(bucket);
+    pending_ -= due.size();
+    for (const std::uint64_t key : due) cb(key);
+    slot = (slot + 1) % slots_.size();
+  }
+  cursor_ms_ += steps * granularity_ms_;
+}
+
+int TimeoutWheel::next_timeout_ms(std::uint64_t now_ms) const {
+  if (pending_ == 0) return -1;
+  std::size_t slot = slot_of(cursor_ms_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[(slot + i) % slots_.size()].empty()) {
+      const std::uint64_t fire_ms = cursor_ms_ + (i + 1) * granularity_ms_;
+      return fire_ms <= now_ms
+                 ? 0
+                 : static_cast<int>(fire_ms - now_ms);
+    }
+  }
+  return -1;
+}
+
+}  // namespace webppm::net

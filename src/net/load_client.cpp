@@ -1,0 +1,255 @@
+#include "net/load_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "net/event_loop.hpp"
+
+namespace webppm::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string errno_string() { return std::strerror(errno); }
+
+/// Blocking connect to host:port; TCP_NODELAY set (closed-loop ping-pong).
+OwnedFd connect_to(const std::string& host, std::uint16_t port,
+                   std::string* error) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    *error = "socket: " + errno_string();
+    return {};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "inet_pton " + host + ": invalid address";
+    return {};
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    *error = "connect " + host + ":" + std::to_string(port) + ": " +
+             errno_string();
+    return {};
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t len,
+               std::string* error) {
+  std::size_t done = 0;
+  while (done < len) {
+    // MSG_NOSIGNAL: a server that drops us mid-replay (shed, shutdown)
+    // must surface as EPIPE, not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = "write: " + errno_string();
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_exact(int fd, std::uint8_t* data, std::size_t len,
+                std::string* error) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, data + done, len - done);
+    if (n == 0) {
+      *error = "connection closed by server";
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = "read: " + errno_string();
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one full frame (header + body) into `frame`; validates the
+/// header-claimed length against the cap before reading (or sizing) the
+/// body, same discipline as the server side.
+bool read_frame(int fd, std::uint32_t max_frame_bytes,
+                std::vector<std::uint8_t>& frame, std::string* error) {
+  frame.resize(kFrameHeaderBytes);
+  if (!read_exact(fd, frame.data(), kFrameHeaderBytes, error)) return false;
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(frame[0]) |
+      (static_cast<std::uint32_t>(frame[1]) << 8) |
+      (static_cast<std::uint32_t>(frame[2]) << 16) |
+      (static_cast<std::uint32_t>(frame[3]) << 24);
+  if (len == 0 || len > max_frame_bytes) {
+    *error = "response frame length " + std::to_string(len) +
+             " outside (0, " + std::to_string(max_frame_bytes) + "]";
+    return false;
+  }
+  frame.resize(kFrameHeaderBytes + len);
+  return read_exact(fd, frame.data() + kFrameHeaderBytes, len, error);
+}
+
+struct ConnOutcome {
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::array<std::uint64_t, 6> status_counts{};
+  std::vector<double> latencies_us;
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::string error;
+};
+
+}  // namespace
+
+WireRequest LoadClient::to_wire(const trace::Request& r) {
+  WireRequest w;
+  w.client = r.client;
+  w.url = r.url;
+  w.timestamp = r.timestamp;
+  w.flags = r.status >= 400 ? kFlagErrorStatus : std::uint8_t{0};
+  return w;
+}
+
+std::vector<std::vector<WireRequest>> LoadClient::shard(
+    std::span<const trace::Request> requests, std::size_t connections) {
+  std::vector<std::vector<WireRequest>> shards(
+      connections == 0 ? 1 : connections);
+  for (const auto& r : requests) {
+    shards[r.client % shards.size()].push_back(to_wire(r));
+  }
+  return shards;
+}
+
+LoadClientResult LoadClient::run(
+    std::span<const trace::Request> requests) const {
+  return run_sharded(shard(requests, config_.connections));
+}
+
+LoadClientResult LoadClient::run_sharded(
+    const std::vector<std::vector<WireRequest>>& shards) const {
+  std::vector<ConnOutcome> outcomes(shards.size());
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    threads.emplace_back([this, &shards, &outcomes, i] {
+      ConnOutcome& oc = outcomes[i];
+      OwnedFd fd = connect_to(config_.host, config_.port, &oc.error);
+      if (!fd.valid()) return;
+      std::vector<std::uint8_t> req_buf, resp_frame;
+      if (config_.record_responses) oc.frames.reserve(shards[i].size());
+      oc.latencies_us.reserve(shards[i].size());
+      for (const auto& req : shards[i]) {
+        req_buf.clear();
+        encode_request(req, req_buf);
+        const auto q0 = Clock::now();
+        if (!write_all(fd.get(), req_buf.data(), req_buf.size(),
+                       &oc.error)) {
+          return;
+        }
+        ++oc.requests;
+        if (!read_frame(fd.get(), config_.max_frame_bytes, resp_frame,
+                        &oc.error)) {
+          return;
+        }
+        oc.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - q0)
+                .count());
+        ++oc.responses;
+        WireResponse resp;
+        const auto err = decode_response(
+            std::span<const std::uint8_t>(resp_frame).subspan(
+                kFrameHeaderBytes),
+            resp);
+        if (!err.ok()) {
+          oc.error = "response decode: " + err.reason;
+          return;
+        }
+        ++oc.status_counts[static_cast<std::size_t>(resp.status)];
+        if (config_.record_responses) oc.frames.push_back(resp_frame);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadClientResult res;
+  res.ok = true;
+  res.seconds = seconds;
+  std::vector<double> all;
+  for (auto& oc : outcomes) {
+    res.requests += oc.requests;
+    res.responses += oc.responses;
+    for (std::size_t s = 0; s < oc.status_counts.size(); ++s) {
+      res.status_counts[s] += oc.status_counts[s];
+    }
+    all.insert(all.end(), oc.latencies_us.begin(), oc.latencies_us.end());
+    if (!oc.error.empty() && res.error.empty()) {
+      res.ok = false;
+      res.error = "connection " + std::to_string(&oc - outcomes.data()) +
+                  ": " + oc.error;
+    }
+    if (config_.record_responses) res.frames.push_back(std::move(oc.frames));
+  }
+  std::sort(all.begin(), all.end());
+  if (!all.empty()) {
+    res.p50_us = all[all.size() / 2];
+    res.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  res.qps = seconds > 0 ? static_cast<double>(res.responses) / seconds : 0.0;
+  return res;
+}
+
+std::string fetch_admin(const std::string& host, std::uint16_t port,
+                        const std::string& path, std::string* error,
+                        std::string* status_line) {
+  std::string err;
+  OwnedFd fd = connect_to(host, port, &err);
+  if (!fd.valid()) {
+    if (error != nullptr) *error = err;
+    return {};
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!write_all(fd.get(), reinterpret_cast<const std::uint8_t*>(req.data()),
+                 req.size(), &err)) {
+    if (error != nullptr) *error = err;
+    return {};
+  }
+  std::string raw;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // server closes after one exchange
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  const auto sep = raw.find("\r\n\r\n");
+  if (sep == std::string::npos) {
+    if (error != nullptr) *error = "malformed admin response";
+    return {};
+  }
+  if (status_line != nullptr) {
+    *status_line = raw.substr(0, raw.find("\r\n"));
+  }
+  if (error != nullptr) error->clear();
+  return raw.substr(sep + 4);
+}
+
+}  // namespace webppm::net

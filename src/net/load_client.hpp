@@ -1,0 +1,90 @@
+// net::LoadClient — a multi-connection closed-loop replay client for the
+// prediction service (DESIGN.md §10).
+//
+// The client shards a request stream (typically a workload::TraceGenerator
+// day) over N connections by client id — every client's clicks stay in
+// order on one connection, the invariant that makes over-the-wire replies
+// comparable request-for-request with an in-process ModelServer replay —
+// and drives each connection closed-loop: the next query is written the
+// moment the previous response is read. Blocking sockets, one thread per
+// connection; the *server* is the event-driven side under test.
+//
+// With `record_responses` on, every raw response frame is retained per
+// connection, which is what the bench/net_throughput acceptance gate
+// byte-compares against locally encoded in-process answers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "trace/record.hpp"
+
+namespace webppm::net {
+
+struct LoadClientConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 1;
+  /// Keep every raw response frame (header + body) per connection for
+  /// byte-identity checks. Off for pure throughput runs.
+  bool record_responses = false;
+  /// Reject response frames claiming more than this many body bytes.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+struct LoadClientResult {
+  bool ok = false;
+  std::string error;  ///< first failure across connections
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  /// Responses by wire status, indexed by Status.
+  std::array<std::uint64_t, 6> status_counts{};
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  /// Raw response frames, [connection][response index], in send order.
+  /// Populated only with record_responses.
+  std::vector<std::vector<std::vector<std::uint8_t>>> frames;
+};
+
+class LoadClient {
+ public:
+  explicit LoadClient(LoadClientConfig config) : config_(std::move(config)) {}
+
+  /// Shards `requests` by client id over `connections` lists, preserving
+  /// each client's order. The same sharding a caller uses to reproduce
+  /// answers in-process.
+  static std::vector<std::vector<WireRequest>> shard(
+      std::span<const trace::Request> requests, std::size_t connections);
+
+  /// trace::Request → its wire form (error statuses fold into the flag).
+  static WireRequest to_wire(const trace::Request& r);
+
+  /// Replays the stream once, closed-loop per connection. Blocks until
+  /// every connection finishes (or fails — a dropped connection fails that
+  /// shard, recorded in `error`, the rest continue).
+  LoadClientResult run(std::span<const trace::Request> requests) const;
+
+  /// Same, over pre-sharded wire requests (shard i → connection i).
+  LoadClientResult run_sharded(
+      const std::vector<std::vector<WireRequest>>& shards) const;
+
+  const LoadClientConfig& config() const { return config_; }
+
+ private:
+  LoadClientConfig config_;
+};
+
+/// One blocking admin-endpoint fetch ("/metrics", "/healthz"): returns the
+/// response body, or empty with `*error` set. Shared by the bench's scrape
+/// artifact and the loopback tests.
+std::string fetch_admin(const std::string& host, std::uint16_t port,
+                        const std::string& path, std::string* error,
+                        std::string* status_line = nullptr);
+
+}  // namespace webppm::net

@@ -1,0 +1,759 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "fault/fault.hpp"
+#include "obs/trace_event.hpp"
+#include "serve/metrics_reporter.hpp"
+
+namespace webppm::net {
+namespace {
+
+/// Epoll dispatch tag: every pointer registered with an EventLoop (other
+/// than the loop's own wake tag) points at one of these, embedded first in
+/// the concrete per-fd state so the event handler can downcast.
+struct EvTag {
+  enum class Kind : std::uint8_t { kListen, kAdminListen, kAdminConn, kConn };
+  Kind kind;
+};
+
+std::string errno_string() { return std::strerror(errno); }
+
+/// Binds a nonblocking listen socket on host:port (port 0 = ephemeral).
+/// Returns the bound port via *bound_port; empty error string on success.
+std::string open_listener(const std::string& host, std::uint16_t port,
+                          OwnedFd& out, std::uint16_t* bound_port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                      0));
+  if (!fd.valid()) return "socket: " + errno_string();
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return "inet_pton " + host + ": invalid address";
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return "bind " + host + ":" + std::to_string(port) + ": " +
+           errno_string();
+  }
+  if (::listen(fd.get(), 128) != 0) return "listen: " + errno_string();
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return "getsockname: " + errno_string();
+  }
+  *bound_port = ntohs(bound.sin_port);
+  out = std::move(fd);
+  return {};
+}
+
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
+constexpr std::size_t kAdminRequestCapBytes = 4 * 1024;
+constexpr int kLoopTickMs = 100;  ///< upper bound on stop-flag latency
+
+}  // namespace
+
+struct PredictServer::Connection {
+  EvTag tag{EvTag::Kind::kConn};
+  int fd = -1;
+  std::vector<std::uint8_t> in;    ///< unparsed request bytes
+  std::vector<std::uint8_t> out;   ///< unflushed response bytes
+  std::size_t out_pos = 0;         ///< first unflushed byte of `out`
+  bool close_after_flush = false;  ///< protocol error or drain: no reads
+  bool want_read = true;
+  std::uint32_t interest = 0;      ///< epoll events currently registered
+  std::uint64_t last_activity_ms = 0;
+
+  std::size_t pending_out() const { return out.size() - out_pos; }
+};
+
+struct PredictServer::AdminConn {
+  EvTag tag{EvTag::Kind::kAdminConn};
+  int fd = -1;
+  std::string in;
+  std::string out;
+  std::size_t out_pos = 0;
+};
+
+struct PredictServer::Worker {
+  std::size_t index = 0;
+  EventLoop loop;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  TimeoutWheel wheel;
+  std::mutex inbox_mu;
+  std::vector<int> inbox;  ///< fds dispatched by the acceptor
+
+  Worker(std::size_t idx, std::uint64_t idle_timeout_ms)
+      : index(idx),
+        wheel(idle_timeout_ms == 0
+                  ? 1000
+                  : std::max<std::uint64_t>(10, idle_timeout_ms / 8),
+              64, now_ms()) {}
+};
+
+struct PredictServer::Instruments {
+  obs::Counter* accepted;
+  obs::Counter* closed;
+  obs::Counter* requests;
+  obs::Counter* responses;
+  obs::Counter* protocol_errors;
+  obs::Counter* shed;
+  obs::Counter* slow_disconnects;
+  obs::Counter* idle_timeouts;
+  obs::Counter* accept_failures;
+  obs::Counter* short_reads;
+  obs::Counter* short_writes;
+  obs::Counter* stalls;
+  obs::Counter* admin_requests;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+  obs::Gauge* active;
+  obs::LogHistogram* request_latency;
+};
+
+WireResponse make_wire_response(const serve::QueryResult& qr,
+                                const WireRequest& req,
+                                std::uint64_t snapshot_version,
+                                std::vector<ppm::Prediction> predictions) {
+  WireResponse resp;
+  resp.snapshot_version = snapshot_version;
+  if (qr.predicted) {
+    resp.status = qr.served == serve::ServedBy::kFallback ? Status::kDegraded
+                                                          : Status::kOk;
+    resp.predictions = std::move(predictions);
+  } else if (snapshot_version == 0) {
+    resp.status = Status::kNoModel;
+  } else if ((req.flags & kFlagErrorStatus) != 0) {
+    // The server skips error requests by design (the simulator's piggyback
+    // path does the same); an empty OK list is the expected answer.
+    resp.status = Status::kOk;
+  } else {
+    resp.status = Status::kError;  // refused (e.g. injected serve.query)
+  }
+  return resp;
+}
+
+trace::Request to_trace_request(const WireRequest& w) {
+  trace::Request r;
+  r.timestamp = w.timestamp;
+  r.client = w.client;
+  r.url = w.url;
+  r.status = (w.flags & kFlagErrorStatus) != 0 ? 404 : 200;
+  return r;
+}
+
+PredictServer::PredictServer(serve::ModelServer& model, NetServerConfig config)
+    : model_(model), config_(std::move(config)) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.max_frame_bytes == 0) config_.max_frame_bytes = kDefaultMaxFrameBytes;
+  if (config_.metrics != nullptr) {
+    auto& reg = *config_.metrics;
+    ins_ = std::make_unique<Instruments>(Instruments{
+        &reg.counter("webppm_net_connections_accepted_total"),
+        &reg.counter("webppm_net_connections_closed_total"),
+        &reg.counter("webppm_net_requests_total"),
+        &reg.counter("webppm_net_responses_total"),
+        &reg.counter("webppm_net_protocol_errors_total"),
+        &reg.counter("webppm_net_shed_total"),
+        &reg.counter("webppm_net_slow_client_disconnects_total"),
+        &reg.counter("webppm_net_idle_timeouts_total"),
+        &reg.counter("webppm_net_accept_failures_total"),
+        &reg.counter("webppm_net_short_reads_total"),
+        &reg.counter("webppm_net_short_writes_total"),
+        &reg.counter("webppm_net_stalls_total"),
+        &reg.counter("webppm_net_admin_requests_total"),
+        &reg.counter("webppm_net_bytes_read_total"),
+        &reg.counter("webppm_net_bytes_written_total"),
+        &reg.gauge("webppm_net_connections_active"),
+        &reg.histogram("webppm_net_request_latency_ns"),
+    });
+  }
+}
+
+PredictServer::~PredictServer() { shutdown(); }
+
+void PredictServer::count(obs::Counter* Instruments::*which,
+                          std::atomic<std::uint64_t>& exact) {
+  exact.fetch_add(1, std::memory_order_relaxed);
+  if (ins_ != nullptr) ((*ins_).*which)->add();
+}
+
+bool PredictServer::start(std::string* error) {
+  if (started_.exchange(true)) {
+    if (error != nullptr) *error = "already started";
+    return false;
+  }
+  std::string err = open_listener(config_.host, config_.port, listen_fd_,
+                                  &port_);
+  if (err.empty() && config_.admin) {
+    err = open_listener(config_.host, config_.admin_port, admin_fd_,
+                        &admin_port_);
+  }
+  accept_loop_ = std::make_unique<EventLoop>();
+  if (err.empty() && !accept_loop_->ok()) err = accept_loop_->error();
+  for (std::size_t i = 0; err.empty() && i < config_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(i, config_.idle_timeout_ms));
+    if (!workers_.back()->loop.ok()) err = workers_.back()->loop.error();
+  }
+  if (!err.empty()) {
+    if (error != nullptr) *error = err;
+    obs::log_event(obs::Severity::kError, "net.start_failed", err);
+    return false;
+  }
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { acceptor_main(); });
+  for (auto& w : workers_) {
+    worker_threads_.emplace_back([this, &w] { worker_main(*w); });
+  }
+  return true;
+}
+
+void PredictServer::shutdown() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true)) {
+    // Second caller (e.g. the destructor after an explicit shutdown): just
+    // make sure the threads are gone.
+  } else {
+    if (accept_loop_ != nullptr) accept_loop_->wake();
+    for (auto& w : workers_) w->loop.wake();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor thread: listen fd + admin listener + admin connections.
+
+void PredictServer::acceptor_main() {
+  static EvTag listen_tag{EvTag::Kind::kListen};
+  static EvTag admin_listen_tag{EvTag::Kind::kAdminListen};
+  accept_loop_->add(listen_fd_.get(), EPOLLIN, &listen_tag);
+  if (admin_fd_.valid()) {
+    accept_loop_->add(admin_fd_.get(), EPOLLIN, &admin_listen_tag);
+  }
+
+  std::vector<epoll_event> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int n = accept_loop_->wait(kLoopTickMs, events);
+    for (int i = 0; i < n; ++i) {
+      void* data = events[static_cast<std::size_t>(i)].data.ptr;
+      if (data == accept_loop_->wake_tag()) {
+        accept_loop_->drain_wake();
+        continue;
+      }
+      auto* tag = static_cast<EvTag*>(data);
+      switch (tag->kind) {
+        case EvTag::Kind::kListen:
+          handle_accept(listen_fd_.get());
+          break;
+        case EvTag::Kind::kAdminListen:
+          handle_accept(admin_fd_.get());
+          break;
+        case EvTag::Kind::kAdminConn: {
+          auto* a = reinterpret_cast<AdminConn*>(tag);
+          const auto ev = events[static_cast<std::size_t>(i)].events;
+          if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+            close_admin(a->fd);
+          } else if ((ev & EPOLLIN) != 0) {
+            admin_readable(*a);
+          } else if ((ev & EPOLLOUT) != 0) {
+            admin_writable(*a);
+          }
+          break;
+        }
+        case EvTag::Kind::kConn:
+          break;  // connections never live on the acceptor loop
+      }
+    }
+  }
+  // Stop accepting immediately; pending admin conversations just close
+  // (scrapers retry; the drain budget belongs to prediction clients).
+  for (auto& [fd, conn] : admin_conns_) {
+    accept_loop_->del(fd);
+    ::close(fd);
+  }
+  admin_conns_.clear();
+  listen_fd_.reset();
+  admin_fd_.reset();
+}
+
+void PredictServer::handle_accept(int listen_fd) {
+  const bool is_admin = admin_fd_.valid() && listen_fd == admin_fd_.get();
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+        count(&Instruments::accept_failures, accept_failures_);
+      }
+      return;
+    }
+    if (WEBPPM_FAULT_INJECT("net.accept")) {
+      // Scripted accept failure: the kernel handed us a connection and the
+      // server "fails" it — counted, closed, and visible to chaos gates.
+      count(&Instruments::accept_failures, accept_failures_);
+      ::close(fd);
+      continue;
+    }
+    if (is_admin) {
+      auto a = std::make_unique<AdminConn>();
+      a->fd = fd;
+      accept_loop_->add(fd, EPOLLIN, &a->tag);
+      admin_conns_.emplace(fd, std::move(a));
+      continue;
+    }
+    if (config_.max_connections != 0 &&
+        active_.load(std::memory_order_relaxed) >= config_.max_connections) {
+      shed_connection(fd);
+      continue;
+    }
+    dispatch(fd);
+  }
+}
+
+void PredictServer::shed_connection(int fd) {
+  // Over the cap: answer with one retryable frame, then close. Mirrors the
+  // serve layer's shard-cap shed — the client is told to back off, not
+  // left to diagnose a silent RST.
+  WireResponse resp;
+  resp.status = Status::kRetryLater;
+  resp.snapshot_version = model_.version();
+  std::vector<std::uint8_t> frame;
+  encode_response(resp, frame);
+  // Best-effort single write: the frame is far below any socket buffer, so
+  // a fresh connection either takes it whole or is already broken.
+  // MSG_NOSIGNAL everywhere a socket is written: a peer that already
+  // closed must surface as EPIPE, never as a process-killing SIGPIPE.
+  [[maybe_unused]] const ssize_t n =
+      ::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+  ::close(fd);
+  count(&Instruments::shed, shed_);
+}
+
+void PredictServer::dispatch(int fd) {
+  // The protocol is request/response ping-pong; without TCP_NODELAY every
+  // closed-loop exchange eats a Nagle/delayed-ACK stall.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (config_.sndbuf_bytes > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                 sizeof config_.sndbuf_bytes);
+  }
+  count(&Instruments::accepted, accepted_);
+  active_.fetch_add(1, std::memory_order_relaxed);
+  if (ins_ != nullptr) ins_->active->add(1);
+  Worker& w = *workers_[next_worker_];
+  next_worker_ = (next_worker_ + 1) % workers_.size();
+  {
+    std::lock_guard lock(w.inbox_mu);
+    w.inbox.push_back(fd);
+  }
+  w.loop.wake();
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads.
+
+void PredictServer::worker_main(Worker& w) {
+  std::vector<epoll_event> events;
+  std::uint64_t drain_deadline = 0;
+
+  while (true) {
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (stopping) {
+      if (drain_deadline == 0) {
+        // Drain phase entered: no more reads, flush what is queued.
+        drain_deadline = now_ms() + config_.drain_timeout_ms;
+        std::vector<int> done;
+        for (auto& [fd, c] : w.conns) {
+          c->want_read = false;
+          c->close_after_flush = true;
+          if (c->pending_out() == 0) done.push_back(fd);
+        }
+        for (const int fd : done) close_conn(w, fd);
+        for (auto& [fd, c] : w.conns) conn_update_interest(w, *c);
+      }
+      if (w.conns.empty() || now_ms() >= drain_deadline) break;
+    }
+
+    int timeout = kLoopTickMs;
+    if (config_.idle_timeout_ms != 0) {
+      const int wheel_ms = w.wheel.next_timeout_ms(now_ms());
+      if (wheel_ms >= 0 && wheel_ms < timeout) timeout = wheel_ms;
+    }
+    const int n = w.loop.wait(timeout, events);
+
+    for (int i = 0; i < n; ++i) {
+      void* data = events[static_cast<std::size_t>(i)].data.ptr;
+      if (data == w.loop.wake_tag()) {
+        w.loop.drain_wake();
+        continue;
+      }
+      auto* c = reinterpret_cast<Connection*>(static_cast<EvTag*>(data));
+      const int cfd = c->fd;  // c may be freed by conn_readable below
+      const auto ev = events[static_cast<std::size_t>(i)].events;
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+        close_conn(w, cfd);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) conn_readable(w, *c);
+      // conn_readable may close; look the fd up again before writing.
+      if ((ev & EPOLLOUT) != 0) {
+        const auto it = w.conns.find(cfd);
+        if (it != w.conns.end()) conn_writable(w, *it->second);
+      }
+    }
+
+    // Adopt connections the acceptor dispatched to us.
+    std::vector<int> adopted;
+    {
+      std::lock_guard lock(w.inbox_mu);
+      adopted.swap(w.inbox);
+    }
+    for (const int fd : adopted) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        ::close(fd);
+        count(&Instruments::closed, closed_);
+        active_.fetch_sub(1, std::memory_order_relaxed);
+        if (ins_ != nullptr) ins_->active->sub(1);
+        continue;
+      }
+      auto c = std::make_unique<Connection>();
+      c->fd = fd;
+      c->last_activity_ms = now_ms();
+      c->interest = EPOLLIN;
+      w.loop.add(fd, c->interest, &c->tag);
+      if (config_.idle_timeout_ms != 0) arm_idle(w, *c);
+      w.conns.emplace(fd, std::move(c));
+    }
+
+    // Idle sweep: wheel entries are hints — re-check the authoritative
+    // deadline, close the truly idle, re-arm the rest.
+    if (config_.idle_timeout_ms != 0) {
+      const std::uint64_t now = now_ms();
+      w.wheel.advance(now, [&](std::uint64_t key) {
+        const auto it = w.conns.find(static_cast<int>(key));
+        if (it == w.conns.end()) return;  // closed since scheduling
+        Connection& c = *it->second;
+        if (now >= c.last_activity_ms + config_.idle_timeout_ms) {
+          count(&Instruments::idle_timeouts, idle_timeouts_);
+          obs::log_event(obs::Severity::kInfo, "net.idle_timeout",
+                         "connection idle past " +
+                             std::to_string(config_.idle_timeout_ms) +
+                             " ms");
+          close_conn(w, c.fd);
+        } else {
+          arm_idle(w, c);
+        }
+      });
+    }
+  }
+
+  // Stop (drained or out of budget): close whatever remains.
+  std::vector<int> rest;
+  rest.reserve(w.conns.size());
+  for (const auto& [fd, c] : w.conns) rest.push_back(fd);
+  for (const int fd : rest) close_conn(w, fd);
+}
+
+void PredictServer::arm_idle(Worker& w, const Connection& c) {
+  w.wheel.schedule(static_cast<std::uint64_t>(c.fd),
+                   c.last_activity_ms + config_.idle_timeout_ms);
+}
+
+void PredictServer::close_conn(Worker& w, int fd) {
+  const auto it = w.conns.find(fd);
+  if (it == w.conns.end()) return;
+  w.loop.del(fd);
+  ::close(fd);
+  w.conns.erase(it);
+  count(&Instruments::closed, closed_);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  if (ins_ != nullptr) ins_->active->sub(1);
+}
+
+void PredictServer::conn_update_interest(Worker& w, Connection& c) {
+  std::uint32_t want = 0;
+  if (c.want_read && !c.close_after_flush) want |= EPOLLIN;
+  if (c.pending_out() > 0) want |= EPOLLOUT;
+  if (want != c.interest) {
+    c.interest = want;
+    w.loop.mod(c.fd, want, &c.tag);
+  }
+}
+
+void PredictServer::conn_readable(Worker& w, Connection& c) {
+  if (WEBPPM_FAULT_INJECT("net.conn.stall")) {
+    // Injected stall: skip this readiness event (a delay-mode rule already
+    // slept inside the site). Level-triggered epoll re-delivers it.
+    count(&Instruments::stalls, stalls_);
+    return;
+  }
+  std::size_t chunk = kReadChunkBytes;
+  if (WEBPPM_FAULT_INJECT("net.conn.read")) {
+    // Short read: the kernel "returns" a single byte. Data is never lost —
+    // the remainder stays queued in the socket — so chaos runs stay
+    // byte-identical while every partial-frame path gets exercised.
+    chunk = 1;
+    count(&Instruments::short_reads, short_reads_);
+  }
+  const std::size_t old = c.in.size();
+  c.in.resize(old + chunk);
+  const ssize_t n = ::read(c.fd, c.in.data() + old, chunk);
+  if (n <= 0) {
+    c.in.resize(old);
+    if (n == 0) {
+      close_conn(w, c.fd);  // peer closed
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      close_conn(w, c.fd);
+    }
+    return;
+  }
+  c.in.resize(old + static_cast<std::size_t>(n));
+  c.last_activity_ms = now_ms();
+  if (config_.idle_timeout_ms != 0) arm_idle(w, c);
+  if (ins_ != nullptr) {
+    ins_->bytes_read->add(static_cast<std::uint64_t>(n));
+  }
+
+  conn_process_frames(c);
+
+  if (!conn_flush(c)) {
+    close_conn(w, c.fd);
+    return;
+  }
+  if (c.pending_out() > config_.max_write_queue_bytes &&
+      config_.max_write_queue_bytes != 0) {
+    // Slow client: it keeps sending queries but is not draining responses.
+    // Unbounded buffering is how servers fall over; disconnect instead.
+    count(&Instruments::slow_disconnects, slow_disconnects_);
+    obs::log_event(obs::Severity::kWarn, "net.slow_client_disconnect",
+                   std::to_string(c.pending_out()) +
+                       " bytes queued exceeds cap " +
+                       std::to_string(config_.max_write_queue_bytes));
+    close_conn(w, c.fd);
+    return;
+  }
+  if (c.close_after_flush && c.pending_out() == 0) {
+    close_conn(w, c.fd);
+    return;
+  }
+  conn_update_interest(w, c);
+}
+
+void PredictServer::conn_process_frames(Connection& c) {
+  FrameParser parser(config_.max_frame_bytes);
+  std::size_t pos = 0;
+  while (!c.close_after_flush) {
+    const auto frame = parser.next(
+        std::span<const std::uint8_t>(c.in).subspan(pos));
+    if (frame.result == FrameParser::Result::kNeedMore) break;
+
+    WireRequest req;
+    std::string reject;
+    if (frame.result == FrameParser::Result::kBad) {
+      reject = frame.reason;
+    } else {
+      const auto err = decode_request(frame.body, req);
+      reject = err.reason;
+      pos += frame.consumed;
+    }
+    if (!reject.empty()) {
+      // Malformed input never crashes and never passes silently: one
+      // structured kBadRequest answer, then drain-and-close (after a
+      // framing error the byte stream has no trustworthy resync point).
+      count(&Instruments::protocol_errors, protocol_errors_);
+      obs::log_event(obs::Severity::kWarn, "net.protocol_error", reject);
+      WireResponse resp;
+      resp.status = Status::kBadRequest;
+      resp.snapshot_version = model_.version();
+      encode_response(resp, c.out);
+      c.close_after_flush = true;
+      c.want_read = false;
+      break;
+    }
+
+    count(&Instruments::requests, requests_);
+    const std::uint64_t q0 = ins_ != nullptr ? obs::now_ns() : 0;
+    thread_local std::vector<ppm::Prediction> preds;
+    const auto qr = model_.query_ex(to_trace_request(req), preds);
+    const auto resp =
+        make_wire_response(qr, req, model_.version(), std::move(preds));
+    preds = {};
+    encode_response(resp, c.out);
+    if (ins_ != nullptr) {
+      ins_->request_latency->record(obs::now_ns() - q0);
+    }
+    count(&Instruments::responses, responses_);
+  }
+  if (pos > 0) c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+bool PredictServer::conn_flush(Connection& c) {
+  while (c.pending_out() > 0) {
+    std::size_t want = c.pending_out();
+    bool injected_short = false;
+    if (WEBPPM_FAULT_INJECT("net.conn.write")) {
+      // Short write: one byte goes out, the rest stays queued — the
+      // partial-write path runs for real, the byte stream stays intact.
+      want = 1;
+      injected_short = true;
+      count(&Instruments::short_writes, short_writes_);
+    }
+    const ssize_t n =
+        ::send(c.fd, c.out.data() + c.out_pos, want, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return true;  // kernel buffer full; EPOLLOUT will resume
+      }
+      return false;  // broken pipe etc.
+    }
+    c.out_pos += static_cast<std::size_t>(n);
+    if (ins_ != nullptr) {
+      ins_->bytes_written->add(static_cast<std::uint64_t>(n));
+    }
+    if (injected_short) break;  // leave the remainder for EPOLLOUT
+  }
+  if (c.pending_out() == 0) {
+    c.out.clear();
+    c.out_pos = 0;
+  }
+  return true;
+}
+
+void PredictServer::conn_writable(Worker& w, Connection& c) {
+  if (!conn_flush(c)) {
+    close_conn(w, c.fd);
+    return;
+  }
+  if (c.close_after_flush && c.pending_out() == 0) {
+    close_conn(w, c.fd);
+    return;
+  }
+  c.last_activity_ms = now_ms();
+  conn_update_interest(w, c);
+}
+
+// ---------------------------------------------------------------------------
+// Admin listener (text): GET /metrics, GET /healthz.
+
+std::string PredictServer::admin_response(const std::string& request_line) {
+  std::string body;
+  std::string status = "200 OK";
+  const bool get = request_line.rfind("GET ", 0) == 0;
+  const std::string path =
+      get ? request_line.substr(4, request_line.find(' ', 4) - 4) : "";
+  if (!get) {
+    status = "400 Bad Request";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics") {
+    if (config_.metrics == nullptr) {
+      status = "503 Service Unavailable";
+      body = "no metrics registry attached\n";
+    } else {
+      if (ins_ != nullptr) {
+        ins_->active->set(
+            static_cast<std::int64_t>(active_.load(std::memory_order_relaxed)));
+      }
+      // The exact same render the file reporter uses — shared code path,
+      // asserted byte-identical by the exposition golden test.
+      body = serve::render_metrics_exposition(model_, *config_.metrics);
+    }
+  } else if (path == "/healthz") {
+    if (stopping_.load(std::memory_order_acquire)) {
+      status = "503 Service Unavailable";
+      body = "draining\n";
+    } else if (model_.snapshot() == nullptr) {
+      status = "503 Service Unavailable";
+      body = "no-model\n";
+    } else if (model_.degraded()) {
+      body = "degraded\n";  // still serving (popularity fallback): 200
+    } else {
+      body = "ok\n";
+    }
+  } else {
+    status = "404 Not Found";
+    body = "unknown path\n";
+  }
+  std::string resp;
+  resp.reserve(body.size() + 128);
+  resp.append("HTTP/1.0 ").append(status).append("\r\n");
+  resp.append("Content-Type: text/plain; charset=utf-8\r\n");
+  resp.append("Content-Length: ").append(std::to_string(body.size()));
+  resp.append("\r\nConnection: close\r\n\r\n");
+  resp.append(body);
+  return resp;
+}
+
+void PredictServer::admin_readable(AdminConn& a) {
+  char buf[1024];
+  while (true) {
+    const ssize_t n = ::read(a.fd, buf, sizeof buf);
+    if (n == 0) {
+      close_admin(a.fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      close_admin(a.fd);
+      return;
+    }
+    a.in.append(buf, static_cast<std::size_t>(n));
+    if (a.in.size() > kAdminRequestCapBytes) {
+      close_admin(a.fd);  // no legitimate scrape request is this large
+      return;
+    }
+  }
+  // Answer only once the full header block has arrived — responding and
+  // closing mid-request would race the client's remaining writes into an
+  // RST that can eat the response.
+  if (a.in.find("\r\n\r\n") == std::string::npos) return;
+  const auto eol = a.in.find("\r\n");
+  count(&Instruments::admin_requests, admin_requests_);
+  a.out = admin_response(a.in.substr(0, eol));
+  a.out_pos = 0;
+  admin_writable(a);
+}
+
+void PredictServer::admin_writable(AdminConn& a) {
+  while (a.out_pos < a.out.size()) {
+    const ssize_t n = ::send(a.fd, a.out.data() + a.out_pos,
+                             a.out.size() - a.out_pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        accept_loop_->mod(a.fd, EPOLLOUT, &a.tag);
+        return;
+      }
+      close_admin(a.fd);
+      return;
+    }
+    a.out_pos += static_cast<std::size_t>(n);
+  }
+  close_admin(a.fd);  // Connection: close — one exchange per connection
+}
+
+void PredictServer::close_admin(int fd) {
+  const auto it = admin_conns_.find(fd);
+  if (it == admin_conns_.end()) return;
+  accept_loop_->del(fd);
+  ::close(fd);
+  admin_conns_.erase(it);
+}
+
+}  // namespace webppm::net

@@ -1,0 +1,195 @@
+// webppm::net::PredictServer — the epoll TCP front-end of serve::ModelServer
+// (DESIGN.md §10).
+//
+// Thread model: one acceptor thread owns the listen socket (and the text
+// admin listener) in its own epoll set; `workers` loop threads each own an
+// epoll set of connection fds. The acceptor dispatches accepted fds
+// round-robin through a per-worker inbox + eventfd wake; after dispatch a
+// connection lives and dies entirely on its worker thread — no fd is ever
+// shared between threads. Prediction itself delegates to the caller's
+// serve::ModelServer, whose query path is already thread-safe.
+//
+// Backpressure and protection are first-class:
+//   * bounded per-connection write queue — a client that stops reading
+//     while responses accumulate past `max_write_queue_bytes` is
+//     disconnected (slow-client shed), never buffered without bound;
+//   * idle-connection timeout via a lazy timing wheel per worker;
+//   * `max_connections` cap — an accept over the cap is answered with one
+//     Status::kRetryLater frame and closed, mirroring the serve layer's
+//     shed-with-fallback degradation contract (retryable, not an error);
+//   * hardened framing — an invalid frame gets a Status::kBadRequest
+//     response and a drain-then-close, and a header-claimed length is
+//     capped before any body byte is read (see wire.hpp);
+//   * graceful drain-then-stop shutdown — stop accepting, stop reading,
+//     flush queued responses for up to `drain_timeout_ms`, then close.
+//
+// The admin listener speaks just enough HTTP/1.0 for a scraper:
+// GET /metrics returns the shared Prometheus exposition
+// (serve::render_metrics_exposition — the same code path
+// serve::MetricsReporter writes, so the two can never drift) and
+// GET /healthz reports ok / degraded / no-model / draining.
+//
+// Fault sites (chaos suite): net.accept (accepted fd dropped),
+// net.conn.read / net.conn.write (short read/write: 1 byte this round),
+// net.conn.stall (skip or delay one readiness event).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_server.hpp"
+
+namespace webppm::net {
+
+struct NetServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = ephemeral; read back via port()
+  bool admin = true;             ///< serve /metrics and /healthz
+  std::uint16_t admin_port = 0;  ///< 0 = ephemeral; read via admin_port()
+  std::size_t workers = 2;       ///< loop-worker threads (>= 1)
+  /// Connection cap across all workers; an accept over it is shed with one
+  /// Status::kRetryLater frame (0 = unbounded).
+  std::size_t max_connections = 1024;
+  /// Per-connection pending-write cap; exceeding it disconnects the slow
+  /// client (0 = unbounded — never use in production).
+  std::size_t max_write_queue_bytes = 256 * 1024;
+  /// Idle-connection timeout (0 disables the wheel).
+  std::uint64_t idle_timeout_ms = 30'000;
+  /// Reject frames whose header claims more than this many body bytes.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection kernel send-buffer size (SO_SNDBUF; 0 keeps the OS
+  /// default). Small values make max_write_queue_bytes bite early — with
+  /// the default auto-tuned sndbuf the kernel happily buffers megabytes
+  /// before the user-space queue ever grows.
+  int sndbuf_bytes = 0;
+  /// Flush budget of the drain-then-stop shutdown.
+  std::uint64_t drain_timeout_ms = 1'000;
+  /// Non-null attaches webppm_net_* metrics (counters mirror the exact
+  /// atomic accessors below; plus the request-latency histogram).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The one request→response mapping, shared by the server's connection
+/// handler and by anything reproducing server answers in-process (the
+/// net_throughput byte-identity gate): given what ModelServer said about a
+/// query, build the wire response.
+WireResponse make_wire_response(const serve::QueryResult& qr,
+                                const WireRequest& req,
+                                std::uint64_t snapshot_version,
+                                std::vector<ppm::Prediction> predictions);
+
+/// The request a WireRequest stands for, as ModelServer consumes it.
+trace::Request to_trace_request(const WireRequest& w);
+
+class PredictServer {
+ public:
+  /// `model` must outlive the server. Nothing starts until start().
+  PredictServer(serve::ModelServer& model, NetServerConfig config = {});
+  ~PredictServer();
+
+  PredictServer(const PredictServer&) = delete;
+  PredictServer& operator=(const PredictServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + worker threads. False on
+  /// failure with `*error` set. Call at most once.
+  bool start(std::string* error = nullptr);
+
+  /// Drain-then-stop: stop accepting, stop reading, flush pending writes
+  /// up to drain_timeout_ms, close everything, join threads. Idempotent;
+  /// the destructor calls it.
+  void shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bound ports (valid after a successful start()).
+  std::uint16_t port() const { return port_; }
+  std::uint16_t admin_port() const { return admin_port_; }
+
+  const NetServerConfig& config() const { return config_; }
+
+  // Exact counters, maintained whether or not a registry is attached (the
+  // attached webppm_net_* metrics mirror them one-to-one).
+  std::uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  std::uint64_t closed() const { return closed_.load(std::memory_order_relaxed); }
+  std::size_t active_connections() const { return active_.load(std::memory_order_relaxed); }
+  std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  std::uint64_t responses() const { return responses_.load(std::memory_order_relaxed); }
+  std::uint64_t protocol_errors() const { return protocol_errors_.load(std::memory_order_relaxed); }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  std::uint64_t slow_client_disconnects() const { return slow_disconnects_.load(std::memory_order_relaxed); }
+  std::uint64_t idle_timeouts() const { return idle_timeouts_.load(std::memory_order_relaxed); }
+  std::uint64_t accept_failures() const { return accept_failures_.load(std::memory_order_relaxed); }
+  std::uint64_t short_reads() const { return short_reads_.load(std::memory_order_relaxed); }
+  std::uint64_t short_writes() const { return short_writes_.load(std::memory_order_relaxed); }
+  std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  std::uint64_t admin_requests() const { return admin_requests_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Worker;
+  struct Connection;
+  struct AdminConn;
+
+  void acceptor_main();
+  void worker_main(Worker& w);
+
+  void handle_accept(int listen_fd);
+  void dispatch(int fd);
+  void shed_connection(int fd);
+
+  // Worker-side connection machinery (all run on the owning worker).
+  void conn_readable(Worker& w, Connection& c);
+  void conn_writable(Worker& w, Connection& c);
+  bool conn_flush(Connection& c);  ///< false = fatal write error
+  void conn_process_frames(Connection& c);
+  void conn_update_interest(Worker& w, Connection& c);
+  void close_conn(Worker& w, int fd);
+  void arm_idle(Worker& w, const Connection& c);
+
+  // Acceptor-side admin machinery.
+  void admin_readable(AdminConn& a);
+  void admin_writable(AdminConn& a);
+  std::string admin_response(const std::string& request_line);
+  void close_admin(int fd);
+
+  struct Instruments;
+  void count(obs::Counter* Instruments::*which,
+             std::atomic<std::uint64_t>& exact);
+
+  serve::ModelServer& model_;
+  NetServerConfig config_;
+
+  OwnedFd listen_fd_{};
+  OwnedFd admin_fd_{};
+  std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+
+  std::unique_ptr<EventLoop> accept_loop_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unordered_map<int, std::unique_ptr<AdminConn>> admin_conns_;
+  std::size_t next_worker_ = 0;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> accepted_{0}, closed_{0}, requests_{0},
+      responses_{0}, protocol_errors_{0}, shed_{0}, slow_disconnects_{0},
+      idle_timeouts_{0}, accept_failures_{0}, short_reads_{0},
+      short_writes_{0}, stalls_{0}, admin_requests_{0};
+  std::atomic<std::size_t> active_{0};
+
+  std::unique_ptr<Instruments> ins_;
+};
+
+}  // namespace webppm::net

@@ -1,0 +1,170 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace webppm::net {
+namespace {
+
+void put_u16(std::uint16_t v, std::vector<std::uint8_t>& out) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::uint32_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+DecodeError fail(std::string reason) { return DecodeError{std::move(reason)}; }
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNoModel: return "no-model";
+    case Status::kDegraded: return "degraded";
+    case Status::kRetryLater: return "retry-later";
+    case Status::kBadRequest: return "bad-request";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+void encode_request(const WireRequest& req, std::vector<std::uint8_t>& out) {
+  put_u32(static_cast<std::uint32_t>(kRequestBodyBytes), out);
+  out.push_back(kWireVersion);
+  out.push_back(req.flags);
+  put_u32(req.client, out);
+  put_u32(req.url, out);
+  put_u64(req.timestamp, out);
+}
+
+void encode_response(const WireResponse& resp,
+                     std::vector<std::uint8_t>& out) {
+  // A prediction list longer than u16 cannot be framed; the serving layer
+  // never produces one (lists are threshold-filtered), but clamp anyway so
+  // the encoder can never emit a body that contradicts its count field.
+  const std::size_t count =
+      std::min<std::size_t>(resp.predictions.size(),
+                            std::numeric_limits<std::uint16_t>::max());
+  const std::size_t body = kResponsePrefixBytes + count * 8;
+  put_u32(static_cast<std::uint32_t>(body), out);
+  out.push_back(kWireVersion);
+  out.push_back(static_cast<std::uint8_t>(resp.status));
+  put_u16(static_cast<std::uint16_t>(count), out);
+  put_u64(resp.snapshot_version, out);
+  for (std::size_t i = 0; i < count; ++i) {
+    put_u32(resp.predictions[i].url, out);
+    put_u32(std::bit_cast<std::uint32_t>(resp.predictions[i].probability),
+            out);
+  }
+}
+
+DecodeError decode_request(std::span<const std::uint8_t> body,
+                           WireRequest& out) {
+  if (body.size() != kRequestBodyBytes) {
+    return fail("request body " + std::to_string(body.size()) + " bytes, expected " +
+                std::to_string(kRequestBodyBytes));
+  }
+  if (body[0] != kWireVersion) {
+    return fail("version " + std::to_string(body[0]) + " != " +
+                std::to_string(kWireVersion));
+  }
+  if ((body[1] & ~kFlagErrorStatus) != 0) {
+    return fail("unknown flag bits " + std::to_string(body[1]));
+  }
+  out.flags = body[1];
+  out.client = get_u32(body.data() + 2);
+  out.url = get_u32(body.data() + 6);
+  out.timestamp = get_u64(body.data() + 10);
+  return {};
+}
+
+DecodeError decode_response(std::span<const std::uint8_t> body,
+                            WireResponse& out) {
+  if (body.size() < kResponsePrefixBytes) {
+    return fail("response body " + std::to_string(body.size()) +
+                " bytes, prefix needs " +
+                std::to_string(kResponsePrefixBytes));
+  }
+  if (body[0] != kWireVersion) {
+    return fail("version " + std::to_string(body[0]) + " != " +
+                std::to_string(kWireVersion));
+  }
+  const std::uint8_t status = body[1];
+  if (status > static_cast<std::uint8_t>(Status::kError)) {
+    return fail("unknown status " + std::to_string(status));
+  }
+  const std::uint16_t count = get_u16(body.data() + 2);
+  // The count must be provable from bytes already in hand — reserve/resize
+  // only after the body length confirms the claim, so a flipped count can
+  // never size an allocation.
+  const std::size_t need = kResponsePrefixBytes + std::size_t{count} * 8;
+  if (body.size() != need) {
+    return fail("count " + std::to_string(count) + " needs " +
+                std::to_string(need) + " bytes, body has " +
+                std::to_string(body.size()));
+  }
+  out.status = static_cast<Status>(status);
+  out.snapshot_version = get_u64(body.data() + 4);
+  out.predictions.clear();
+  out.predictions.reserve(count);
+  const std::uint8_t* p = body.data() + kResponsePrefixBytes;
+  for (std::uint16_t i = 0; i < count; ++i, p += 8) {
+    ppm::Prediction pred;
+    pred.url = get_u32(p);
+    pred.probability = std::bit_cast<float>(get_u32(p + 4));
+    out.predictions.push_back(pred);
+  }
+  return {};
+}
+
+FrameParser::Frame FrameParser::next(std::span<const std::uint8_t> buf) const {
+  Frame f;
+  if (buf.size() < kFrameHeaderBytes) return f;  // kNeedMore
+  const std::uint32_t len = get_u32(buf.data());
+  if (len == 0) {
+    f.result = Result::kBad;
+    f.reason = "frame length 0";
+    return f;
+  }
+  if (len > max_frame_bytes_) {
+    f.result = Result::kBad;
+    f.reason = "frame length " + std::to_string(len) + " exceeds cap " +
+               std::to_string(max_frame_bytes_);
+    return f;
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return f;  // kNeedMore
+  f.result = Result::kFrame;
+  f.body = buf.subspan(kFrameHeaderBytes, len);
+  f.consumed = kFrameHeaderBytes + len;
+  return f;
+}
+
+}  // namespace webppm::net

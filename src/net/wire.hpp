@@ -1,0 +1,140 @@
+// webppm::net wire protocol — the length-prefixed binary frames the
+// prediction service speaks (DESIGN.md §10).
+//
+// Every frame is a 4-byte little-endian body length followed by exactly
+// that many body bytes. Bodies begin with a version byte so a client and
+// server from different protocol revisions fail fast with a structured
+// reason instead of misparsing each other.
+//
+//   request body  (kRequestBodyBytes, fixed):
+//     u8  version      (= kWireVersion)
+//     u8  flags        (bit 0: request carries an HTTP error status)
+//     u32 client id    (interned ClientId)
+//     u32 document id  (interned UrlId)
+//     u64 timestamp    (TimeSec — drives session idle-timeout semantics)
+//
+//   response body (variable):
+//     u8  version      (= kWireVersion)
+//     u8  status       (Status below)
+//     u16 count        (number of predictions)
+//     u64 snapshot version
+//     count * { u32 document id, u32 probability (IEEE-754 float bits) }
+//
+// Hardening rules (ISSUE 5 satellite): a frame header claiming zero bytes,
+// or more than the configured cap, is rejected *before any allocation
+// proportional to the claim*; a garbage version byte or a body whose length
+// contradicts its own count field yields a clean DecodeError, never a
+// crash or an over-read. The fuzz suite drives every branch of this parser
+// with bit flips, truncations at every boundary, and byte soup.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ppm/predictor.hpp"
+#include "util/types.hpp"
+
+namespace webppm::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Frame header: 4-byte little-endian body length.
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Fixed size of a request body (version + flags + client + url + time).
+inline constexpr std::size_t kRequestBodyBytes = 1 + 1 + 4 + 4 + 8;
+
+/// Fixed prefix of a response body before the prediction list.
+inline constexpr std::size_t kResponsePrefixBytes = 1 + 1 + 2 + 8;
+
+/// Default cap on a header-claimed body length. Responses dominate frame
+/// size; even a 4096-entry prediction list fits in 32 KiB.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 64 * 1024;
+
+/// Request flag bits.
+inline constexpr std::uint8_t kFlagErrorStatus = 0x01;
+
+/// Response status. kRetryLater is the retryable shed signal (connection
+/// cap or drain) mirroring the serve layer's degradation contract: the
+/// client should back off and retry, not fail.
+enum class Status : std::uint8_t {
+  kOk = 0,            ///< prediction list follows (possibly empty)
+  kNoModel = 1,       ///< nothing published yet; list is empty
+  kDegraded = 2,      ///< answered by the popularity fallback
+  kRetryLater = 3,    ///< shed (connection cap / draining); retry later
+  kBadRequest = 4,    ///< malformed frame; connection will close
+  kError = 5,         ///< internal failure (e.g. injected fault)
+};
+
+const char* status_name(Status s);
+
+/// One prediction query as it travels the wire.
+struct WireRequest {
+  std::uint8_t flags = 0;
+  ClientId client = 0;
+  UrlId url = 0;
+  TimeSec timestamp = 0;
+
+  friend bool operator==(const WireRequest&, const WireRequest&) = default;
+};
+
+/// One prediction answer as it travels the wire.
+struct WireResponse {
+  Status status = Status::kOk;
+  std::uint64_t snapshot_version = 0;
+  std::vector<ppm::Prediction> predictions;
+
+  friend bool operator==(const WireResponse&, const WireResponse&) = default;
+};
+
+/// Appends one framed request/response to `out` (header + body).
+void encode_request(const WireRequest& req, std::vector<std::uint8_t>& out);
+void encode_response(const WireResponse& resp, std::vector<std::uint8_t>& out);
+
+/// Structured decode failure: `reason` names the violated rule ("frame
+/// length 0", "version 209 != 1", "count 9 needs 76 bytes, body has 20").
+struct DecodeError {
+  std::string reason;
+  bool ok() const { return reason.empty(); }
+};
+
+/// Decodes one request/response *body* (the bytes after the frame header).
+/// Never reads past `body.size()`; never allocates from attacker-supplied
+/// counts beyond what the body length already proves is present.
+DecodeError decode_request(std::span<const std::uint8_t> body,
+                           WireRequest& out);
+DecodeError decode_response(std::span<const std::uint8_t> body,
+                            WireResponse& out);
+
+/// Incremental frame extractor over a connection's read buffer.
+///
+/// next() inspects `buf` from offset `pos`: returns kNeedMore until a full
+/// header+body is buffered, kFrame with the body's span when one is, or
+/// kBad with a reason the moment the *header alone* is invalid (zero or
+/// over-cap claimed length) — the claim is rejected before any body byte
+/// is waited for, so a hostile header can never size an allocation.
+class FrameParser {
+ public:
+  explicit FrameParser(std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  enum class Result : std::uint8_t { kNeedMore, kFrame, kBad };
+
+  struct Frame {
+    Result result = Result::kNeedMore;
+    std::span<const std::uint8_t> body;  ///< valid when result == kFrame
+    std::size_t consumed = 0;            ///< bytes of buf used by this frame
+    std::string reason;                  ///< set when result == kBad
+  };
+
+  Frame next(std::span<const std::uint8_t> buf) const;
+
+  std::uint32_t max_frame_bytes() const { return max_frame_bytes_; }
+
+ private:
+  std::uint32_t max_frame_bytes_;
+};
+
+}  // namespace webppm::net

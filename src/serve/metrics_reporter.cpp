@@ -8,6 +8,12 @@
 
 namespace webppm::serve {
 
+std::string render_metrics_exposition(ModelServer& server,
+                                      obs::MetricsRegistry& registry) {
+  server.refresh_gauges();
+  return registry.prometheus_text();
+}
+
 MetricsReporter::MetricsReporter(ModelServer& server,
                                  obs::MetricsRegistry& registry,
                                  Options options)
@@ -49,8 +55,7 @@ void MetricsReporter::run() {
 
 void MetricsReporter::report() {
   WEBPPM_TRACE("serve.metrics_report");
-  server_.refresh_gauges();
-  const std::string text = registry_.prometheus_text();
+  const std::string text = render_metrics_exposition(server_, registry_);
   if (!options_.path.empty()) {
     const std::string tmp = options_.path + ".tmp";
     bool ok = !WEBPPM_FAULT_INJECT("serve.report.write");

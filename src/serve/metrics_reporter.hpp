@@ -22,6 +22,15 @@
 
 namespace webppm::serve {
 
+/// The one Prometheus render: refreshes the server's summary gauges, then
+/// returns the registry's text exposition. MetricsReporter::report() and
+/// the net admin listener's GET /metrics both call exactly this, so the
+/// file a scraper reads and the body an HTTP scrape returns can never
+/// drift (a golden test asserts they are byte-identical for the same
+/// registry).
+std::string render_metrics_exposition(ModelServer& server,
+                                      obs::MetricsRegistry& registry);
+
 class MetricsReporter {
  public:
   struct Options {

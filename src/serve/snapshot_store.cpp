@@ -112,7 +112,8 @@ std::string SnapshotStore::write_atomic(const std::string& final_name,
                                         const std::string& content,
                                         FaultHook write_fault,
                                         FaultHook fsync_fault,
-                                        FaultHook rename_fault) const {
+                                        FaultHook rename_fault,
+                                        FaultHook dirsync_fault) const {
   const std::string tmp = final_name + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return "open " + tmp + ": " + errno_string();
@@ -164,6 +165,23 @@ std::string SnapshotStore::write_atomic(const std::string& final_name,
     std::remove(tmp.c_str());
     return "rename " + tmp + " -> " + final_name + ": " + err;
   }
+
+  // The rename mutates the *directory*; until that metadata is synced a
+  // crash can forget the new name even though the file's bytes are safe.
+  // Failure here is retryable — the file is intact under its final name,
+  // and rewriting the same generation is idempotent.
+  const std::string dir = fs::path(final_name).parent_path().string();
+  if (dirsync_fault()) {
+    return "dirsync " + dir + ": injected fault";
+  }
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd < 0) return "open dir " + dir + ": " + errno_string();
+  if (::fsync(dirfd) != 0) {
+    const std::string err = errno_string();
+    ::close(dirfd);
+    return "dirsync " + dir + ": " + err;
+  }
+  ::close(dirfd);
   return {};
 }
 
@@ -199,7 +217,8 @@ PublishResult SnapshotStore::publish(const Snapshot& snap) {
         gen_path(gen), content,
         [] { return WEBPPM_FAULT_INJECT("serve.snapshot.write"); },
         [] { return WEBPPM_FAULT_INJECT("serve.snapshot.fsync"); },
-        [] { return WEBPPM_FAULT_INJECT("serve.snapshot.rename"); });
+        [] { return WEBPPM_FAULT_INJECT("serve.snapshot.rename"); },
+        [] { return WEBPPM_FAULT_INJECT("serve.snapshot.dirsync"); });
     if (err.empty()) {
       result.ok = true;
       result.generation = gen;
@@ -241,7 +260,8 @@ PublishResult SnapshotStore::publish(const Snapshot& snap) {
       manifest_path(), manifest,
       [] { return WEBPPM_FAULT_INJECT("serve.manifest.write"); },
       [] { return WEBPPM_FAULT_INJECT("serve.manifest.fsync"); },
-      [] { return WEBPPM_FAULT_INJECT("serve.manifest.rename"); });
+      [] { return WEBPPM_FAULT_INJECT("serve.manifest.rename"); },
+      [] { return WEBPPM_FAULT_INJECT("serve.manifest.dirsync"); });
   if (!merr.empty()) {
     if (ins_ != nullptr) ins_->write_failures->add();
     obs::log_event(obs::Severity::kWarn, "serve.manifest_write_failed",

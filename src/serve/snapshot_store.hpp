@@ -28,8 +28,16 @@
 // for every rejected generation. publish() retries transient IO failures
 // with doubling backoff. Retention keeps the newest K generations on disk.
 //
+// Durability detail: after the atomic rename the *parent directory* fd is
+// fsync'd too — the rename is a directory mutation, and on a crash before
+// the directory metadata reaches disk the new name (and thus the
+// generation) can vanish even though the file's bytes were synced. A
+// dirsync failure is treated like any other write failure: the attempt is
+// retried (rewriting the same generation is idempotent).
+//
 // Fault sites (chaos suite): serve.snapshot.serialize, .write, .fsync,
-// .rename, serve.manifest.write, serve.snapshot.read.
+// .rename, .dirsync, serve.manifest.write/.fsync/.rename/.dirsync,
+// serve.snapshot.read.
 #pragma once
 
 #include <chrono>
@@ -115,8 +123,8 @@ class SnapshotStore {
   using FaultHook = bool (*)();
   std::string write_atomic(const std::string& final_name,
                            const std::string& content, FaultHook write_fault,
-                           FaultHook fsync_fault,
-                           FaultHook rename_fault) const;
+                           FaultHook fsync_fault, FaultHook rename_fault,
+                           FaultHook dirsync_fault) const;
   /// Verifies and parses one generation file. Returns nullptr + reason.
   SnapshotLoadResult load_generation(std::uint64_t gen) const;
   void prune(std::uint64_t newest) const;

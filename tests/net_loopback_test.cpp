@@ -1,0 +1,502 @@
+// Loopback integration suite for net::PredictServer (ISSUE 5): real
+// sockets on 127.0.0.1 — connect/predict/drain/shutdown, slow-client shed,
+// idle timeout, connection-cap shed with a retryable status, protocol
+// errors answered then closed, admin /metrics + /healthz, and the golden
+// exposition-identity test (MetricsReporter sink vs GET /metrics body).
+// Labelled "net" so the asan/tsan net presets target exactly this binary.
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "net/load_client.hpp"
+#include "obs/metrics.hpp"
+#include "ppm/standard_ppm.hpp"
+#include "serve/metrics_reporter.hpp"
+#include "session/online.hpp"
+
+namespace webppm::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+trace::Request click(ClientId c, UrlId u, TimeSec t,
+                     std::uint16_t status = 200) {
+  trace::Request r;
+  r.client = c;
+  r.url = u;
+  r.timestamp = t;
+  r.status = status;
+  r.size_bytes = 1000;
+  return r;
+}
+
+session::Session make_session(std::vector<UrlId> urls) {
+  session::Session s;
+  s.urls = std::move(urls);
+  s.times.assign(s.urls.size(), 0);
+  return s;
+}
+
+std::shared_ptr<const serve::Snapshot> tiny_snapshot(
+    std::uint64_t version = 1) {
+  auto m = std::make_unique<ppm::StandardPpm>();
+  const std::vector<session::Session> train{
+      make_session({1, 2, 3}), make_session({1, 2, 3}),
+      make_session({1, 2, 4})};
+  m->train(train);
+  return serve::make_snapshot(std::move(m), popularity::PopularityTable{},
+                              version);
+}
+
+/// A short two-client request stream hitting the trained pattern.
+std::vector<trace::Request> small_stream() {
+  std::vector<trace::Request> reqs;
+  for (ClientId c = 0; c < 4; ++c) {
+    const TimeSec base = static_cast<TimeSec>(c) * 100;
+    reqs.push_back(click(c, 1, base));
+    reqs.push_back(click(c, 2, base + 1));
+    reqs.push_back(click(c, 3, base + 2));
+  }
+  return reqs;
+}
+
+/// Raw blocking test socket (the LoadClient is itself under test elsewhere;
+/// shed/timeout/garbage cases need lower-level control than it exposes).
+struct RawConn {
+  int fd = -1;
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+  bool connect_to(std::uint16_t port, int rcvbuf = 0) {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return false;
+    if (rcvbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof addr) == 0;
+  }
+  bool send_all(const std::vector<std::uint8_t>& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      // MSG_NOSIGNAL: the shed/timeout tests write into sockets the server
+      // closes on purpose; that must be an error return, not SIGPIPE.
+      const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  /// Reads one framed response; false on EOF/error.
+  bool read_response(WireResponse& out) {
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!read_exact(header, sizeof header)) return false;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(header[0]) |
+        (static_cast<std::uint32_t>(header[1]) << 8) |
+        (static_cast<std::uint32_t>(header[2]) << 16) |
+        (static_cast<std::uint32_t>(header[3]) << 24);
+    if (len == 0 || len > kDefaultMaxFrameBytes) return false;
+    std::vector<std::uint8_t> body(len);
+    if (!read_exact(body.data(), body.size())) return false;
+    return decode_response(body, out).ok();
+  }
+  /// True when the peer has closed (clean EOF).
+  bool read_eof() {
+    std::uint8_t b;
+    while (true) {
+      const ssize_t n = ::read(fd, &b, 1);
+      if (n == 0) return true;
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) return false;
+      // Unexpected extra bytes still count as "not EOF yet"; keep reading
+      // until the server's close lands.
+    }
+  }
+
+ private:
+  bool read_exact(std::uint8_t* data, std::size_t len) {
+    std::size_t done = 0;
+    while (done < len) {
+      const ssize_t n = ::read(fd, data + done, len - done);
+      if (n == 0) return false;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+};
+
+/// Polls `cond` until true or the deadline passes (single-core friendly).
+bool eventually(const std::function<bool()>& cond,
+                std::chrono::milliseconds deadline = 5s) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return cond();
+}
+
+TEST(NetLoopback, ConnectPredictDrainShutdown) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(3));
+
+  NetServerConfig cfg;
+  cfg.workers = 2;
+  PredictServer server(model, cfg);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_NE(server.port(), 0);
+
+  const auto reqs = small_stream();
+  LoadClientConfig lc;
+  lc.port = server.port();
+  lc.connections = 2;
+  const auto res = LoadClient(lc).run(reqs);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.requests, reqs.size());
+  EXPECT_EQ(res.responses, reqs.size());
+  EXPECT_EQ(res.status_counts[static_cast<std::size_t>(Status::kOk)],
+            reqs.size());
+
+  EXPECT_TRUE(eventually([&] { return server.responses() == reqs.size(); }));
+  EXPECT_EQ(server.requests(), reqs.size());
+  EXPECT_EQ(server.protocol_errors(), 0u);
+
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.active_connections(), 0u);
+  EXPECT_EQ(server.accepted(), server.closed());
+}
+
+TEST(NetLoopback, AnswersMatchInProcessModelServerByteForByte) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(7));
+  NetServerConfig cfg;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  const auto reqs = small_stream();
+  const auto shards = LoadClient::shard(reqs, 2);
+
+  LoadClientConfig lc;
+  lc.port = server.port();
+  lc.connections = 2;
+  lc.record_responses = true;
+  const auto res = LoadClient(lc).run_sharded(shards);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  // Replay the same shards against a fresh in-process ModelServer with the
+  // same snapshot, through the same response builder + encoder the server
+  // uses: every frame must be byte-identical.
+  serve::ModelServer local;
+  local.publish(tiny_snapshot(7));
+  ASSERT_EQ(res.frames.size(), shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    ASSERT_EQ(res.frames[s].size(), shards[s].size());
+    for (std::size_t i = 0; i < shards[s].size(); ++i) {
+      std::vector<ppm::Prediction> preds;
+      const auto qr = local.query_ex(to_trace_request(shards[s][i]), preds);
+      std::vector<std::uint8_t> expected;
+      encode_response(make_wire_response(qr, shards[s][i], local.version(),
+                                         std::move(preds)),
+                      expected);
+      EXPECT_EQ(res.frames[s][i], expected)
+          << "shard " << s << " response " << i;
+    }
+  }
+}
+
+TEST(NetLoopback, NoModelAnswersNoModelStatus) {
+  serve::ModelServer model;  // nothing published
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+  std::vector<std::uint8_t> frame;
+  encode_request(LoadClient::to_wire(click(1, 1, 0)), frame);
+  ASSERT_TRUE(conn.send_all(frame));
+  WireResponse resp;
+  ASSERT_TRUE(conn.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kNoModel);
+  EXPECT_EQ(resp.snapshot_version, 0u);
+  EXPECT_TRUE(resp.predictions.empty());
+}
+
+TEST(NetLoopback, GarbageFrameGetsBadRequestThenClose) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+  // A zero-length frame header — invalid from the header alone.
+  ASSERT_TRUE(conn.send_all({0, 0, 0, 0}));
+  WireResponse resp;
+  ASSERT_TRUE(conn.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  EXPECT_TRUE(conn.read_eof());
+  EXPECT_TRUE(eventually([&] { return server.protocol_errors() >= 1; }));
+  EXPECT_TRUE(eventually(
+      [&] { return server.closed() == server.accepted(); }));
+}
+
+TEST(NetLoopback, OversizedClaimIsRejectedWithoutReadingABody) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+  // Header claims ~4 GiB; no body follows. The server must answer
+  // kBadRequest from the header alone instead of waiting for (or
+  // allocating) the claimed body.
+  ASSERT_TRUE(conn.send_all({0xff, 0xff, 0xff, 0xff}));
+  WireResponse resp;
+  ASSERT_TRUE(conn.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  EXPECT_TRUE(conn.read_eof());
+}
+
+TEST(NetLoopback, ConnectionCapShedsWithRetryLater) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  NetServerConfig cfg;
+  cfg.max_connections = 1;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  RawConn first;
+  ASSERT_TRUE(first.connect_to(server.port()));
+  // Prove the first connection is registered before the second arrives.
+  std::vector<std::uint8_t> frame;
+  encode_request(LoadClient::to_wire(click(1, 1, 0)), frame);
+  ASSERT_TRUE(first.send_all(frame));
+  WireResponse resp;
+  ASSERT_TRUE(first.read_response(resp));
+
+  RawConn second;
+  ASSERT_TRUE(second.connect_to(server.port()));
+  WireResponse shed_resp;
+  ASSERT_TRUE(second.read_response(shed_resp));
+  EXPECT_EQ(shed_resp.status, Status::kRetryLater);
+  EXPECT_TRUE(second.read_eof());
+  EXPECT_TRUE(eventually([&] { return server.shed() >= 1; }));
+
+  // The admitted connection keeps working after the shed.
+  ASSERT_TRUE(first.send_all(frame));
+  ASSERT_TRUE(first.read_response(resp));
+}
+
+TEST(NetLoopback, SlowClientIsDisconnected) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  NetServerConfig cfg;
+  cfg.max_write_queue_bytes = 2 * 1024;
+  cfg.sndbuf_bytes = 4 * 1024;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  // Tiny buffers both sides: the server hits EAGAIN quickly, responses
+  // pile up in its per-connection queue past the cap, and the slow client
+  // is shed.
+  ASSERT_TRUE(conn.connect_to(server.port(), /*rcvbuf=*/2048));
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < 4000; ++i) {
+    encode_request(LoadClient::to_wire(click(1, 1, static_cast<TimeSec>(i))),
+                   burst);
+  }
+  // The client pipelines thousands of requests and never reads a byte.
+  // send_all may itself fail once the server disconnects us mid-burst —
+  // both outcomes are fine, the assertion is the server-side counter.
+  (void)conn.send_all(burst);
+  EXPECT_TRUE(eventually(
+      [&] { return server.slow_client_disconnects() >= 1; }, 10s));
+  EXPECT_TRUE(eventually(
+      [&] { return server.closed() == server.accepted(); }, 10s));
+}
+
+TEST(NetLoopback, IdleConnectionTimesOut) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  NetServerConfig cfg;
+  cfg.idle_timeout_ms = 60;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+  EXPECT_TRUE(eventually([&] { return server.idle_timeouts() >= 1; }, 10s));
+  EXPECT_TRUE(conn.read_eof());
+  EXPECT_TRUE(eventually(
+      [&] { return server.closed() == server.accepted(); }));
+}
+
+TEST(NetLoopback, ShortReadWriteFaultsPreserveAnswers) {
+#ifdef WEBPPM_FAULT_DISABLED
+  GTEST_SKIP() << "fault layer compiled out";
+#endif
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(5));
+  NetServerConfig cfg;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  // Every read and write on the data path is shortened to one byte: the
+  // framing must reassemble requests and deliver responses regardless.
+  fault::arm(fault::Plan{}
+                 .fail("net.conn.read")
+                 .fail("net.conn.write"));
+  const auto reqs = small_stream();
+  LoadClientConfig lc;
+  lc.port = server.port();
+  const auto res = LoadClient(lc).run(reqs);
+  fault::disarm();
+
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.responses, reqs.size());
+  EXPECT_EQ(res.status_counts[static_cast<std::size_t>(Status::kOk)],
+            reqs.size());
+  EXPECT_GE(server.short_reads(), 1u);
+  EXPECT_GE(server.short_writes(), 1u);
+}
+
+TEST(NetLoopback, AdminHealthzTracksModelState) {
+  serve::ModelServer model;
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+  ASSERT_NE(server.admin_port(), 0);
+
+  std::string err, status_line;
+  std::string body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz",
+                                 &err, &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_NE(status_line.find("503"), std::string::npos) << status_line;
+  EXPECT_EQ(body, "no-model\n");
+
+  model.publish(tiny_snapshot());
+  body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz", &err,
+                     &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
+  EXPECT_EQ(body, "ok\n");
+
+  // Degraded (fallback-only) snapshot: still 200 — serving, not healthy-
+  // model, mirroring the serve layer's degradation contract.
+  model.publish(serve::make_degraded_snapshot(popularity::PopularityTable{},
+                                              /*version=*/2));
+  body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz", &err,
+                     &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
+  EXPECT_EQ(body, "degraded\n");
+
+  body = fetch_admin("127.0.0.1", server.admin_port(), "/nope", &err,
+                     &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_NE(status_line.find("404"), std::string::npos) << status_line;
+  EXPECT_TRUE(eventually([&] { return server.admin_requests() == 4; }));
+}
+
+TEST(NetLoopback, MetricsEndpointMatchesReporterByteForByte) {
+  obs::MetricsRegistry registry;
+  serve::ModelServerConfig mcfg;
+  mcfg.metrics = &registry;
+  serve::ModelServer model(mcfg);
+  model.publish(tiny_snapshot(9));
+
+  NetServerConfig cfg;
+  cfg.metrics = &registry;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  // The reporter is constructed before the scrape: its constructor
+  // registers webppm_serve_report_failures_total, which must be present in
+  // both renders for the byte-identity below to be meaningful.
+  std::string reported;
+  serve::MetricsReporter::Options opts;
+  opts.interval = std::chrono::milliseconds(3'600'000);
+  opts.sink = [&reported](const std::string& text) { reported = text; };
+  serve::MetricsReporter reporter(model, registry, opts);
+
+  const auto reqs = small_stream();
+  LoadClientConfig lc;
+  lc.port = server.port();
+  ASSERT_TRUE(LoadClient(lc).run(reqs).ok);
+  // Let the connection teardown counters settle so nothing moves between
+  // the scrape and the local render.
+  ASSERT_TRUE(eventually(
+      [&] { return server.closed() == server.accepted(); }));
+
+  std::string err;
+  const std::string scraped = fetch_admin("127.0.0.1", server.admin_port(),
+                                          "/metrics", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_FALSE(scraped.empty());
+  EXPECT_NE(scraped.find("webppm_net_requests_total"), std::string::npos);
+  EXPECT_NE(scraped.find("webppm_net_request_latency_ns"), std::string::npos);
+
+  // Golden identity: the reporter's sink text is the same render — one
+  // shared code path (serve::render_metrics_exposition), byte for byte.
+  reporter.tick_now();
+  EXPECT_EQ(scraped, reported);
+}
+
+TEST(NetLoopback, ShutdownDrainsPendingResponses) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  NetServerConfig cfg;
+  cfg.drain_timeout_ms = 2000;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+  std::vector<std::uint8_t> frame;
+  encode_request(LoadClient::to_wire(click(1, 1, 0)), frame);
+  ASSERT_TRUE(conn.send_all(frame));
+  WireResponse resp;
+  ASSERT_TRUE(conn.read_response(resp));
+
+  std::thread closer([&server] { server.shutdown(); });
+  // During/after the drain the connection is closed cleanly; any response
+  // already queued would have been flushed first.
+  EXPECT_TRUE(conn.read_eof());
+  closer.join();
+  EXPECT_EQ(server.active_connections(), 0u);
+  EXPECT_EQ(server.accepted(), server.closed());
+}
+
+}  // namespace
+}  // namespace webppm::net

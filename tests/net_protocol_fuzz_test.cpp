@@ -1,0 +1,277 @@
+// Fuzz + hardening suite for the webppm::net wire protocol (ISSUE 5
+// satellite): bit flips, truncations at every byte boundary, and byte soup
+// must never crash the decoders (run under ASan by the robustness presets)
+// and must always produce a structured DecodeError reason — and a frame
+// header's claimed length must be rejected from the header alone, before
+// anything proportional to the claim is allocated.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace webppm::net {
+namespace {
+
+std::span<const std::uint8_t> body_of(const std::vector<std::uint8_t>& frame) {
+  return std::span<const std::uint8_t>(frame).subspan(kFrameHeaderBytes);
+}
+
+WireRequest sample_request() {
+  WireRequest r;
+  r.flags = kFlagErrorStatus;
+  r.client = 0x12345678u;
+  r.url = 0x9abcdef0u;
+  r.timestamp = 0x0123456789abcdefull;
+  return r;
+}
+
+WireResponse sample_response() {
+  WireResponse r;
+  r.status = Status::kDegraded;
+  r.snapshot_version = 42;
+  r.predictions = {{7, 0.5F}, {9, 0.25F}, {11, 0.125F}};
+  return r;
+}
+
+TEST(NetWire, RequestRoundTrips) {
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + kRequestBodyBytes);
+
+  WireRequest out;
+  ASSERT_TRUE(decode_request(body_of(frame), out).ok());
+  EXPECT_EQ(out, sample_request());
+}
+
+TEST(NetWire, ResponseRoundTrips) {
+  std::vector<std::uint8_t> frame;
+  encode_response(sample_response(), frame);
+
+  WireResponse out;
+  ASSERT_TRUE(decode_response(body_of(frame), out).ok());
+  EXPECT_EQ(out, sample_response());
+}
+
+TEST(NetWire, EmptyPredictionListRoundTrips) {
+  WireResponse resp;
+  resp.status = Status::kNoModel;
+  resp.snapshot_version = 0;
+  std::vector<std::uint8_t> frame;
+  encode_response(resp, frame);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + kResponsePrefixBytes);
+
+  WireResponse out;
+  ASSERT_TRUE(decode_response(body_of(frame), out).ok());
+  EXPECT_EQ(out, resp);
+}
+
+// --- Structured rejections --------------------------------------------
+
+TEST(NetWire, GarbageVersionByteIsRejectedWithReason) {
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  frame[kFrameHeaderBytes] = 0xd1;  // version byte
+  WireRequest out;
+  const auto err = decode_request(body_of(frame), out);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.reason.find("version"), std::string::npos) << err.reason;
+
+  std::vector<std::uint8_t> rframe;
+  encode_response(sample_response(), rframe);
+  rframe[kFrameHeaderBytes] = 0xd1;
+  WireResponse rout;
+  const auto rerr = decode_response(body_of(rframe), rout);
+  ASSERT_FALSE(rerr.ok());
+  EXPECT_NE(rerr.reason.find("version"), std::string::npos) << rerr.reason;
+}
+
+TEST(NetWire, UnknownRequestFlagBitsAreRejected) {
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  frame[kFrameHeaderBytes + 1] = 0x80;  // flags byte, undefined bit
+  WireRequest out;
+  EXPECT_FALSE(decode_request(body_of(frame), out).ok());
+}
+
+TEST(NetWire, ResponseCountContradictingBodyLengthIsRejected) {
+  std::vector<std::uint8_t> frame;
+  encode_response(sample_response(), frame);
+  // Inflate the count field (little-endian u16 at body offset 2) far past
+  // what the body actually holds: the decoder must reject from the length
+  // check, not reserve for the claimed count.
+  frame[kFrameHeaderBytes + 2] = 0xff;
+  frame[kFrameHeaderBytes + 3] = 0xff;
+  WireResponse out;
+  const auto err = decode_response(body_of(frame), out);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(out.predictions.capacity(), 0u)
+      << "decoder allocated from a hostile count";
+}
+
+TEST(NetWire, BadStatusByteIsRejected) {
+  std::vector<std::uint8_t> frame;
+  encode_response(sample_response(), frame);
+  frame[kFrameHeaderBytes + 1] = 200;  // status byte
+  WireResponse out;
+  EXPECT_FALSE(decode_response(body_of(frame), out).ok());
+}
+
+// --- FrameParser header hardening --------------------------------------
+
+TEST(NetFrameParser, ZeroLengthHeaderIsBadImmediately) {
+  const FrameParser parser;
+  const std::uint8_t zeros[4] = {0, 0, 0, 0};
+  const auto f = parser.next(zeros);
+  EXPECT_EQ(f.result, FrameParser::Result::kBad);
+  EXPECT_FALSE(f.reason.empty());
+}
+
+TEST(NetFrameParser, OversizedClaimIsBadFromTheHeaderAlone) {
+  const FrameParser parser(/*max_frame_bytes=*/1024);
+  // Header claims 4 GiB - 1; only the 4 header bytes are buffered. The
+  // parser must reject now — it may never wait for (or size) the body.
+  const std::uint8_t header[4] = {0xff, 0xff, 0xff, 0xff};
+  const auto f = parser.next(header);
+  EXPECT_EQ(f.result, FrameParser::Result::kBad);
+  EXPECT_NE(f.reason.find("length"), std::string::npos) << f.reason;
+}
+
+TEST(NetFrameParser, PartialHeaderAndPartialBodyNeedMore) {
+  const FrameParser parser;
+  std::vector<std::uint8_t> frame;
+  encode_request(sample_request(), frame);
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const auto f = parser.next(
+        std::span<const std::uint8_t>(frame.data(), cut));
+    EXPECT_EQ(f.result, FrameParser::Result::kNeedMore)
+        << "truncation at byte " << cut;
+  }
+  const auto whole = parser.next(frame);
+  ASSERT_EQ(whole.result, FrameParser::Result::kFrame);
+  EXPECT_EQ(whole.consumed, frame.size());
+  EXPECT_EQ(whole.body.size(), kRequestBodyBytes);
+}
+
+TEST(NetFrameParser, TwoFramesBackToBackParseInOrder) {
+  const FrameParser parser;
+  std::vector<std::uint8_t> buf;
+  encode_request(sample_request(), buf);
+  WireRequest second = sample_request();
+  second.url = 77;
+  encode_request(second, buf);
+
+  const auto f1 = parser.next(buf);
+  ASSERT_EQ(f1.result, FrameParser::Result::kFrame);
+  WireRequest out1;
+  ASSERT_TRUE(decode_request(f1.body, out1).ok());
+  EXPECT_EQ(out1, sample_request());
+
+  const auto f2 = parser.next(
+      std::span<const std::uint8_t>(buf).subspan(f1.consumed));
+  ASSERT_EQ(f2.result, FrameParser::Result::kFrame);
+  WireRequest out2;
+  ASSERT_TRUE(decode_request(f2.body, out2).ok());
+  EXPECT_EQ(out2, second);
+}
+
+// --- Fuzz: never crash, always a structured verdict ---------------------
+
+/// Every decode must terminate in one of three clean states; the assertion
+/// is "no crash, no over-read (ASan), and failures carry a reason".
+void check_clean(std::span<const std::uint8_t> body) {
+  WireRequest req;
+  const auto rerr = decode_request(body, req);
+  if (!rerr.ok()) {
+    EXPECT_FALSE(rerr.reason.empty());
+  }
+  WireResponse resp;
+  const auto perr = decode_response(body, resp);
+  if (!perr.ok()) {
+    EXPECT_FALSE(perr.reason.empty());
+  }
+}
+
+TEST(NetWireFuzz, SingleBitFlipsNeverCrash) {
+  std::vector<std::uint8_t> req_frame, resp_frame;
+  encode_request(sample_request(), req_frame);
+  encode_response(sample_response(), resp_frame);
+  for (const auto* frame : {&req_frame, &resp_frame}) {
+    for (std::size_t byte = 0; byte < frame->size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        std::vector<std::uint8_t> mutated = *frame;
+        mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+        // Through the parser first (header flips change the claim)…
+        const FrameParser parser;
+        const auto f = parser.next(mutated);
+        if (f.result == FrameParser::Result::kBad) {
+          EXPECT_FALSE(f.reason.empty());
+          continue;
+        }
+        if (f.result == FrameParser::Result::kNeedMore) continue;
+        check_clean(f.body);  // …then both decoders on the extracted body.
+      }
+    }
+  }
+}
+
+TEST(NetWireFuzz, TruncationsAtEveryBoundaryNeverCrash) {
+  std::vector<std::uint8_t> frame;
+  encode_response(sample_response(), frame);
+  // Truncate the framed stream at every byte: the parser must report
+  // kNeedMore for every proper prefix, never read past the cut.
+  const FrameParser parser;
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    const auto f = parser.next(
+        std::span<const std::uint8_t>(frame.data(), cut));
+    EXPECT_EQ(f.result, FrameParser::Result::kNeedMore) << "cut " << cut;
+  }
+  // And truncate the *body* handed directly to the decoders (a server
+  // given a short final frame): clean structured rejection every time.
+  for (std::size_t cut = 0; cut + kFrameHeaderBytes <= frame.size(); ++cut) {
+    check_clean(
+        std::span<const std::uint8_t>(frame).subspan(kFrameHeaderBytes, cut));
+  }
+}
+
+TEST(NetWireFuzz, ByteSoupNeverCrashes) {
+  std::mt19937 rng(0xc0ffee);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 96);
+  const FrameParser parser(/*max_frame_bytes=*/256);
+  for (int round = 0; round < 20'000; ++round) {
+    std::vector<std::uint8_t> soup(len(rng));
+    for (auto& b : soup) b = static_cast<std::uint8_t>(byte(rng));
+    const auto f = parser.next(soup);
+    if (f.result == FrameParser::Result::kFrame) check_clean(f.body);
+    if (f.result == FrameParser::Result::kBad) {
+      EXPECT_FALSE(f.reason.empty());
+    }
+    check_clean(soup);  // raw soup straight into both decoders too
+  }
+}
+
+TEST(NetWireFuzz, MutatedRealFramesThroughParserNeverCrash) {
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::vector<std::uint8_t> base;
+  encode_response(sample_response(), base);
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  const FrameParser parser;
+  for (int round = 0; round < 20'000; ++round) {
+    std::vector<std::uint8_t> mutated = base;
+    const int edits = 1 + (round % 4);
+    for (int e = 0; e < edits; ++e) {
+      mutated[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    }
+    const auto f = parser.next(mutated);
+    if (f.result == FrameParser::Result::kFrame) check_clean(f.body);
+  }
+}
+
+}  // namespace
+}  // namespace webppm::net

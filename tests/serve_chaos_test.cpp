@@ -87,7 +87,7 @@ TEST(ServeChaos, FullFaultPlanRecoversToLastGoodAndStaysIdentical) {
 
   SnapshotStoreConfig store_cfg;
   store_cfg.dir = dir;
-  store_cfg.publish_attempts = 3;
+  store_cfg.publish_attempts = 4;
   store_cfg.backoff = std::chrono::milliseconds(0);
   store_cfg.metrics = &registry;
   SnapshotStore store(store_cfg);
@@ -111,8 +111,11 @@ TEST(ServeChaos, FullFaultPlanRecoversToLastGoodAndStaysIdentical) {
     out << bytes;
   }
 
-  // --- Chaos step 2+3 armed: two publish writes fail, shard floods. -----
-  fault::arm(fault::Plan{}.fail_nth("serve.snapshot.write", 0, 2));
+  // --- Chaos step 2+3 armed: two publish writes fail, one directory sync
+  // fails after its rename, shard floods. ---------------------------------
+  fault::arm(fault::Plan{}
+                 .fail_nth("serve.snapshot.write", 0, 2)
+                 .fail_nth("serve.snapshot.dirsync", 0, 1));
 
   // Recovery: load_latest must roll back to gen 2 (version 102).
   auto loaded = store.load_latest();
@@ -132,11 +135,13 @@ TEST(ServeChaos, FullFaultPlanRecoversToLastGoodAndStaysIdentical) {
   EXPECT_EQ(server.version(), 102u);
 
   // Publish storm: the first store.publish eats both injected write
-  // failures (attempts 1 and 2) and lands on attempt 3; the second is
-  // clean. The serving layer never sees a torn file either way.
+  // failures (attempts 1 and 2) plus the post-rename dirsync failure
+  // (attempt 3 — the file is in place but its directory entry is not yet
+  // durable, so the attempt is retried) and lands on attempt 4; the second
+  // is clean. The serving layer never sees a torn file either way.
   const auto storm1 = store.publish(*trained_snapshot(104));
   ASSERT_TRUE(storm1.ok) << storm1.error;
-  EXPECT_EQ(storm1.attempts, 3u);
+  EXPECT_EQ(storm1.attempts, 4u);
   const auto storm2 = store.publish(*trained_snapshot(105));
   ASSERT_TRUE(storm2.ok) << storm2.error;
   EXPECT_EQ(storm2.attempts, 1u);
@@ -196,10 +201,10 @@ TEST(ServeChaos, FullFaultPlanRecoversToLastGoodAndStaysIdentical) {
   EXPECT_EQ(
       registry.counter("webppm_serve_fault_snapshot_write_failures_total")
           .value(),
-      2u);
+      3u);
   EXPECT_EQ(
       registry.counter("webppm_serve_fault_publish_retries_total").value(),
-      2u);
+      3u);
   EXPECT_EQ(
       registry.counter("webppm_serve_fault_publish_failures_total").value(),
       0u);
@@ -208,9 +213,9 @@ TEST(ServeChaos, FullFaultPlanRecoversToLastGoodAndStaysIdentical) {
       1u);
   EXPECT_EQ(registry.counter("webppm_serve_fault_rollback_total").value(),
             1u);
-  // The generic fault layer agrees: exactly the two scripted write faults
-  // were injected in total.
-  EXPECT_EQ(registry.counter("webppm_fault_injected_total").value(), 2u);
+  // The generic fault layer agrees: exactly the three scripted faults (two
+  // writes + one dirsync) were injected in total.
+  EXPECT_EQ(registry.counter("webppm_fault_injected_total").value(), 3u);
   // Degraded service was counted, and the shed total matches the server.
   EXPECT_EQ(registry.counter("webppm_serve_degraded_shed_total").value(),
             server.shed_count());
