@@ -1,0 +1,255 @@
+// Space and load-path bench for the frozen snapshot format, on the paper's
+// two corpora (Table 1 nasa-like, Table 2 ucb-like).
+//
+// For each corpus × model (standard 3-PPM, LRS, PB) this harness trains
+// the arena model, freezes it, and reports bytes/node for both layouts,
+// the freeze/decode walltime, and the store-level load cost of the v1
+// text generation vs the v2 mmap generation.
+//
+// Gates (any failure exits nonzero):
+//   * space — the frozen payload costs >= 2x fewer bytes/node than the
+//     arena's heap footprint, for every corpus × model (ISSUE 6
+//     acceptance criterion).
+//   * equivalence spot check — frozen predictions match the arena model
+//     exactly on a sample of eval contexts (the full matrix lives in
+//     tests/frozen_equivalence_test.cpp; the bench re-checks the exact
+//     trees it measures).
+//
+// Artifacts: BENCH_frozen.json (rows + gate results).
+//
+// --quick (or WEBPPM_BENCH_QUICK=1) shrinks the load-repeat count; the
+// space numbers are exact either way.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "frozen/frozen.hpp"
+#include "serve/frozen_snapshot.hpp"
+#include "serve/snapshot_store.hpp"
+
+namespace {
+
+using namespace webppm;
+using Clock = std::chrono::steady_clock;
+
+struct Row {
+  std::string corpus;
+  std::string model;
+  std::size_t nodes = 0;
+  std::size_t arena_bytes = 0;
+  std::size_t frozen_bytes = 0;
+  double arena_bpn = 0.0;
+  double frozen_bpn = 0.0;
+  double shrink = 0.0;       ///< arena_bpn / frozen_bpn
+  double freeze_ms = 0.0;    ///< build_payload walltime
+  double decode_ms = 0.0;    ///< decode_payload walltime (validating scan)
+  double load_v1_ms = 0.0;   ///< SnapshotStore text generation load
+  double load_v2_ms = 0.0;   ///< SnapshotStore mmap generation load
+  bool space_ok = false;
+  bool identical = false;
+};
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+/// Exact-equality spot check over a sample of eval contexts.
+bool spot_check(const ppm::Predictor& arena, const ppm::Predictor& froz,
+                std::span<const trace::Request> eval) {
+  std::vector<UrlId> ctx;
+  std::vector<ppm::Prediction> pa, pf;
+  const std::size_t step = std::max<std::size_t>(1, eval.size() / 512);
+  for (std::size_t i = 0; i + 3 < eval.size(); i += step) {
+    ctx = {eval[i].url, eval[i + 1].url, eval[i + 2].url};
+    pa.clear();
+    pf.clear();
+    arena.predict(ctx, pa);
+    froz.predict(ctx, pf);
+    if (pa.size() != pf.size()) return false;
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      if (pa[k].url != pf[k].url ||
+          pa[k].probability != pf[k].probability) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Publishes `snap` in `format` into a scratch store and times
+/// load_latest(), min over `repeats` loads.
+double measure_load_ms(const serve::Snapshot& snap,
+                       serve::GenerationFormat format, std::size_t repeats,
+                       const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::remove_all(dir);
+  serve::SnapshotStoreConfig cfg;
+  cfg.dir = dir;
+  cfg.write_format = format;
+  serve::SnapshotStore store(cfg);
+  const auto pub = store.publish(snap);
+  if (!pub.ok) {
+    std::fprintf(stderr, "publish failed: %s\n", pub.error.c_str());
+    return -1.0;
+  }
+  double best = 1e300;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const auto t0 = Clock::now();
+    const auto loaded = store.load_latest();
+    const double ms = ms_since(t0);
+    if (loaded.snapshot == nullptr) {
+      std::fprintf(stderr, "load failed: %s\n", loaded.error.c_str());
+      return -1.0;
+    }
+    best = std::min(best, ms);
+  }
+  fs::remove_all(dir);
+  return best;
+}
+
+Row measure(const std::string& corpus, const trace::Trace& trace,
+            std::uint32_t train_days, const std::string& model,
+            const core::ModelSpec& spec, std::size_t load_repeats) {
+  Row row;
+  row.corpus = corpus;
+  row.model = model;
+
+  auto trained = core::train_model(spec, trace, 0, train_days - 1);
+  const auto eval = trace.day_slice(train_days);
+  auto snap = serve::make_snapshot(std::move(trained.predictor),
+                                   std::move(trained.popularity), 1);
+
+  row.nodes = snap->model->node_count();
+  row.arena_bytes = snap->model->storage_bytes();
+
+  auto t0 = Clock::now();
+  const std::string payload = serve::serialize_snapshot_frozen(*snap);
+  row.freeze_ms = ms_since(t0);
+  row.frozen_bytes = payload.size();
+
+  t0 = Clock::now();
+  frozen::FrozenView view;
+  std::string error;
+  if (!frozen::decode_payload(payload, &view, &error)) {
+    std::fprintf(stderr, "decode failed: %s\n", error.c_str());
+    std::exit(2);
+  }
+  row.decode_ms = ms_since(t0);
+
+  row.arena_bpn = static_cast<double>(row.arena_bytes) /
+                  static_cast<double>(row.nodes);
+  row.frozen_bpn = static_cast<double>(row.frozen_bytes) /
+                   static_cast<double>(row.nodes);
+  row.shrink = row.frozen_bpn > 0 ? row.arena_bpn / row.frozen_bpn : 0.0;
+  row.space_ok = row.shrink >= 2.0;
+
+  auto froz = serve::freeze_snapshot(*snap);
+  row.identical =
+      froz != nullptr && spot_check(*snap->model, *froz->model, eval);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("webppm_frozen_bench_" + corpus + "_" + model))
+          .string();
+  row.load_v1_ms = measure_load_ms(*snap, serve::GenerationFormat::kTextV1,
+                                   load_repeats, dir);
+  row.load_v2_ms = measure_load_ms(
+      *snap, serve::GenerationFormat::kFrozenV2, load_repeats, dir);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace webppm::bench;
+  bool quick = std::getenv("WEBPPM_BENCH_QUICK") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const std::size_t load_repeats = quick ? 3 : 9;
+
+  std::printf("=== frozen_bench: arena vs frozen snapshot storage ===\n");
+  if (quick) std::printf("quick mode: reduced load repeats\n");
+  std::printf("\n%6s %10s %9s %12s %12s %8s %8s %8s %10s %10s %10s\n",
+              "corpus", "model", "nodes", "arena B", "frozen B", "arena",
+              "frozen", "shrink", "freeze ms", "load v1", "load v2");
+
+  struct Case {
+    std::string model;
+    webppm::core::ModelSpec spec;
+  };
+  const std::vector<Case> cases = {
+      {"standard", webppm::core::ModelSpec::standard_fixed(3)},
+      {"lrs", webppm::core::ModelSpec::lrs_model()},
+      {"pb", webppm::core::ModelSpec::pb_model()},
+  };
+
+  std::vector<Row> rows;
+  for (const auto& [corpus, trace, train_days] :
+       std::vector<std::tuple<std::string, const webppm::trace::Trace*,
+                              std::uint32_t>>{
+           {"nasa", &nasa_trace(), 7}, {"ucb", &ucb_trace(), 5}}) {
+    for (const auto& c : cases) {
+      rows.push_back(
+          measure(corpus, *trace, train_days, c.model, c.spec, load_repeats));
+      const auto& r = rows.back();
+      std::printf("%6s %10s %9zu %12zu %12zu %7.1f %7.1f %7.2fx "
+                  "%10.2f %10.2f %10.2f%s%s\n",
+                  r.corpus.c_str(), r.model.c_str(), r.nodes, r.arena_bytes,
+                  r.frozen_bytes, r.arena_bpn, r.frozen_bpn, r.shrink,
+                  r.freeze_ms, r.load_v1_ms, r.load_v2_ms,
+                  r.space_ok ? "" : "  SPACE-FAIL",
+                  r.identical ? "" : "  MISMATCH");
+    }
+  }
+
+  bool all_space = true, all_identical = true;
+  for (const auto& r : rows) {
+    all_space = all_space && r.space_ok;
+    all_identical = all_identical && r.identical;
+  }
+  std::printf("\nspace gate (>= 2x fewer bytes/node, every row): %s\n",
+              all_space ? "OK" : "FAIL");
+  std::printf("equivalence spot check (every row):             %s\n",
+              all_identical ? "OK" : "FAIL");
+
+  if (FILE* f = std::fopen("BENCH_frozen.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"frozen snapshot space + load, "
+                 "nasa-like (Table 1) and ucb-like (Table 2)\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"space_ok\": %s,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"rows\": [\n",
+                 quick ? "true" : "false", all_space ? "true" : "false",
+                 all_identical ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"corpus\": \"%s\", \"model\": \"%s\", \"nodes\": %zu, "
+          "\"arena_bytes\": %zu, \"frozen_bytes\": %zu, "
+          "\"arena_bytes_per_node\": %.2f, \"frozen_bytes_per_node\": "
+          "%.2f, \"shrink\": %.3f, \"freeze_ms\": %.3f, \"decode_ms\": "
+          "%.3f, \"load_v1_ms\": %.3f, \"load_v2_ms\": %.3f, "
+          "\"space_ok\": %s, \"identical\": %s}%s\n",
+          r.corpus.c_str(), r.model.c_str(), r.nodes, r.arena_bytes,
+          r.frozen_bytes, r.arena_bpn, r.frozen_bpn, r.shrink, r.freeze_ms,
+          r.decode_ms, r.load_v1_ms, r.load_v2_ms,
+          r.space_ok ? "true" : "false", r.identical ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_frozen.json\n");
+  }
+
+  return all_space && all_identical ? 0 : 1;
+}

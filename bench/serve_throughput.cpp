@@ -23,6 +23,10 @@
 //     prediction-identical and < 3% walltime over the disarmed fast path
 //     (ISSUE 4 acceptance criterion; WEBPPM_FAULT_DISABLED removes the
 //     sites entirely).
+//   * frozen snapshot — the frozen (structure-of-arrays) compilation of
+//     the same snapshot is prediction-identical to the simulator AND
+//     >= 1.1x the arena's predictions/s, alternating min-of-rounds
+//     single-thread replays (ISSUE 6 acceptance criterion).
 //
 // Artifacts: BENCH_serve.json (rows + gate results),
 // BENCH_serve_metrics.prom (registry exposition after the instrumented
@@ -42,6 +46,7 @@
 #include "bench_common.hpp"
 #include "fault/fault.hpp"
 #include "obs/trace_event.hpp"
+#include "serve/frozen_snapshot.hpp"
 #include "serve/model_server.hpp"
 
 namespace {
@@ -201,6 +206,26 @@ double measure_overhead_pct(const serve::Snapshot& snap,
   return best_plain > 0 ? 100.0 * (best_ins - best_plain) / best_plain : 0.0;
 }
 
+/// Arena-over-frozen walltime ratio (>1 means frozen is faster), same
+/// alternating min-of-rounds protocol as measure_overhead_pct: both
+/// variants replay the same stream on the same plain config, only the
+/// snapshot's storage layout differs.
+double measure_frozen_speedup(const serve::Snapshot& arena,
+                              const serve::Snapshot& froz,
+                              const serve::ModelServerConfig& cfg,
+                              std::span<const trace::Request> eval,
+                              std::size_t passes, std::size_t rounds) {
+  (void)replay_seconds(arena, cfg, eval, 1);  // warm
+  (void)replay_seconds(froz, cfg, eval, 1);
+  double best_arena = 1e300, best_frozen = 1e300;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    best_arena = std::min(best_arena, replay_seconds(arena, cfg, eval, passes));
+    best_frozen =
+        std::min(best_frozen, replay_seconds(froz, cfg, eval, passes));
+  }
+  return best_frozen > 0 ? best_arena / best_frozen : 0.0;
+}
+
 /// An armed-but-idle fault plan: rules exist, none name a serving site, so
 /// every WEBPPM_FAULT_INJECT on the query path takes the armed-idle branch
 /// (epoch check + null rules pointer) without ever firing.
@@ -320,23 +345,62 @@ int main(int argc, char** argv) {
               fault_overhead_pct, oh_rounds, oh_passes,
               fault_overhead_ok ? "OK (< 3%)" : "FAIL (>= 3%)");
 
+  // Gate 4: the frozen compilation of this snapshot predicts identically
+  // (checked against the simulator, same as the arena gates) and serves
+  // >= 1.1x the arena's predictions/s.
+  auto frozen_snap = serve::freeze_snapshot(*snap);
+  if (frozen_snap == nullptr) {
+    std::fprintf(stderr, "freeze_snapshot failed\n");
+    return 1;
+  }
+  std::printf("frozen snapshot: %zu bytes (arena %zu bytes, %.1fx smaller)\n",
+              frozen_snap->storage_bytes(), snap->storage_bytes(),
+              frozen_snap->storage_bytes() > 0
+                  ? static_cast<double>(snap->storage_bytes()) /
+                        static_cast<double>(frozen_snap->storage_bytes())
+                  : 0.0);
+  const std::size_t frozen_mismatches =
+      verify_against_simulator(trace, eval, *frozen_snap, spec, plain_cfg);
+  const bool frozen_identical = frozen_mismatches == 0;
+  std::printf("frozen equivalence:                   %s "
+              "(%zu mismatching requests)\n",
+              frozen_identical ? "IDENTICAL to simulator" : "MISMATCH",
+              frozen_mismatches);
+  const double frozen_speedup = measure_frozen_speedup(
+      *snap, *frozen_snap, plain_cfg, eval, oh_passes, oh_rounds);
+  const bool frozen_fast_ok = frozen_speedup >= 1.1;
+  std::printf("frozen speedup: %.2fx predictions/s over arena "
+              "(min of %zu alternating rounds, %zu passes) -> %s\n\n",
+              frozen_speedup, oh_rounds, oh_passes,
+              frozen_fast_ok ? "OK (>= 1.1x)" : "FAIL (< 1.1x)");
+
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t passes = quick ? 2 : 4;
   const std::vector<std::size_t> thread_counts =
       quick ? std::vector<std::size_t>{1, 2}
             : std::vector<std::size_t>{1, 2, 4, 8};
   std::vector<RunResult> rows;
-  std::printf("%8s %12s %14s %10s %10s\n", "threads", "queries",
-              "predictions/s", "p50 (us)", "p99 (us)");
+  std::vector<RunResult> frozen_rows;
+  std::printf("%8s %8s %12s %14s %10s %10s\n", "layout", "threads",
+              "queries", "predictions/s", "p50 (us)", "p99 (us)");
   for (const std::size_t n : thread_counts) {
     // Fresh server per run: contexts start empty, runs are independent.
+    // Arena and frozen alternate per thread count so drift lands evenly.
     serve::ModelServer server;
     server.publish(snap);
     const auto r = run_closed_loop(server, eval, n, passes);
     rows.push_back(r);
-    std::printf("%8zu %12llu %14.0f %10.2f %10.2f\n", r.threads,
-                static_cast<unsigned long long>(r.queries), r.qps, r.p50_us,
-                r.p99_us);
+    std::printf("%8s %8zu %12llu %14.0f %10.2f %10.2f\n", "arena",
+                r.threads, static_cast<unsigned long long>(r.queries),
+                r.qps, r.p50_us, r.p99_us);
+
+    serve::ModelServer frozen_server;
+    frozen_server.publish(frozen_snap);
+    const auto fr = run_closed_loop(frozen_server, eval, n, passes);
+    frozen_rows.push_back(fr);
+    std::printf("%8s %8zu %12llu %14.0f %10.2f %10.2f\n", "frozen",
+                fr.threads, static_cast<unsigned long long>(fr.queries),
+                fr.qps, fr.p50_us, fr.p99_us);
   }
 
   const bool have_4t = rows.size() >= 3;
@@ -373,6 +437,11 @@ int main(int argc, char** argv) {
                  "  \"fault_idle_identical\": %s,\n"
                  "  \"fault_idle_overhead_pct\": %.3f,\n"
                  "  \"fault_idle_overhead_ok\": %s,\n"
+                 "  \"frozen_identical\": %s,\n"
+                 "  \"frozen_speedup\": %.3f,\n"
+                 "  \"frozen_speedup_ok\": %s,\n"
+                 "  \"frozen_bytes\": %zu,\n"
+                 "  \"arena_bytes\": %zu,\n"
                  "  \"scaling_4t_over_1t\": %.3f,\n"
                  "  \"runs\": [\n",
                  quick ? "true" : "false", hw,
@@ -380,15 +449,28 @@ int main(int argc, char** argv) {
                  ins_mismatches == 0 ? "true" : "false", overhead_pct,
                  overhead_ok ? "true" : "false",
                  fault_identical ? "true" : "false", fault_overhead_pct,
-                 fault_overhead_ok ? "true" : "false", scaling_4t);
+                 fault_overhead_ok ? "true" : "false",
+                 frozen_identical ? "true" : "false", frozen_speedup,
+                 frozen_fast_ok ? "true" : "false",
+                 frozen_snap->storage_bytes(), snap->storage_bytes(),
+                 scaling_4t);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
+      const auto& fr = frozen_rows[i];
       std::fprintf(f,
-                   "    {\"threads\": %zu, \"queries\": %llu, "
+                   "    {\"layout\": \"arena\", \"threads\": %zu, "
+                   "\"queries\": %llu, "
+                   "\"predictions_per_sec\": %.0f, \"p50_us\": %.2f, "
+                   "\"p99_us\": %.2f},\n",
+                   r.threads, static_cast<unsigned long long>(r.queries),
+                   r.qps, r.p50_us, r.p99_us);
+      std::fprintf(f,
+                   "    {\"layout\": \"frozen\", \"threads\": %zu, "
+                   "\"queries\": %llu, "
                    "\"predictions_per_sec\": %.0f, \"p50_us\": %.2f, "
                    "\"p99_us\": %.2f}%s\n",
-                   r.threads, static_cast<unsigned long long>(r.queries),
-                   r.qps, r.p50_us, r.p99_us,
+                   fr.threads, static_cast<unsigned long long>(fr.queries),
+                   fr.qps, fr.p50_us, fr.p99_us,
                    i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -398,6 +480,7 @@ int main(int argc, char** argv) {
   }
 
   const bool ok = mismatches == 0 && ins_mismatches == 0 && overhead_ok &&
-                  fault_identical && fault_overhead_ok;
+                  fault_identical && fault_overhead_ok && frozen_identical &&
+                  frozen_fast_ok;
   return ok ? 0 : 1;
 }

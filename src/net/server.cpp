@@ -651,7 +651,7 @@ void PredictServer::conn_writable(Worker& w, Connection& c) {
 }
 
 // ---------------------------------------------------------------------------
-// Admin listener (text): GET /metrics, GET /healthz.
+// Admin listener (text): GET /metrics, GET /healthz, GET /snapshot.
 
 std::string PredictServer::admin_response(const std::string& request_line) {
   std::string body;
@@ -686,6 +686,25 @@ std::string PredictServer::admin_response(const std::string& request_line) {
       body = "degraded\n";  // still serving (popularity fallback): 200
     } else {
       body = "ok\n";
+    }
+  } else if (path == "/snapshot") {
+    // What is this box serving, and how big is it? One line per field so
+    // `curl :port/snapshot | grep bytes` works without a JSON parser.
+    const auto snap = model_.snapshot();
+    if (snap == nullptr) {
+      status = "503 Service Unavailable";
+      body = "no-model\n";
+    } else {
+      body.append("version ").append(std::to_string(snap->version));
+      body.append("\nmodel ")
+          .append(snap->model != nullptr ? snap->model->name() : "none");
+      body.append("\nnodes ")
+          .append(std::to_string(
+              snap->model != nullptr ? snap->model->node_count() : 0));
+      body.append("\nbytes ")
+          .append(std::to_string(snap->storage_bytes()));
+      body.append("\ndegraded ").append(snap->degraded() ? "1" : "0");
+      body.append("\n");
     }
   } else {
     status = "404 Not Found";

@@ -27,7 +27,9 @@
 // GET /metrics returns the shared Prometheus exposition
 // (serve::render_metrics_exposition — the same code path
 // serve::MetricsReporter writes, so the two can never drift) and
-// GET /healthz reports ok / degraded / no-model / draining.
+// GET /healthz reports ok / degraded / no-model / draining, and
+// GET /snapshot reports what the box is serving (version, model name,
+// node count, storage bytes, degraded flag) one field per line.
 //
 // Fault sites (chaos suite): net.accept (accepted fd dropped),
 // net.conn.read / net.conn.write (short read/write: 1 byte this round),
@@ -52,7 +54,7 @@ namespace webppm::net {
 struct NetServerConfig {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;        ///< 0 = ephemeral; read back via port()
-  bool admin = true;             ///< serve /metrics and /healthz
+  bool admin = true;  ///< serve /metrics, /healthz and /snapshot
   std::uint16_t admin_port = 0;  ///< 0 = ephemeral; read via admin_port()
   std::size_t workers = 2;       ///< loop-worker threads (>= 1)
   /// Connection cap across all workers; an accept over it is shed with one

@@ -64,6 +64,13 @@ class PopularityTable {
     return grade_histogram_;
   }
 
+  /// Resident bytes of the table's vectors (storage accounting).
+  std::size_t memory_bytes() const {
+    return counts_.capacity() * sizeof(std::uint32_t) +
+           grades_.capacity() * sizeof(std::uint8_t) +
+           grade_histogram_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   std::vector<std::uint32_t> counts_;
   std::vector<std::uint8_t> grades_;

@@ -39,6 +39,14 @@ class LrsPpm final : public Predictor {
   void predict(std::span<const UrlId> context, std::vector<Prediction>& out,
                UsageScratch* usage = nullptr) const override;
   std::size_t node_count() const override { return tree_.node_count(); }
+  /// Serving tree + the retained support tree + extracted patterns; a model
+  /// reloaded from a snapshot carries the serving tree only.
+  std::size_t storage_bytes() const override {
+    std::size_t bytes = tree_.memory_bytes() + support_.memory_bytes();
+    bytes += patterns_.capacity() * sizeof(std::vector<UrlId>);
+    for (const auto& p : patterns_) bytes += p.capacity() * sizeof(UrlId);
+    return bytes;
+  }
   PredictionTree::PathUsage path_usage(
       const UsageScratch& usage) const override {
     return tree_.path_usage(usage.nodes);

@@ -75,6 +75,15 @@ class PopularityPpm final : public Predictor {
   void predict(std::span<const UrlId> context, std::vector<Prediction>& out,
                UsageScratch* usage = nullptr) const override;
   std::size_t node_count() const override { return tree_.node_count(); }
+  std::size_t storage_bytes() const override {
+    std::size_t bytes = tree_.memory_bytes();
+    bytes += links_.bucket_count() * sizeof(void*);
+    for (const auto& [root, targets] : links_) {
+      bytes += sizeof(std::pair<NodeId, std::vector<NodeId>>) +
+               2 * sizeof(void*) + targets.capacity() * sizeof(NodeId);
+    }
+    return bytes;
+  }
   PredictionTree::PathUsage path_usage(
       const UsageScratch& usage) const override {
     return tree_.path_usage(usage.nodes);

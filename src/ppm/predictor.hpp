@@ -64,6 +64,12 @@ class Predictor {
   /// Live node count — the paper's "space" metric (Tables 1 and 2).
   virtual std::size_t node_count() const = 0;
 
+  /// Resident bytes of the model's prediction structures — the deployment
+  /// cost behind the paper's node counts. Reporting cadence only (may walk
+  /// the whole structure); exported as webppm_serve_snapshot_bytes and
+  /// compared arena-vs-frozen in bench/frozen_bench.
+  virtual std::size_t storage_bytes() const = 0;
+
   /// Path utilisation of a usage batch against this model, without mutating
   /// anything. Identical to apply_usage(usage) followed by path_usage().
   virtual PredictionTree::PathUsage path_usage(

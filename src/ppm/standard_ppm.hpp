@@ -38,6 +38,7 @@ class StandardPpm final : public Predictor {
   void predict(std::span<const UrlId> context, std::vector<Prediction>& out,
                UsageScratch* usage = nullptr) const override;
   std::size_t node_count() const override { return tree_.node_count(); }
+  std::size_t storage_bytes() const override { return tree_.memory_bytes(); }
   PredictionTree::PathUsage path_usage(
       const UsageScratch& usage) const override {
     return tree_.path_usage(usage.nodes);

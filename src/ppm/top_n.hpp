@@ -46,6 +46,13 @@ class TopNPredictor final : public Predictor {
   /// "Space" is the push list itself.
   std::size_t node_count() const override { return push_set_.size(); }
 
+  std::size_t storage_bytes() const override {
+    return push_set_.capacity() * sizeof(Prediction) +
+           counts_.bucket_count() * sizeof(void*) +
+           counts_.size() * (sizeof(std::pair<UrlId, std::uint64_t>) +
+                             2 * sizeof(void*));
+  }
+
   /// No tree, hence no paths; reported as fully utilised once predictions
   /// have been requested at least once.
   PredictionTree::PathUsage path_usage(

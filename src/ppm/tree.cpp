@@ -172,4 +172,16 @@ std::uint64_t PredictionTree::total_root_count() const {
   return total;
 }
 
+std::size_t PredictionTree::memory_bytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(TreeNode);
+  for (const TreeNode& n : nodes_) bytes += n.children.heap_bytes();
+  // unordered_map internals are approximated: one bucket pointer per
+  // bucket, one heap node (payload + hash + next pointer) per entry.
+  bytes += roots_.bucket_count() * sizeof(void*);
+  bytes += roots_.size() *
+           (sizeof(std::pair<UrlId, NodeId>) + 2 * sizeof(void*));
+  bytes += used_nodes_.capacity() * sizeof(NodeId);
+  return bytes;
+}
+
 }  // namespace webppm::ppm

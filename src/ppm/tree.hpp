@@ -110,6 +110,13 @@ class PredictionTree {
   /// probabilities where needed).
   std::uint64_t total_root_count() const;
 
+  /// Resident bytes of the arena: node storage (capacity), per-node child
+  /// spill vectors, the root table, and the usage side list. O(arena) —
+  /// call at reporting cadence, not on the query path. This is the number
+  /// the frozen serving tree is measured against (paper Tables 1-2 count
+  /// nodes; deployments pay bytes).
+  std::size_t memory_bytes() const;
+
  private:
   std::vector<TreeNode> nodes_;
   std::unordered_map<UrlId, NodeId> roots_;

@@ -123,6 +123,7 @@ ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
         &reg.gauge("webppm_serve_retired_snapshot_refs"),
         &reg.gauge("webppm_serve_clients"),
         &reg.gauge("webppm_serve_degraded_mode"),
+        &reg.gauge("webppm_serve_snapshot_bytes"),
         &reg.histogram("webppm_serve_query_latency_ns"),
         &reg.histogram("webppm_serve_shard_lock_wait_ns"),
     });
@@ -331,6 +332,12 @@ void ModelServer::refresh_gauges() {
   if (query_delta != 0) ins_->queries->add(query_delta);
   ins_->snapshot_version->set(static_cast<std::int64_t>(version()));
   ins_->degraded_mode->set(degraded() ? 1 : 0);
+  {
+    const auto snap = snap_.load();
+    ins_->snapshot_bytes->set(
+        snap == nullptr ? 0
+                        : static_cast<std::int64_t>(snap->storage_bytes()));
+  }
   update_generation_metrics();
 }
 

@@ -62,6 +62,18 @@ struct Snapshot {
   std::uint64_t version = 0;
 
   bool degraded() const { return model == nullptr; }
+
+  /// Bytes the snapshot's predictors hold to serve queries: the model plus
+  /// the popularity fallback, via Predictor::storage_bytes(). An arena
+  /// model reports its heap footprint; a frozen model reports its payload
+  /// size (mmapped or heap-backed) — the gauge exported from this is how
+  /// the ~6x arena-to-frozen shrink shows up in /metrics.
+  std::size_t storage_bytes() const {
+    std::size_t bytes = 0;
+    if (model != nullptr) bytes += model->storage_bytes();
+    if (fallback != nullptr) bytes += fallback->storage_bytes();
+    return bytes;
+  }
 };
 
 /// Wraps a trained predictor into a publishable snapshot. `popularity` is
@@ -295,6 +307,7 @@ class ModelServer {
     obs::Gauge* retired_refs;
     obs::Gauge* clients;
     obs::Gauge* degraded_mode;
+    obs::Gauge* snapshot_bytes;
     obs::LogHistogram* query_latency;
     obs::LogHistogram* shard_lock_wait;
   };

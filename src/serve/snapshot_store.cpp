@@ -16,7 +16,10 @@
 #include "fault/fault.hpp"
 #include "obs/trace_event.hpp"
 #include "ppm/serialize.hpp"
+#include "serve/frozen_snapshot.hpp"
+#include "util/align.hpp"
 #include "util/crc32.hpp"
+#include "util/mmap_file.hpp"
 
 namespace webppm::serve {
 namespace {
@@ -37,6 +40,24 @@ std::string checksum_prefix(std::uint64_t gen, std::uint64_t version,
                             std::size_t payload_bytes) {
   return std::to_string(gen) + ' ' + std::to_string(version) + ' ' +
          std::to_string(payload_bytes) + '\n';
+}
+
+/// v2 adds the payload offset to the checksummed fields. The CRC itself is
+/// seeded with this prefix then run over every mapped byte *after* the
+/// header newline — padding included — so a flipped bit in the padding gap
+/// fails verification just like one in the payload.
+std::string checksum_prefix_v2(std::uint64_t gen, std::uint64_t version,
+                               std::size_t payload_bytes,
+                               std::size_t payload_offset) {
+  return std::to_string(gen) + ' ' + std::to_string(version) + ' ' +
+         std::to_string(payload_bytes) + ' ' +
+         std::to_string(payload_offset) + '\n';
+}
+
+std::string crc_hex_string(std::uint32_t crc) {
+  char hex[16];
+  std::snprintf(hex, sizeof hex, "%08x", crc);
+  return hex;
 }
 
 /// Generation id of "gen-<id>.snap", or nullopt for other names.
@@ -185,6 +206,54 @@ std::string SnapshotStore::write_atomic(const std::string& final_name,
   return {};
 }
 
+std::string SnapshotStore::render_generation(std::uint64_t gen,
+                                             const Snapshot& snap,
+                                             GenerationFormat format) const {
+  if (format == GenerationFormat::kTextV1) {
+    const std::string payload = serialize_snapshot_payload(snap);
+    const std::string prefix =
+        checksum_prefix(gen, snap.version, payload.size());
+    const std::string crc_hex =
+        crc_hex_string(util::crc32(payload, util::crc32(prefix)));
+    std::string content;
+    content.reserve(payload.size() + 64);
+    content.append(kSnapMagic).append(" v1 ").append(prefix.substr(
+        0, prefix.size() - 1));  // prefix without its trailing newline
+    content.append(" ").append(crc_hex).append("\n").append(payload);
+    return content;
+  }
+
+  // v2: the payload starts on a page boundary so a reader can mmap the file
+  // and hand the kernel page-granular views of the sections. The CRC field
+  // can't be known before the header is laid out, so the header is rendered
+  // with the CRC blanked, padded to the offset, then patched.
+  const std::string payload = serialize_snapshot_frozen(snap);
+  const std::size_t header_guess =
+      kSnapMagic.size() + 4 +  // "webppm-snap v2 "
+      checksum_prefix_v2(gen, snap.version, payload.size(), 0).size() + 16;
+  const std::size_t payload_offset =
+      util::align_up(header_guess, util::kPageBytes);
+  const std::string prefix =
+      checksum_prefix_v2(gen, snap.version, payload.size(), payload_offset);
+
+  std::string content;
+  content.reserve(payload_offset + payload.size());
+  content.append(kSnapMagic).append(" v2 ").append(prefix.substr(
+      0, prefix.size() - 1));  // prefix without its trailing newline
+  content.append(" 00000000\n");
+  const std::size_t crc_field = content.size() - 9;  // start of the 8 hex
+  const std::size_t after_header = content.size();   // first padding byte
+  content.resize(payload_offset, '\0');
+  content.append(payload);
+
+  const std::string_view checksummed =
+      std::string_view(content).substr(after_header);
+  const std::string crc_hex =
+      crc_hex_string(util::crc32(checksummed, util::crc32(prefix)));
+  content.replace(crc_field, 8, crc_hex);
+  return content;
+}
+
 PublishResult SnapshotStore::publish(const Snapshot& snap) {
   WEBPPM_TRACE("serve.snapshot_store.publish");
   PublishResult result;
@@ -194,20 +263,10 @@ PublishResult SnapshotStore::publish(const Snapshot& snap) {
     if (ins_ != nullptr) ins_->publish_failures->add();
     return result;
   }
-  const std::string payload = serialize_snapshot_payload(snap);
-
   const auto existing = generations();
   const std::uint64_t gen = existing.empty() ? 1 : existing.back() + 1;
-  const std::string prefix = checksum_prefix(gen, snap.version,
-                                             payload.size());
-  const std::uint32_t crc = util::crc32(payload, util::crc32(prefix));
-  char crc_hex[16];
-  std::snprintf(crc_hex, sizeof crc_hex, "%08x", crc);
-  std::string content;
-  content.reserve(payload.size() + 64);
-  content.append(kSnapMagic).append(" v1 ").append(prefix.substr(
-      0, prefix.size() - 1));  // prefix without its trailing newline
-  content.append(" ").append(crc_hex).append("\n").append(payload);
+  const std::string content =
+      render_generation(gen, snap, config_.write_format);
 
   auto backoff = config_.backoff;
   for (std::size_t attempt = 1; attempt <= config_.publish_attempts;
@@ -276,14 +335,100 @@ SnapshotLoadResult SnapshotStore::load_generation(std::uint64_t gen) const {
     result.error = "read: injected fault";
     return result;
   }
-  std::ifstream in(gen_path(gen), std::ios::binary);
-  if (!in) {
-    result.error = "unreadable: " + errno_string();
+
+  // Map the file once; both formats verify against the mapping. The v2
+  // path never copies the payload — CRC, structural validation, and the
+  // served tree all read the mapped bytes in place. The legacy v1 path
+  // still materialises a string for its text parser.
+  auto map = std::make_shared<util::MappedFile>();
+  {
+    std::string map_error;
+    if (!map->open(gen_path(gen), &map_error)) {
+      result.error = "unreadable: " + map_error;
+      return result;
+    }
+  }
+  const std::string_view mapped = map->bytes();
+
+  // Header line: "webppm-snap v<N> <gen> <version> ...". The line is tiny;
+  // bound the newline scan so a binary-garbage file can't make us walk a
+  // multi-megabyte mapping looking for one.
+  const auto nl = mapped.substr(0, 256).find('\n');
+  if (nl == std::string_view::npos) {
+    result.error = "header: no newline";
     return result;
   }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  const std::string content = buf.str();
+  std::istringstream header{std::string(mapped.substr(0, nl))};
+  {
+    std::string magic, ver_word;
+    if (!(header >> magic >> ver_word) || magic != kSnapMagic) {
+      result.error = "header: malformed";
+      return result;
+    }
+    if (ver_word == "v1") {
+      return load_generation_v1(gen, std::string(mapped));
+    }
+    if (ver_word != "v2") {
+      result.error = "header: unknown format " + ver_word;
+      return result;
+    }
+  }
+
+  std::string crc_word;
+  std::uint64_t hdr_gen = 0, snap_version = 0;
+  std::size_t payload_bytes = 0, payload_offset = 0;
+  if (!(header >> hdr_gen >> snap_version >> payload_bytes >>
+        payload_offset >> crc_word)) {
+    result.error = "header: malformed";
+    return result;
+  }
+  if (hdr_gen != gen) {
+    result.error = "header: generation " + std::to_string(hdr_gen) +
+                   " does not match filename";
+    return result;
+  }
+  if (!util::is_aligned(payload_offset, util::kPageBytes) ||
+      payload_offset <= nl) {
+    result.error = "header: payload offset " +
+                   std::to_string(payload_offset) + " not page-aligned";
+    return result;
+  }
+  if (mapped.size() < payload_offset ||
+      mapped.size() - payload_offset < payload_bytes) {
+    result.error = "payload truncated: have " +
+                   std::to_string(mapped.size() < payload_offset
+                                      ? 0
+                                      : mapped.size() - payload_offset) +
+                   " of " + std::to_string(payload_bytes) + " bytes";
+    return result;
+  }
+  if (mapped.size() - payload_offset > payload_bytes) {
+    result.error = "payload: trailing garbage";
+    return result;
+  }
+
+  // CRC over the whole mapped range after the header newline — padding and
+  // payload alike — seeded with the checksummed header fields.
+  const std::string prefix =
+      checksum_prefix_v2(hdr_gen, snap_version, payload_bytes,
+                         payload_offset);
+  const std::string expect_hex = crc_hex_string(
+      util::crc32(mapped.substr(nl + 1), util::crc32(prefix)));
+  if (crc_word != expect_hex) {
+    result.error = "payload crc mismatch: header " + crc_word +
+                   ", computed " + expect_hex;
+    return result;
+  }
+
+  // Bytes verified; decode the frozen payload in place. The mapping is the
+  // snapshot's backing store — it stays alive as long as the model does.
+  return open_frozen_snapshot(std::move(map), mapped.substr(payload_offset),
+                              snap_version, config_.fallback_top_n);
+}
+
+SnapshotLoadResult SnapshotStore::load_generation_v1(
+    std::uint64_t gen, const std::string& content) const {
+  SnapshotLoadResult result;
 
   // Header line: "webppm-snap v1 <gen> <version> <bytes> <crc32hex>".
   const auto nl = content.find('\n');
@@ -431,6 +576,27 @@ std::vector<std::uint64_t> SnapshotStore::generations() const {
   }
   std::sort(gens.begin(), gens.end());
   return gens;
+}
+
+std::string SnapshotStore::convert_generation(std::uint64_t gen) const {
+  auto loaded = load_generation(gen);
+  if (loaded.snapshot == nullptr) {
+    return "gen " + std::to_string(gen) + ": " + loaded.error;
+  }
+  const std::string content =
+      render_generation(gen, *loaded.snapshot, GenerationFormat::kFrozenV2);
+  // The loaded snapshot may be backed by the mapping of the very file the
+  // rename below replaces; write_atomic stages into a temp file, and the
+  // old mapping stays valid after the rename (the inode lives until
+  // unmapped), so the rewrite is safe even while the old bytes are in use.
+  const std::string err = write_atomic(
+      gen_path(gen), content,
+      [] { return WEBPPM_FAULT_INJECT("serve.snapshot.write"); },
+      [] { return WEBPPM_FAULT_INJECT("serve.snapshot.fsync"); },
+      [] { return WEBPPM_FAULT_INJECT("serve.snapshot.rename"); },
+      [] { return WEBPPM_FAULT_INJECT("serve.snapshot.dirsync"); });
+  if (!err.empty()) return "gen " + std::to_string(gen) + ": " + err;
+  return {};
 }
 
 void SnapshotStore::prune(std::uint64_t newest) const {

@@ -3,20 +3,33 @@
 //
 // The paper's deployment trains offline and hands the frozen model to the
 // server; this store is that handoff made crash-safe. Each publish writes
-// one *generation* file:
+// one *generation* file. The default (v2) format carries a frozen
+// structure-of-arrays payload at a page-aligned offset:
 //
-//   gen-<id>.snap:
+//   gen-<id>.snap (v2):
+//     webppm-snap v2 <generation> <snapshot-version> <payload-bytes>
+//                    <payload-offset> <crc32>
+//     <zero padding up to payload-offset (a page boundary)>
+//     <frozen payload>         # frozen/format.hpp, exactly payload-bytes
+//
+// load_latest() of a v2 generation is mmap + CRC-32 over the mapped range
+// + a validating scan: zero payload-sized copies, no deserialization
+// allocations — the served tree is spans into the mapping. The CRC covers
+// "<generation> <snapshot-version> <payload-bytes> <payload-offset>\n"
+// plus every mapped byte after the header line (padding included), so a
+// bit flip anywhere fails verification.
+//
+// The v1 (text) format is still read — and still written when the config
+// selects it — for the arena-model handoff:
+//
+//   gen-<id>.snap (v1):
 //     webppm-snap v1 <generation> <snapshot-version> <payload-bytes> <crc32>
-//     <payload>                # exactly payload-bytes bytes
+//     <payload>                # webppm-pop section + save_model stream
 //
-//   payload:
-//     webppm-pop v1 <url-count>
-//     <access-count>*url-count # the snapshot's popularity table
-//     <save_model stream>      # absent in a degraded (fallback-only) gen
+// convert_generation() rewrites an existing generation in the v2 format in
+// place (one-shot migration of a pre-frozen store).
 //
-// The CRC-32 covers "<generation> <snapshot-version> <payload-bytes>\n" +
-// payload, so a bit flip anywhere — header fields included — fails
-// verification. Files are written temp + fsync + atomic rename, then the
+// Files are written temp + fsync + atomic rename, then the
 // MANIFEST (same discipline) records the generation list; a crash between
 // the two leaves a valid generation file that load_latest() still finds by
 // directory scan, so the manifest is a hint, never a single point of
@@ -51,10 +64,18 @@
 
 namespace webppm::serve {
 
+/// Which generation format publish() writes. Loading always accepts both.
+enum class GenerationFormat : std::uint8_t {
+  kFrozenV2,  ///< mmap-loadable frozen payload at a page-aligned offset
+  kTextV1,    ///< legacy text payload (popularity section + save_model)
+};
+
 struct SnapshotStoreConfig {
   /// Directory holding gen-*.snap files and the MANIFEST. Created (one
   /// level) if absent.
   std::string dir;
+  /// Format for newly published generations.
+  GenerationFormat write_format = GenerationFormat::kFrozenV2;
   /// Newest generations kept on disk; older ones are pruned after a
   /// successful publish. 0 is treated as 1 — the store never prunes the
   /// generation it just wrote.
@@ -110,6 +131,13 @@ class SnapshotStore {
   /// Generation ids currently on disk, oldest first (directory scan).
   std::vector<std::uint64_t> generations() const;
 
+  /// One-shot converter: loads generation `gen` (any format) and rewrites
+  /// it in place — same id, same snapshot version — in the frozen v2
+  /// format, with the usual temp/fsync/rename discipline. Returns empty on
+  /// success, else the reason. Already-v2 generations are rewritten
+  /// losslessly (the frozen payload round-trips byte-identically).
+  std::string convert_generation(std::uint64_t gen) const;
+
   const SnapshotStoreConfig& config() const { return config_; }
 
  private:
@@ -126,7 +154,15 @@ class SnapshotStore {
                            FaultHook fsync_fault, FaultHook rename_fault,
                            FaultHook dirsync_fault) const;
   /// Verifies and parses one generation file. Returns nullptr + reason.
+  /// Dispatches on the header's format version: v2 verifies the CRC over
+  /// the mmapped range in place and serves spans into the mapping; v1
+  /// reads and parses the legacy text payload.
   SnapshotLoadResult load_generation(std::uint64_t gen) const;
+  SnapshotLoadResult load_generation_v1(std::uint64_t gen,
+                                        const std::string& content) const;
+  /// Renders the full generation file content for `snap` in `format`.
+  std::string render_generation(std::uint64_t gen, const Snapshot& snap,
+                                GenerationFormat format) const;
   void prune(std::uint64_t newest) const;
 
   SnapshotStoreConfig config_;

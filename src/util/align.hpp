@@ -1,0 +1,23 @@
+// Alignment arithmetic for on-disk layouts (frozen snapshot format).
+#pragma once
+
+#include <cstdint>
+
+namespace webppm::util {
+
+/// Page granularity of the snapshot store's generation files: the payload
+/// starts on a page boundary so the mmapped tree sections are page- (and
+/// hence cache-line-) aligned without any copy.
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+/// Smallest multiple of `alignment` that is >= `value`. `alignment` must be
+/// a power of two.
+constexpr std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+constexpr bool is_aligned(std::uint64_t value, std::uint64_t alignment) {
+  return (value & (alignment - 1)) == 0;
+}
+
+}  // namespace webppm::util

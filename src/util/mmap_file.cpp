@@ -1,0 +1,71 @@
+#include "util/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace webppm::util {
+
+bool MappedFile::open(const std::string& path, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) *error = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) {
+      *error = "fstat " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  if (st.st_size == 0) {
+    // mmap(0) is EINVAL; an empty generation file is corrupt anyway.
+    if (error != nullptr) *error = "empty file " + path;
+    ::close(fd);
+    return false;
+  }
+  void* map = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                     MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (map == MAP_FAILED) {
+    if (error != nullptr) *error = "mmap " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  reset();
+  data_ = map;
+  size_ = static_cast<std::size_t>(st.st_size);
+  return true;
+}
+
+void MappedFile::reset() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace webppm::util

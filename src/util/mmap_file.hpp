@@ -1,0 +1,41 @@
+// Read-only memory-mapped file (RAII). The snapshot store maps generation
+// files so loading is mmap + CRC over the mapped range instead of
+// read-into-buffer; a loaded model keeps the mapping alive through a
+// shared_ptr and serves straight out of the page cache.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace webppm::util {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns false and sets `error` on failure
+  /// (missing file, empty file, mmap failure). On success the previous
+  /// mapping (if any) is released.
+  bool open(const std::string& path, std::string* error);
+
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The mapped bytes; empty until a successful open().
+  std::string_view bytes() const {
+    return {static_cast<const char*>(data_), size_};
+  }
+  std::size_t size() const { return size_; }
+  const void* data() const { return data_; }
+
+ private:
+  void reset();
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace webppm::util

@@ -54,6 +54,10 @@ class SmallChildMap {
   }
   bool empty() const { return size() == 0; }
 
+  /// Heap bytes owned beyond sizeof(*this) — the spill vector's capacity.
+  /// Feeds the arena tree's storage accounting (frozen-vs-arena bytes).
+  std::size_t heap_bytes() const { return spill_.capacity() * sizeof(value_type); }
+
   /// Iterates entries in unspecified order; `fn(key, value)`.
   template <typename Fn>
   void for_each(Fn&& fn) const {
