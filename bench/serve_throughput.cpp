@@ -27,6 +27,10 @@
 //     the same snapshot is prediction-identical to the simulator AND
 //     >= 1.1x the arena's predictions/s, alternating min-of-rounds
 //     single-thread replays (ISSUE 6 acceptance criterion).
+//   * batch equivalence — query_batch over fixed-size chunks answers
+//     exactly as a sequential query_ex replay; the group-by-shard reorder
+//     inside a batch must be invisible in the answers (ISSUE 7; the
+//     in-process speedup is reported, the socket bench gates it).
 //
 // Artifacts: BENCH_serve.json (rows + gate results),
 // BENCH_serve_metrics.prom (registry exposition after the instrumented
@@ -226,6 +230,81 @@ double measure_frozen_speedup(const serve::Snapshot& arena,
   return best_frozen > 0 ? best_arena / best_frozen : 0.0;
 }
 
+/// Batch-equivalence gate: the same stream answered via query_batch in
+/// fixed-size chunks must produce exactly the prediction lists of a
+/// sequential query_ex replay on a twin server (same config, same
+/// snapshot). Returns the number of mismatching requests.
+std::size_t verify_batch_equivalence(const serve::Snapshot& snap,
+                                     const serve::ModelServerConfig& cfg,
+                                     std::span<const trace::Request> eval,
+                                     std::size_t chunk) {
+  serve::ModelServer seq(cfg);
+  seq.publish(borrow(snap));
+  std::vector<std::vector<ppm::Prediction>> want;
+  want.reserve(eval.size());
+  std::vector<ppm::Prediction> out;
+  for (const auto& r : eval) {
+    (void)seq.query_ex(r, out);
+    want.push_back(out);
+  }
+
+  serve::ModelServer bat(cfg);
+  bat.publish(borrow(snap));
+  serve::BatchQueryScratch scratch;
+  std::size_t mismatches = 0;
+  for (std::size_t off = 0; off < eval.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, eval.size() - off);
+    bat.query_batch(eval.subspan(off, n), scratch);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto got = scratch.predictions_of(i);
+      if (got.size() != want[off + i].size() ||
+          !std::equal(got.begin(), got.end(), want[off + i].begin())) {
+        ++mismatches;
+      }
+    }
+  }
+  return mismatches;
+}
+
+/// Sequential-over-batched walltime ratio (>1 means batching is faster),
+/// same alternating min-of-rounds protocol as measure_overhead_pct. A
+/// speed *report*, not a gate: in process the win is one shard lock per
+/// chunk instead of one per query — real but much smaller than the
+/// syscall amortization the socket bench gates on.
+double measure_batch_speedup(const serve::Snapshot& snap,
+                             const serve::ModelServerConfig& cfg,
+                             std::span<const trace::Request> eval,
+                             std::size_t chunk, std::size_t passes,
+                             std::size_t rounds) {
+  const auto batched_seconds = [&] {
+    serve::ModelServer server(cfg);
+    server.publish(borrow(snap));
+    serve::BatchQueryScratch scratch;
+    std::vector<trace::Request> shifted(eval.begin(), eval.end());
+    const auto t0 = Clock::now();
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      if (pass != 0) {
+        for (auto& r : shifted) r.timestamp += kSecondsPerDay;
+      }
+      for (std::size_t off = 0; off < shifted.size(); off += chunk) {
+        server.query_batch(
+            std::span<const trace::Request>(shifted).subspan(
+                off, std::min(chunk, shifted.size() - off)),
+            scratch);
+      }
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+  (void)replay_seconds(snap, cfg, eval, 1);  // warm
+  (void)batched_seconds();
+  double best_seq = 1e300, best_batch = 1e300;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    best_seq = std::min(best_seq, replay_seconds(snap, cfg, eval, passes));
+    best_batch = std::min(best_batch, batched_seconds());
+  }
+  return best_batch > 0 ? best_seq / best_batch : 0.0;
+}
+
 /// An armed-but-idle fault plan: rules exist, none name a serving site, so
 /// every WEBPPM_FAULT_INJECT on the query path takes the armed-idle branch
 /// (epoch check + null rules pointer) without ever firing.
@@ -374,6 +453,25 @@ int main(int argc, char** argv) {
               frozen_speedup, oh_rounds, oh_passes,
               frozen_fast_ok ? "OK (>= 1.1x)" : "FAIL (< 1.1x)");
 
+  // Gate 5: query_batch answers exactly as a sequential query_ex replay —
+  // the group-by-shard reorder inside a batch must be invisible in the
+  // answers. Speedup is reported but not gated (the in-process win is lock
+  // amortization only; the socket bench gates the end-to-end win).
+  const std::size_t batch_chunk = 64;
+  const std::size_t batch_mismatches =
+      verify_batch_equivalence(*snap, plain_cfg, eval, batch_chunk);
+  const bool batch_identical = batch_mismatches == 0;
+  std::printf("query_batch equivalence (chunk %zu):   %s "
+              "(%zu mismatching requests)\n",
+              batch_chunk,
+              batch_identical ? "IDENTICAL to sequential" : "MISMATCH",
+              batch_mismatches);
+  const double batch_speedup = measure_batch_speedup(
+      *snap, plain_cfg, eval, batch_chunk, oh_passes, oh_rounds);
+  std::printf("query_batch speedup: %.2fx walltime over sequential "
+              "(min of %zu alternating rounds, %zu passes; report only)\n\n",
+              batch_speedup, oh_rounds, oh_passes);
+
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t passes = quick ? 2 : 4;
   const std::vector<std::size_t> thread_counts =
@@ -442,6 +540,8 @@ int main(int argc, char** argv) {
                  "  \"frozen_speedup_ok\": %s,\n"
                  "  \"frozen_bytes\": %zu,\n"
                  "  \"arena_bytes\": %zu,\n"
+                 "  \"batch_identical\": %s,\n"
+                 "  \"batch_speedup\": %.3f,\n"
                  "  \"scaling_4t_over_1t\": %.3f,\n"
                  "  \"runs\": [\n",
                  quick ? "true" : "false", hw,
@@ -453,6 +553,7 @@ int main(int argc, char** argv) {
                  frozen_identical ? "true" : "false", frozen_speedup,
                  frozen_fast_ok ? "true" : "false",
                  frozen_snap->storage_bytes(), snap->storage_bytes(),
+                 batch_identical ? "true" : "false", batch_speedup,
                  scaling_4t);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
@@ -481,6 +582,6 @@ int main(int argc, char** argv) {
 
   const bool ok = mismatches == 0 && ins_mismatches == 0 && overhead_ok &&
                   fault_identical && fault_overhead_ok && frozen_identical &&
-                  frozen_fast_ok;
+                  frozen_fast_ok && batch_identical;
   return ok ? 0 : 1;
 }

@@ -7,6 +7,11 @@
 // GET /healthz and GET /metrics scrape when --admin-port is given.
 //
 //   net_client [--port N] [--connections N] [--admin-port N] [--days N]
+//              [--batch N]
+//
+// --batch N packs up to N queries per v2 batch frame (0, the default,
+// sends v1 single-query frames); latency percentiles then measure whole
+// batch-frame round trips, recorded once per carried query.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +27,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 8970;
   std::uint16_t admin_port = 0;
   std::size_t connections = 2;
+  std::size_t batch_size = 0;
   std::uint32_t days = 8;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--port") == 0) {
@@ -32,6 +38,8 @@ int main(int argc, char** argv) {
       connections = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--days") == 0) {
       days = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch_size = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     }
   }
 
@@ -39,12 +47,17 @@ int main(int argc, char** argv) {
       workload::generate_page_trace(workload::nasa_like(days));
   const auto eval = trace.day_slice(days - 1);
   std::printf("replaying %zu requests (day %u) over %zu connections to "
-              "127.0.0.1:%u\n",
-              eval.size(), days, connections, port);
+              "127.0.0.1:%u%s\n",
+              eval.size(), days, connections, port,
+              batch_size == 0
+                  ? ""
+                  : (", batched " + std::to_string(batch_size) + " per frame")
+                        .c_str());
 
   net::LoadClientConfig cfg;
   cfg.port = port;
   cfg.connections = connections;
+  cfg.batch_size = batch_size;
   const auto res = net::LoadClient(cfg).run(eval);
   if (!res.ok) {
     std::fprintf(stderr, "replay failed: %s\n", res.error.c_str());

@@ -32,8 +32,17 @@ struct LoadClientConfig {
   /// Keep every raw response frame (header + body) per connection for
   /// byte-identity checks. Off for pure throughput runs.
   bool record_responses = false;
-  /// Reject response frames claiming more than this many body bytes.
+  /// Reject response frames claiming more than this many body bytes. In
+  /// batch mode the effective response cap is
+  /// max(max_frame_bytes, kDefaultMaxBatchFrameBytes) — a batch response
+  /// aggregates many prediction lists in one frame.
   std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// 0 = v1 single-query frames (one request per frame, closed loop).
+  /// N >= 1 = batch mode: each connection packs up to N queries per v2
+  /// batch frame and ping-pongs whole frames. Sub-request order inside a
+  /// connection is unchanged, so replies stay comparable
+  /// request-for-request with an in-process replay.
+  std::size_t batch_size = 0;
 };
 
 struct LoadClientResult {
@@ -47,8 +56,9 @@ struct LoadClientResult {
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
-  /// Raw response frames, [connection][response index], in send order.
-  /// Populated only with record_responses.
+  /// Raw response frames, [connection][frame index], in send order.
+  /// Populated only with record_responses. In batch mode each entry is one
+  /// v2 batch frame (carrying up to batch_size sub-responses).
   std::vector<std::vector<std::vector<std::uint8_t>>> frames;
 };
 

@@ -69,14 +69,13 @@ struct PredictServer::Connection {
   EvTag tag{EvTag::Kind::kConn};
   int fd = -1;
   std::vector<std::uint8_t> in;    ///< unparsed request bytes
-  std::vector<std::uint8_t> out;   ///< unflushed response bytes
-  std::size_t out_pos = 0;         ///< first unflushed byte of `out`
+  WriteRing out;                   ///< unflushed response bytes
   bool close_after_flush = false;  ///< protocol error or drain: no reads
   bool want_read = true;
   std::uint32_t interest = 0;      ///< epoll events currently registered
   std::uint64_t last_activity_ms = 0;
 
-  std::size_t pending_out() const { return out.size() - out_pos; }
+  std::size_t pending_out() const { return out.pending(); }
 };
 
 struct PredictServer::AdminConn {
@@ -117,11 +116,29 @@ struct PredictServer::Instruments {
   obs::Counter* short_writes;
   obs::Counter* stalls;
   obs::Counter* admin_requests;
+  obs::Counter* batches;
+  obs::Counter* batch_entry_errors;
+  obs::Counter* responses_truncated;
   obs::Counter* bytes_read;
   obs::Counter* bytes_written;
   obs::Gauge* active;
   obs::LogHistogram* request_latency;
 };
+
+Status wire_status(const serve::QueryResult& qr, std::uint8_t flags,
+                   std::uint64_t snapshot_version) {
+  if (qr.predicted) {
+    return qr.served == serve::ServedBy::kFallback ? Status::kDegraded
+                                                   : Status::kOk;
+  }
+  if (snapshot_version == 0) return Status::kNoModel;
+  if ((flags & kFlagErrorStatus) != 0) {
+    // The server skips error requests by design (the simulator's piggyback
+    // path does the same); an empty OK list is the expected answer.
+    return Status::kOk;
+  }
+  return Status::kError;  // refused (e.g. injected serve.query)
+}
 
 WireResponse make_wire_response(const serve::QueryResult& qr,
                                 const WireRequest& req,
@@ -129,19 +146,8 @@ WireResponse make_wire_response(const serve::QueryResult& qr,
                                 std::vector<ppm::Prediction> predictions) {
   WireResponse resp;
   resp.snapshot_version = snapshot_version;
-  if (qr.predicted) {
-    resp.status = qr.served == serve::ServedBy::kFallback ? Status::kDegraded
-                                                          : Status::kOk;
-    resp.predictions = std::move(predictions);
-  } else if (snapshot_version == 0) {
-    resp.status = Status::kNoModel;
-  } else if ((req.flags & kFlagErrorStatus) != 0) {
-    // The server skips error requests by design (the simulator's piggyback
-    // path does the same); an empty OK list is the expected answer.
-    resp.status = Status::kOk;
-  } else {
-    resp.status = Status::kError;  // refused (e.g. injected serve.query)
-  }
+  resp.status = wire_status(qr, req.flags, snapshot_version);
+  if (qr.predicted) resp.predictions = std::move(predictions);
   return resp;
 }
 
@@ -174,6 +180,9 @@ PredictServer::PredictServer(serve::ModelServer& model, NetServerConfig config)
         &reg.counter("webppm_net_short_writes_total"),
         &reg.counter("webppm_net_stalls_total"),
         &reg.counter("webppm_net_admin_requests_total"),
+        &reg.counter("webppm_net_batches_total"),
+        &reg.counter("webppm_net_batch_entry_errors_total"),
+        &reg.counter("webppm_net_response_truncated_total"),
         &reg.counter("webppm_net_bytes_read_total"),
         &reg.counter("webppm_net_bytes_written_total"),
         &reg.gauge("webppm_net_connections_active"),
@@ -185,9 +194,9 @@ PredictServer::PredictServer(serve::ModelServer& model, NetServerConfig config)
 PredictServer::~PredictServer() { shutdown(); }
 
 void PredictServer::count(obs::Counter* Instruments::*which,
-                          std::atomic<std::uint64_t>& exact) {
-  exact.fetch_add(1, std::memory_order_relaxed);
-  if (ins_ != nullptr) ((*ins_).*which)->add();
+                          std::atomic<std::uint64_t>& exact, std::uint64_t n) {
+  exact.fetch_add(n, std::memory_order_relaxed);
+  if (ins_ != nullptr) ((*ins_).*which)->add(n);
 }
 
 bool PredictServer::start(std::string* error) {
@@ -565,14 +574,37 @@ void PredictServer::conn_process_frames(Connection& c) {
         std::span<const std::uint8_t>(c.in).subspan(pos));
     if (frame.result == FrameParser::Result::kNeedMore) break;
 
-    WireRequest req;
     std::string reject;
     if (frame.result == FrameParser::Result::kBad) {
       reject = frame.reason;
+    } else if (frame_version(frame.body) == kWireVersionBatch) {
+      // v2 batch frame. The version byte is per frame, so one connection
+      // may interleave v1 singles and v2 batches freely.
+      pos += frame.consumed;
+      reject = conn_handle_batch(c, frame.body);
     } else {
+      WireRequest req;
       const auto err = decode_request(frame.body, req);
       reject = err.reason;
       pos += frame.consumed;
+      if (reject.empty()) {
+        count(&Instruments::requests, requests_);
+        const std::uint64_t q0 = ins_ != nullptr ? obs::now_ns() : 0;
+        thread_local std::vector<ppm::Prediction> preds;
+        const auto qr = model_.query_ex(to_trace_request(req), preds);
+        const auto resp =
+            make_wire_response(qr, req, model_.version(), std::move(preds));
+        preds = {};
+        const std::size_t dropped = encode_response(resp, c.out);
+        if (dropped != 0) {
+          count(&Instruments::responses_truncated, responses_truncated_,
+                dropped);
+        }
+        if (ins_ != nullptr) {
+          ins_->request_latency->record(obs::now_ns() - q0);
+        }
+        count(&Instruments::responses, responses_);
+      }
     }
     if (!reject.empty()) {
       // Malformed input never crashes and never passes silently: one
@@ -588,51 +620,104 @@ void PredictServer::conn_process_frames(Connection& c) {
       c.want_read = false;
       break;
     }
-
-    count(&Instruments::requests, requests_);
-    const std::uint64_t q0 = ins_ != nullptr ? obs::now_ns() : 0;
-    thread_local std::vector<ppm::Prediction> preds;
-    const auto qr = model_.query_ex(to_trace_request(req), preds);
-    const auto resp =
-        make_wire_response(qr, req, model_.version(), std::move(preds));
-    preds = {};
-    encode_response(resp, c.out);
-    if (ins_ != nullptr) {
-      ins_->request_latency->record(obs::now_ns() - q0);
-    }
-    count(&Instruments::responses, responses_);
   }
   if (pos > 0) c.in.erase(c.in.begin(), c.in.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
+std::string PredictServer::conn_handle_batch(
+    Connection& c, std::span<const std::uint8_t> body) {
+  thread_local std::vector<WireRequest> batch;
+  thread_local std::vector<trace::Request> treqs;
+  thread_local std::vector<std::uint32_t> slot;
+  thread_local serve::BatchQueryScratch scratch;
+
+  const auto err = decode_batch_request(body, batch);
+  if (!err.ok()) return err.reason;
+
+  const std::uint64_t q0 = ins_ != nullptr ? obs::now_ns() : 0;
+
+  // Per-entry validation the frame decoder deliberately leaves to us: an
+  // entry with unknown flag bits degrades its own slot to kBadRequest — one
+  // bad entry never kills the batch or the connection. (A v1 frame with the
+  // same bytes closes the connection; batch clients asked for independent
+  // sub-request status, so they get it.)
+  constexpr std::uint32_t kBadSlot = 0xffffffffu;
+  slot.assign(batch.size(), kBadSlot);
+  treqs.clear();
+  std::uint64_t bad_entries = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if ((batch[i].flags & ~kFlagErrorStatus) != 0) {
+      ++bad_entries;
+      continue;
+    }
+    slot[i] = static_cast<std::uint32_t>(treqs.size());
+    treqs.push_back(to_trace_request(batch[i]));
+  }
+
+  // One shard lock per shard per batch, one snapshot load, one flat
+  // prediction pool — see ModelServer::query_batch.
+  model_.query_batch(treqs, scratch);
+
+  // Serialize exactly once, straight into the connection's write ring: no
+  // per-query WireResponse, no staging buffer, flushes coalesced by the
+  // ring's scatter/gather sendmsg.
+  BatchResponseWriter writer(c.out);
+  writer.begin();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (slot[i] == kBadSlot) {
+      writer.add(Status::kBadRequest, scratch.snapshot_version, {});
+      continue;
+    }
+    const auto& item = scratch.items[slot[i]];
+    writer.add(
+        wire_status(item.result, batch[i].flags, scratch.snapshot_version),
+        scratch.snapshot_version, scratch.predictions_of(slot[i]));
+  }
+  const std::size_t dropped = writer.finish();
+
+  const auto nsub = static_cast<std::uint64_t>(batch.size());
+  count(&Instruments::requests, requests_, nsub);
+  count(&Instruments::responses, responses_, nsub);
+  count(&Instruments::batches, batches_);
+  if (bad_entries != 0) {
+    count(&Instruments::batch_entry_errors, batch_entry_errors_, bad_entries);
+  }
+  if (dropped != 0) {
+    count(&Instruments::responses_truncated, responses_truncated_, dropped);
+  }
+  if (ins_ != nullptr) {
+    // Mean per-sub-request latency, so the histogram stays comparable with
+    // the per-query samples the v1 path records.
+    ins_->request_latency->record((obs::now_ns() - q0) / nsub);
+  }
+  return {};
+}
+
 bool PredictServer::conn_flush(Connection& c) {
   while (c.pending_out() > 0) {
-    std::size_t want = c.pending_out();
+    std::size_t limit = 0;  // 0 = everything pending, wrap included
     bool injected_short = false;
     if (WEBPPM_FAULT_INJECT("net.conn.write")) {
       // Short write: one byte goes out, the rest stays queued — the
       // partial-write path runs for real, the byte stream stays intact.
-      want = 1;
+      limit = 1;
       injected_short = true;
       count(&Instruments::short_writes, short_writes_);
     }
-    const ssize_t n =
-        ::send(c.fd, c.out.data() + c.out_pos, want, MSG_NOSIGNAL);
+    // The ring hands the kernel both physical segments of the pending range
+    // in one sendmsg (writev-style), so responses accumulated across many
+    // frames coalesce into one syscall.
+    const ssize_t n = c.out.flush(c.fd, limit);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
         return true;  // kernel buffer full; EPOLLOUT will resume
       }
       return false;  // broken pipe etc.
     }
-    c.out_pos += static_cast<std::size_t>(n);
     if (ins_ != nullptr) {
       ins_->bytes_written->add(static_cast<std::uint64_t>(n));
     }
     if (injected_short) break;  // leave the remainder for EPOLLOUT
-  }
-  if (c.pending_out() == 0) {
-    c.out.clear();
-    c.out_pos = 0;
   }
   return true;
 }

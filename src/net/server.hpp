@@ -79,6 +79,16 @@ struct NetServerConfig {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+/// Wire status for one query outcome — the shared core of
+/// make_wire_response and the batched response writer, so a v2 sub-response
+/// and a v1 single frame for the same query can never disagree:
+/// predicted → kOk (kDegraded when the fallback answered); otherwise
+/// kNoModel before the first publish, kOk-with-empty-list for a skipped
+/// error request, kError for a refusal (e.g. an injected serve.query
+/// fault).
+Status wire_status(const serve::QueryResult& qr, std::uint8_t flags,
+                   std::uint64_t snapshot_version);
+
 /// The one request→response mapping, shared by the server's connection
 /// handler and by anything reproducing server answers in-process (the
 /// net_throughput byte-identity gate): given what ModelServer said about a
@@ -133,6 +143,13 @@ class PredictServer {
   std::uint64_t short_writes() const { return short_writes_.load(std::memory_order_relaxed); }
   std::uint64_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
   std::uint64_t admin_requests() const { return admin_requests_.load(std::memory_order_relaxed); }
+  /// v2 batch frames served (each counts its sub-requests in requests()).
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  /// Batch sub-entries answered kBadRequest in their slot (unknown flag
+  /// bits) — the batch and connection survive.
+  std::uint64_t batch_entry_errors() const { return batch_entry_errors_.load(std::memory_order_relaxed); }
+  /// Predictions dropped by the u16 per-response count clamp.
+  std::uint64_t responses_truncated() const { return responses_truncated_.load(std::memory_order_relaxed); }
 
  private:
   struct Worker;
@@ -151,6 +168,11 @@ class PredictServer {
   void conn_writable(Worker& w, Connection& c);
   bool conn_flush(Connection& c);  ///< false = fatal write error
   void conn_process_frames(Connection& c);
+  /// Serves one v2 batch frame: decode, query_batch, serialize straight
+  /// into the connection's write ring. Returns a reject reason when the
+  /// frame itself is malformed (empty string = served).
+  std::string conn_handle_batch(Connection& c,
+                                std::span<const std::uint8_t> body);
   void conn_update_interest(Worker& w, Connection& c);
   void close_conn(Worker& w, int fd);
   void arm_idle(Worker& w, const Connection& c);
@@ -163,7 +185,7 @@ class PredictServer {
 
   struct Instruments;
   void count(obs::Counter* Instruments::*which,
-             std::atomic<std::uint64_t>& exact);
+             std::atomic<std::uint64_t>& exact, std::uint64_t n = 1);
 
   serve::ModelServer& model_;
   NetServerConfig config_;
@@ -188,7 +210,8 @@ class PredictServer {
   std::atomic<std::uint64_t> accepted_{0}, closed_{0}, requests_{0},
       responses_{0}, protocol_errors_{0}, shed_{0}, slow_disconnects_{0},
       idle_timeouts_{0}, accept_failures_{0}, short_reads_{0},
-      short_writes_{0}, stalls_{0}, admin_requests_{0};
+      short_writes_{0}, stalls_{0}, admin_requests_{0}, batches_{0},
+      batch_entry_errors_{0}, responses_truncated_{0};
   std::atomic<std::size_t> active_{0};
 
   std::unique_ptr<Instruments> ins_;

@@ -42,6 +42,42 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 DecodeError fail(std::string reason) { return DecodeError{std::move(reason)}; }
 
+/// Byte-sink adapter so the response encoders emit identical bytes whether
+/// the target is a staging vector (clients, tests) or a connection's
+/// WriteRing (the server's zero-copy path).
+struct VecSink {
+  std::vector<std::uint8_t>& v;
+  void push_u8(std::uint8_t b) { v.push_back(b); }
+  void push_u16(std::uint16_t x) { put_u16(x, v); }
+  void push_u32(std::uint32_t x) { put_u32(x, v); }
+  void push_u64(std::uint64_t x) { put_u64(x, v); }
+};
+
+template <typename Sink>
+std::size_t encode_response_impl(const WireResponse& resp, Sink&& sink) {
+  // A prediction list longer than u16 cannot be framed; the serving layer
+  // never produces one (lists are threshold-filtered), but truncate
+  // deterministically anyway — the list is sorted best-first, so the kept
+  // prefix is the top 65535 — and report the dropped count so the caller
+  // can account it (webppm_net_response_truncated_total) instead of the
+  // encoder ever emitting a body that contradicts its count field.
+  const std::size_t count =
+      std::min<std::size_t>(resp.predictions.size(),
+                            std::numeric_limits<std::uint16_t>::max());
+  const std::size_t body = kResponsePrefixBytes + count * 8;
+  sink.push_u32(static_cast<std::uint32_t>(body));
+  sink.push_u8(kWireVersion);
+  sink.push_u8(static_cast<std::uint8_t>(resp.status));
+  sink.push_u16(static_cast<std::uint16_t>(count));
+  sink.push_u64(resp.snapshot_version);
+  for (std::size_t i = 0; i < count; ++i) {
+    sink.push_u32(resp.predictions[i].url);
+    sink.push_u32(
+        std::bit_cast<std::uint32_t>(resp.predictions[i].probability));
+  }
+  return resp.predictions.size() - count;
+}
+
 }  // namespace
 
 const char* status_name(Status s) {
@@ -65,25 +101,33 @@ void encode_request(const WireRequest& req, std::vector<std::uint8_t>& out) {
   put_u64(req.timestamp, out);
 }
 
-void encode_response(const WireResponse& resp,
-                     std::vector<std::uint8_t>& out) {
-  // A prediction list longer than u16 cannot be framed; the serving layer
-  // never produces one (lists are threshold-filtered), but clamp anyway so
-  // the encoder can never emit a body that contradicts its count field.
+std::size_t encode_response(const WireResponse& resp,
+                            std::vector<std::uint8_t>& out) {
+  return encode_response_impl(resp, VecSink{out});
+}
+
+std::size_t encode_response(const WireResponse& resp, WriteRing& out) {
+  return encode_response_impl(resp, out);
+}
+
+std::size_t encode_batch_request(std::span<const WireRequest> reqs,
+                                 std::vector<std::uint8_t>& out) {
   const std::size_t count =
-      std::min<std::size_t>(resp.predictions.size(),
+      std::min<std::size_t>(reqs.size(),
                             std::numeric_limits<std::uint16_t>::max());
-  const std::size_t body = kResponsePrefixBytes + count * 8;
+  const std::size_t body =
+      kBatchPrefixBytes + count * kBatchRequestEntryBytes;
   put_u32(static_cast<std::uint32_t>(body), out);
-  out.push_back(kWireVersion);
-  out.push_back(static_cast<std::uint8_t>(resp.status));
+  out.push_back(kWireVersionBatch);
+  out.push_back(0);  // reserved
   put_u16(static_cast<std::uint16_t>(count), out);
-  put_u64(resp.snapshot_version, out);
   for (std::size_t i = 0; i < count; ++i) {
-    put_u32(resp.predictions[i].url, out);
-    put_u32(std::bit_cast<std::uint32_t>(resp.predictions[i].probability),
-            out);
+    out.push_back(reqs[i].flags);
+    put_u32(reqs[i].client, out);
+    put_u32(reqs[i].url, out);
+    put_u64(reqs[i].timestamp, out);
   }
+  return reqs.size() - count;
 }
 
 DecodeError decode_request(std::span<const std::uint8_t> body,
@@ -143,6 +187,147 @@ DecodeError decode_response(std::span<const std::uint8_t> body,
     out.predictions.push_back(pred);
   }
   return {};
+}
+
+DecodeError decode_batch_request(std::span<const std::uint8_t> body,
+                                 std::vector<WireRequest>& out) {
+  out.clear();
+  if (body.size() < kBatchPrefixBytes) {
+    return fail("batch request body " + std::to_string(body.size()) +
+                " bytes, prefix needs " + std::to_string(kBatchPrefixBytes));
+  }
+  if (body[0] != kWireVersionBatch) {
+    return fail("version " + std::to_string(body[0]) + " != " +
+                std::to_string(kWireVersionBatch));
+  }
+  if (body[1] != 0) {
+    return fail("reserved byte " + std::to_string(body[1]) + " != 0");
+  }
+  const std::uint16_t count = get_u16(body.data() + 2);
+  if (count == 0) return fail("batch count 0");
+  // The count must be provable from bytes already in hand: resize only
+  // after the body length confirms the claim, so a flipped count can never
+  // size an allocation.
+  const std::size_t need =
+      kBatchPrefixBytes + std::size_t{count} * kBatchRequestEntryBytes;
+  if (body.size() != need) {
+    return fail("batch count " + std::to_string(count) + " needs " +
+                std::to_string(need) + " bytes, body has " +
+                std::to_string(body.size()));
+  }
+  out.resize(count);
+  const std::uint8_t* p = body.data() + kBatchPrefixBytes;
+  for (std::uint16_t i = 0; i < count; ++i, p += kBatchRequestEntryBytes) {
+    out[i].flags = p[0];
+    out[i].client = get_u32(p + 1);
+    out[i].url = get_u32(p + 5);
+    out[i].timestamp = get_u64(p + 9);
+  }
+  return {};
+}
+
+DecodeError decode_batch_response(std::span<const std::uint8_t> body,
+                                  std::vector<WireResponse>& out) {
+  out.clear();
+  if (body.size() < kBatchPrefixBytes) {
+    return fail("batch response body " + std::to_string(body.size()) +
+                " bytes, prefix needs " + std::to_string(kBatchPrefixBytes));
+  }
+  if (body[0] != kWireVersionBatch) {
+    return fail("version " + std::to_string(body[0]) + " != " +
+                std::to_string(kWireVersionBatch));
+  }
+  if (body[1] != 0) {
+    return fail("reserved byte " + std::to_string(body[1]) + " != 0");
+  }
+  const std::uint16_t count = get_u16(body.data() + 2);
+  if (count == 0) return fail("batch count 0");
+  // The sub-entries are variable-length, so the outer count cannot be
+  // length-checked up front; instead every claim is proven against the
+  // bytes still in hand before anything is sized by it. A minimum-size
+  // check (count * empty sub-response) still rejects the grossly hostile
+  // counts before the walk.
+  if (body.size() <
+      kBatchPrefixBytes + std::size_t{count} * kBatchEntryPrefixBytes) {
+    return fail("batch count " + std::to_string(count) +
+                " cannot fit in body of " + std::to_string(body.size()) +
+                " bytes");
+  }
+  out.reserve(count);
+  std::size_t pos = kBatchPrefixBytes;
+  for (std::uint16_t i = 0; i < count; ++i) {
+    if (body.size() - pos < kBatchEntryPrefixBytes) {
+      return fail("sub-response " + std::to_string(i) +
+                  " prefix overruns body");
+    }
+    const std::uint8_t status = body[pos];
+    if (status > static_cast<std::uint8_t>(Status::kError)) {
+      return fail("sub-response " + std::to_string(i) + " unknown status " +
+                  std::to_string(status));
+    }
+    const std::uint16_t n = get_u16(body.data() + pos + 1);
+    const std::uint64_t version = get_u64(body.data() + pos + 3);
+    pos += kBatchEntryPrefixBytes;
+    if ((body.size() - pos) / 8 < n) {
+      return fail("sub-response " + std::to_string(i) + " count " +
+                  std::to_string(n) + " needs " + std::to_string(n * 8u) +
+                  " bytes, " + std::to_string(body.size() - pos) + " left");
+    }
+    WireResponse resp;
+    resp.status = static_cast<Status>(status);
+    resp.snapshot_version = version;
+    resp.predictions.reserve(n);  // proven present just above
+    const std::uint8_t* p = body.data() + pos;
+    for (std::uint16_t j = 0; j < n; ++j, p += 8) {
+      ppm::Prediction pred;
+      pred.url = get_u32(p);
+      pred.probability = std::bit_cast<float>(get_u32(p + 4));
+      resp.predictions.push_back(pred);
+    }
+    pos += std::size_t{n} * 8;
+    out.push_back(std::move(resp));
+  }
+  if (pos != body.size()) {
+    return fail("batch body has " + std::to_string(body.size() - pos) +
+                " trailing bytes");
+  }
+  return {};
+}
+
+void BatchResponseWriter::begin() {
+  len_mark_ = ring_.mark();
+  ring_.push_u32(0);  // frame length, patched by finish()
+  ring_.push_u8(kWireVersionBatch);
+  ring_.push_u8(0);  // reserved
+  count_mark_ = ring_.mark();
+  ring_.push_u16(0);  // batch count, patched by finish()
+  count_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t BatchResponseWriter::add(Status status,
+                                     std::uint64_t snapshot_version,
+                                     std::span<const ppm::Prediction> preds) {
+  const std::size_t n =
+      std::min<std::size_t>(preds.size(),
+                            std::numeric_limits<std::uint16_t>::max());
+  ring_.push_u8(static_cast<std::uint8_t>(status));
+  ring_.push_u16(static_cast<std::uint16_t>(n));
+  ring_.push_u64(snapshot_version);
+  for (std::size_t i = 0; i < n; ++i) {
+    ring_.push_u32(preds[i].url);
+    ring_.push_u32(std::bit_cast<std::uint32_t>(preds[i].probability));
+  }
+  dropped_ += preds.size() - n;
+  ++count_;
+  return preds.size() - n;
+}
+
+std::size_t BatchResponseWriter::finish() {
+  const std::uint64_t body_bytes = ring_.mark() - len_mark_ - 4;
+  ring_.patch_u32(len_mark_, static_cast<std::uint32_t>(body_bytes));
+  ring_.patch_u16(count_mark_, static_cast<std::uint16_t>(count_));
+  return dropped_;
 }
 
 FrameParser::Frame FrameParser::next(std::span<const std::uint8_t> buf) const {

@@ -1,0 +1,112 @@
+#include "net/write_ring.hpp"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace webppm::net {
+
+void WriteRing::ensure(std::size_t extra) {
+  if (buf_.size() - size_ >= extra && !buf_.empty()) return;
+  std::size_t cap = buf_.empty() ? 4096 : buf_.size();
+  while (cap - size_ < extra) cap *= 2;
+  // Grow by linearizing: copy the (at most two) pending segments to the
+  // front of the new storage so head_ restarts at 0.
+  std::vector<std::uint8_t> next(cap);
+  const std::size_t first = std::min(size_, buf_.size() - head_);
+  if (first > 0) std::memcpy(next.data(), buf_.data() + head_, first);
+  if (size_ > first) {
+    std::memcpy(next.data() + first, buf_.data(), size_ - first);
+  }
+  buf_.swap(next);
+  head_ = 0;
+}
+
+void WriteRing::push(const void* data, std::size_t n) {
+  if (n == 0) return;
+  ensure(n);
+  const auto* src = static_cast<const std::uint8_t*>(data);
+  const std::size_t tail = (head_ + size_) & mask();
+  const std::size_t first = std::min(n, buf_.size() - tail);
+  std::memcpy(buf_.data() + tail, src, first);
+  if (n > first) std::memcpy(buf_.data(), src + first, n - first);
+  size_ += n;
+}
+
+void WriteRing::push_u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v & 0xff),
+                             static_cast<std::uint8_t>(v >> 8)};
+  push(b, sizeof b);
+}
+
+void WriteRing::push_u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  push(b, sizeof b);
+}
+
+void WriteRing::push_u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  push(b, sizeof b);
+}
+
+void WriteRing::patch_u16(std::uint64_t at, std::uint16_t v) {
+  assert(at >= consumed_ && at + 2 <= consumed_ + size_);
+  const std::size_t base = head_ + static_cast<std::size_t>(at - consumed_);
+  buf_[base & mask()] = static_cast<std::uint8_t>(v & 0xff);
+  buf_[(base + 1) & mask()] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void WriteRing::patch_u32(std::uint64_t at, std::uint32_t v) {
+  assert(at >= consumed_ && at + 4 <= consumed_ + size_);
+  const std::size_t base = head_ + static_cast<std::size_t>(at - consumed_);
+  for (int i = 0; i < 4; ++i) {
+    buf_[(base + static_cast<std::size_t>(i)) & mask()] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+ssize_t WriteRing::flush(int fd, std::size_t limit) {
+  if (size_ == 0) return 0;
+  std::size_t want = limit == 0 ? size_ : std::min(limit, size_);
+  iovec iov[2];
+  int iovcnt = 0;
+  const std::size_t first = std::min(want, buf_.size() - head_);
+  iov[iovcnt++] = {buf_.data() + head_, first};
+  if (want > first) iov[iovcnt++] = {buf_.data(), want - first};
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  // MSG_NOSIGNAL everywhere a socket is written: a peer that already
+  // closed must surface as EPIPE, never as a process-killing SIGPIPE.
+  const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+  if (n <= 0) return n;
+  head_ = (head_ + static_cast<std::size_t>(n)) & mask();
+  size_ -= static_cast<std::size_t>(n);
+  consumed_ += static_cast<std::uint64_t>(n);
+  if (size_ == 0) head_ = 0;  // drained: restart contiguous
+  return n;
+}
+
+void WriteRing::clear() {
+  consumed_ += size_;
+  head_ = 0;
+  size_ = 0;
+}
+
+std::vector<std::uint8_t> WriteRing::pending_bytes() const {
+  std::vector<std::uint8_t> out(size_);
+  if (size_ == 0) return out;
+  const std::size_t first = std::min(size_, buf_.size() - head_);
+  std::memcpy(out.data(), buf_.data() + head_, first);
+  if (size_ > first) {
+    std::memcpy(out.data() + first, buf_.data(), size_ - first);
+  }
+  return out;
+}
+
+}  // namespace webppm::net

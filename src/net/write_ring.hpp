@@ -1,0 +1,73 @@
+// net::WriteRing — a connection's outgoing byte ring (DESIGN.md §10).
+//
+// The batched response path serializes predictions exactly once, straight
+// into this ring: encoders append little-endian fields at the tail,
+// remember a logical *mark* for length/count fields whose values are only
+// known once a frame is finished, and patch them in place — no staging
+// buffer, no memmove compaction when the flush cursor advances.
+//
+// Storage is a power-of-two circular buffer: flushed bytes free their
+// space immediately, so a long-lived connection reuses the same pages
+// instead of erasing a vector prefix per flush. When the pending bytes
+// wrap the physical end, flush() hands the kernel both segments in one
+// sendmsg() (writev-style scatter/gather) with MSG_NOSIGNAL — the wrap
+// costs an iovec, never a copy or a second syscall.
+//
+// Logical offsets (`mark()`) are monotonic counters of bytes ever pushed,
+// so a patch target stays valid however often the ring flushes or grows
+// between begin and finish of a frame.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace webppm::net {
+
+class WriteRing {
+ public:
+  /// Unflushed bytes queued in the ring.
+  std::size_t pending() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Logical offset of the next byte push() will write. Monotonic across
+  /// flushes; feed back into patch_u16/patch_u32.
+  std::uint64_t mark() const { return consumed_ + size_; }
+
+  void push(const void* data, std::size_t n);
+  void push_u8(std::uint8_t v) { push(&v, 1); }
+  void push_u16(std::uint16_t v);
+  void push_u32(std::uint32_t v);
+  void push_u64(std::uint64_t v);
+
+  /// Overwrites bytes previously pushed at logical offset `at` (obtained
+  /// from mark()). The target must still be pending — patching flushed
+  /// bytes is a logic error.
+  void patch_u16(std::uint64_t at, std::uint16_t v);
+  void patch_u32(std::uint64_t at, std::uint32_t v);
+
+  /// Sends up to `limit` pending bytes (0 = all) to `fd` in one
+  /// sendmsg(MSG_NOSIGNAL), passing both physical segments as iovecs when
+  /// the pending range wraps. Returns the kernel's byte count (already
+  /// consumed from the ring) or -1 with errno set.
+  ssize_t flush(int fd, std::size_t limit = 0);
+
+  /// Drops everything pending (connection teardown).
+  void clear();
+
+  /// Copy of the pending bytes in logical order (tests, debugging).
+  std::vector<std::uint8_t> pending_bytes() const;
+
+ private:
+  void ensure(std::size_t extra);
+  std::size_t mask() const { return buf_.size() - 1; }
+
+  std::vector<std::uint8_t> buf_;  ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;           ///< physical index of first pending byte
+  std::size_t size_ = 0;           ///< pending byte count
+  std::uint64_t consumed_ = 0;     ///< logical offset of head_
+};
+
+}  // namespace webppm::net

@@ -245,16 +245,7 @@ QueryResult ModelServer::query_ex(const trace::Request& r,
   bool shed = false;
   {
     Shard& sh = shard_of(r.client);
-    if (ins_ != nullptr && !sh.mu.try_lock()) {
-      // Contended: measure the wait. The uncontended fast path records
-      // nothing — try_lock success costs the same as a plain lock.
-      const std::uint64_t w0 = obs::now_ns();
-      sh.mu.lock();
-      ins_->shard_lock_wait->record(obs::now_ns() - w0);
-      ins_->shard_lock_contended->add();
-    } else if (ins_ == nullptr) {
-      sh.mu.lock();
-    }
+    lock_shard(sh);
     std::lock_guard lock(sh.mu, std::adopt_lock);
     const auto view = sh.contexts.observe(r, &shed);
     ctx.assign(view.begin(), view.end());
@@ -286,6 +277,143 @@ QueryResult ModelServer::query_ex(const trace::Request& r,
   queries_.fetch_add(1, std::memory_order_relaxed);
   if (sample) ins_->query_latency->record(obs::now_ns() - q0);
   return result;
+}
+
+void ModelServer::query_batch(std::span<const trace::Request> reqs,
+                              BatchQueryScratch& scratch) {
+  constexpr std::uint32_t kSkip = 0xffffffffu;
+  const std::size_t n = reqs.size();
+  scratch.items.assign(n, BatchQueryItem{});
+  scratch.predictions.clear();
+
+  // Sampled batch latency: the cadence advances once per batch, and a
+  // sampled batch records its *mean per-query* latency so the histogram
+  // stays comparable with the per-query samples query_ex records.
+  const bool sample = ins_ != nullptr && sample_latency_now();
+  const std::uint64_t q0 = sample ? obs::now_ns() : 0;
+
+  // Pre-pass in request order: the skip-errors rule and the serve.query
+  // chaos hook fire in exactly the sequence a per-query loop would (fault
+  // plans like fail_nth count site evaluations, so evaluation order is the
+  // determinism contract); everything admitted is assigned its context
+  // shard.
+  auto& shard_index = scratch.shard_index;
+  auto& shard_count = scratch.shard_count;
+  shard_index.assign(n, kSkip);
+  shard_count.assign(shards_.size(), 0);
+  std::uint64_t fault_rejected = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (config_.session.skip_errors && reqs[i].status >= 400) continue;
+    if (WEBPPM_FAULT_INJECT("serve.query")) {
+      ++fault_rejected;
+      continue;
+    }
+    const auto s =
+        static_cast<std::uint32_t>(shard_index_of(reqs[i].client));
+    shard_index[i] = s;
+    ++shard_count[s];
+  }
+  if (fault_rejected != 0) {
+    fault_rejected_.fetch_add(fault_rejected, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->fault_rejected->add(fault_rejected);
+  }
+
+  // Stable counting sort by shard: `order` lists the admitted request
+  // indices grouped by shard with request order preserved inside each
+  // group. A client's clicks all hash to one shard, so its sessionizer
+  // observes them in exactly the sequence a sequential replay would.
+  auto& order = scratch.order;
+  auto& starts = scratch.shard_start;
+  starts.assign(shards_.size() + 1, 0);
+  std::uint32_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    starts[s] = total;
+    total += shard_count[s];
+  }
+  starts[shards_.size()] = total;
+  order.resize(total);
+  {
+    auto& cursor = shard_count;  // reuse as per-shard write cursors
+    for (std::size_t s = 0; s < shards_.size(); ++s) cursor[s] = starts[s];
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shard_index[i] != kSkip) {
+        order[cursor[shard_index[i]]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  }
+
+  // One lock per touched shard per batch: observe every click bound for
+  // the shard and copy the (<= window-length) contexts into the flat
+  // scratch under the lock, then predict lock-free.
+  auto& ctx_flat = scratch.ctx_flat;
+  auto& ctx_begin = scratch.ctx_begin;
+  auto& ctx_len = scratch.ctx_len;
+  ctx_flat.clear();
+  ctx_begin.assign(n, 0);
+  ctx_len.assign(n, 0);
+  std::uint64_t shed_total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (starts[s] == starts[s + 1]) continue;
+    Shard& sh = *shards_[s];
+    lock_shard(sh);
+    std::lock_guard lock(sh.mu, std::adopt_lock);
+    for (std::uint32_t k = starts[s]; k < starts[s + 1]; ++k) {
+      const std::uint32_t i = order[k];
+      bool shed = false;
+      const auto view = sh.contexts.observe(reqs[i], &shed);
+      ctx_begin[i] = static_cast<std::uint32_t>(ctx_flat.size());
+      ctx_len[i] = static_cast<std::uint32_t>(view.size());
+      ctx_flat.insert(ctx_flat.end(), view.begin(), view.end());
+      if (shed) {
+        scratch.items[i].result.shed = true;
+        ++shed_total;
+      }
+    }
+  }
+  if (shed_total != 0) {
+    shed_.fetch_add(shed_total, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->shed->add(shed_total);
+  }
+
+  // The snapshot pointer is loaded once — every sub-result in the batch
+  // answers from (and reports) the same model version.
+  const auto snap = snapshot();
+  scratch.snapshot_version = snap ? snap->version : 0;
+  if (!snap) return;
+
+  std::uint64_t predicted = 0;
+  std::uint64_t degraded = 0;
+  auto& preds_tmp = scratch.preds_tmp;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (shard_index[i] == kSkip) continue;
+    auto& item = scratch.items[i];
+    const ppm::Predictor* predictor =
+        (!item.result.shed && snap->model != nullptr) ? snap->model.get()
+                                                      : snap->fallback.get();
+    if (predictor == nullptr) continue;
+    const std::span<const UrlId> ctx(ctx_flat.data() + ctx_begin[i],
+                                     ctx_len[i]);
+    // Predictors clear their output vector, so predict into the tmp and
+    // append — the flat pool accumulates across the batch.
+    predictor->predict(ctx, preds_tmp);
+    item.first = static_cast<std::uint32_t>(scratch.predictions.size());
+    item.count = static_cast<std::uint32_t>(preds_tmp.size());
+    scratch.predictions.insert(scratch.predictions.end(), preds_tmp.begin(),
+                               preds_tmp.end());
+    item.result.predicted = true;
+    item.result.served = predictor == snap->model.get() ? ServedBy::kModel
+                                                        : ServedBy::kFallback;
+    if (item.result.served == ServedBy::kFallback) ++degraded;
+    ++predicted;
+  }
+  queries_.fetch_add(predicted, std::memory_order_relaxed);
+  if (degraded != 0) {
+    degraded_queries_.fetch_add(degraded, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->degraded_queries->add(degraded);
+  }
+  if (sample && predicted != 0) {
+    ins_->query_latency->record((obs::now_ns() - q0) / predicted);
+  }
 }
 
 std::size_t ModelServer::client_count() const {

@@ -38,6 +38,7 @@
 #include <istream>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -166,6 +167,44 @@ struct QueryResult {
   bool shed = false;             ///< client refused by the per-shard cap
 };
 
+/// Per-request outcome of a query_batch() call: the same QueryResult a
+/// query_ex() on that request would produce, plus the slice of
+/// BatchQueryScratch::predictions holding its prefetch candidates
+/// ([first, first + count); empty unless result.predicted).
+struct BatchQueryItem {
+  QueryResult result;
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+};
+
+/// Caller-owned scratch for query_batch(). Reuse one instance across
+/// batches (per connection / per worker thread) — every vector inside
+/// reaches a steady-state capacity after a few batches, so the batched hot
+/// path stops allocating entirely. Outputs: `items` (one per request, in
+/// request order), the flat `predictions` pool they slice, and the
+/// `snapshot_version` every sub-result was answered from.
+struct BatchQueryScratch {
+  std::vector<BatchQueryItem> items;
+  std::vector<ppm::Prediction> predictions;
+  std::uint64_t snapshot_version = 0;
+
+  /// Slice of `predictions` belonging to `items[i]`.
+  std::span<const ppm::Prediction> predictions_of(std::size_t i) const {
+    return std::span<const ppm::Prediction>(predictions)
+        .subspan(items[i].first, items[i].count);
+  }
+
+  // Internal grouping state (exposed only so the allocations are reused).
+  std::vector<std::uint32_t> shard_index;
+  std::vector<std::uint32_t> shard_count;
+  std::vector<std::uint32_t> shard_start;
+  std::vector<std::uint32_t> order;
+  std::vector<UrlId> ctx_flat;
+  std::vector<std::uint32_t> ctx_begin;
+  std::vector<std::uint32_t> ctx_len;
+  std::vector<ppm::Prediction> preds_tmp;
+};
+
 class ModelServer {
  public:
   explicit ModelServer(const ModelServerConfig& config = {});
@@ -201,6 +240,22 @@ class ModelServer {
   bool query(const trace::Request& r, std::vector<ppm::Prediction>& out) {
     return query_ex(r, out).predicted;
   }
+
+  /// Batched query_ex: feeds every request and fills `scratch` with one
+  /// item per request (request order preserved). Per-request semantics —
+  /// error skipping, the serve.query fault site, shed admission, fallback
+  /// selection, every counter — match a sequential query_ex() stream over
+  /// the same requests; the batch differs only in cost: requests are
+  /// grouped by context shard and each shard's lock is taken *once per
+  /// batch* (contexts copied out under it), the snapshot pointer is loaded
+  /// once, and predictions go into one flat caller-owned pool. Because the
+  /// client→shard map is a pure hash, one client's clicks stay in one
+  /// group in arrival order, so its sessionizer sees the exact sequence a
+  /// per-query loop would. Thread-safe against concurrent query_ex /
+  /// query_batch / publish; every sub-result reports the same
+  /// snapshot_version.
+  void query_batch(std::span<const trace::Request> reqs,
+                   BatchQueryScratch& scratch);
 
   /// Total query calls that produced a prediction pass (full or degraded).
   std::uint64_t query_count() const {
@@ -257,13 +312,32 @@ class ModelServer {
                    cfg.max_clients_per_shard) {}
   };
 
-  Shard& shard_of(ClientId client) {
+  std::size_t shard_index_of(ClientId client) const {
     // Multiplicative hash: trace ClientIds are small dense integers, so
     // modulo alone would put consecutive clients in consecutive shards —
     // fine — but hash anyway so adversarial id patterns cannot pile onto
     // one shard.
     const std::uint64_t h = (client + 1) * 0x9e3779b97f4a7c15ull;
-    return *shards_[(h >> 32) % shards_.size()];
+    return (h >> 32) % shards_.size();
+  }
+
+  Shard& shard_of(ClientId client) {
+    return *shards_[shard_index_of(client)];
+  }
+
+  /// Locks `sh.mu` (caller adopts), recording the wait when contended —
+  /// the shared slow path of query_ex and query_batch. The uncontended
+  /// fast path records nothing: try_lock success costs the same as a
+  /// plain lock.
+  void lock_shard(Shard& sh) {
+    if (ins_ != nullptr && !sh.mu.try_lock()) {
+      const std::uint64_t w0 = obs::now_ns();
+      sh.mu.lock();
+      ins_->shard_lock_wait->record(obs::now_ns() - w0);
+      ins_->shard_lock_contended->add();
+    } else if (ins_ == nullptr) {
+      sh.mu.lock();
+    }
   }
 
   /// The RCU slot: holds the current snapshot; load() copies the pointer

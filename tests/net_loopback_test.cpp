@@ -124,6 +124,20 @@ struct RawConn {
     if (!read_exact(body.data(), body.size())) return false;
     return decode_response(body, out).ok();
   }
+  /// Reads one framed v2 batch response; false on EOF/error/decode failure.
+  bool read_batch_response(std::vector<WireResponse>& out) {
+    std::uint8_t header[kFrameHeaderBytes];
+    if (!read_exact(header, sizeof header)) return false;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(header[0]) |
+        (static_cast<std::uint32_t>(header[1]) << 8) |
+        (static_cast<std::uint32_t>(header[2]) << 16) |
+        (static_cast<std::uint32_t>(header[3]) << 24);
+    if (len == 0 || len > kDefaultMaxBatchFrameBytes) return false;
+    std::vector<std::uint8_t> body(len);
+    if (!read_exact(body.data(), body.size())) return false;
+    return decode_batch_response(body, out).ok();
+  }
   /// True when the peer has closed (clean EOF).
   bool read_eof() {
     std::uint8_t b;
@@ -471,6 +485,203 @@ TEST(NetLoopback, MetricsEndpointMatchesReporterByteForByte) {
   // shared code path (serve::render_metrics_exposition), byte for byte.
   reporter.tick_now();
   EXPECT_EQ(scraped, reported);
+}
+
+TEST(NetLoopbackBatch, BatchAnswersMatchV1SingleFrameReplayByteForByte) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(7));
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  const auto reqs = small_stream();
+  const auto shards = LoadClient::shard(reqs, 2);
+
+  LoadClientConfig lc;
+  lc.port = server.port();
+  lc.connections = 2;
+  lc.record_responses = true;
+  lc.batch_size = 5;  // deliberately not a divisor: a short final batch
+  const auto res = LoadClient(lc).run_sharded(shards);
+  ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.responses, reqs.size());
+  EXPECT_TRUE(eventually([&] { return server.batches() >= 2; }));
+
+  // The contract batch clients rely on: exploding each batch frame into
+  // per-sub v1 frames reproduces byte-for-byte what a v1 single-frame
+  // replay of the same shard yields.
+  serve::ModelServer local;
+  local.publish(tiny_snapshot(7));
+  ASSERT_EQ(res.frames.size(), shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    std::vector<std::vector<std::uint8_t>> exploded;
+    for (const auto& frame : res.frames[s]) {
+      std::vector<WireResponse> subs;
+      ASSERT_TRUE(decode_batch_response(
+                      std::span<const std::uint8_t>(frame).subspan(
+                          kFrameHeaderBytes),
+                      subs)
+                      .ok());
+      for (const auto& sub : subs) {
+        std::vector<std::uint8_t> v1;
+        encode_response(sub, v1);
+        exploded.push_back(std::move(v1));
+      }
+    }
+    ASSERT_EQ(exploded.size(), shards[s].size());
+    for (std::size_t i = 0; i < shards[s].size(); ++i) {
+      std::vector<ppm::Prediction> preds;
+      const auto qr = local.query_ex(to_trace_request(shards[s][i]), preds);
+      std::vector<std::uint8_t> expected;
+      encode_response(make_wire_response(qr, shards[s][i], local.version(),
+                                         std::move(preds)),
+                      expected);
+      EXPECT_EQ(exploded[i], expected) << "shard " << s << " response " << i;
+    }
+  }
+}
+
+TEST(NetLoopbackBatch, MixedV1AndV2ClientsShareOneServer) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(4));
+  NetServerConfig cfg;
+  cfg.workers = 2;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  // Disjoint client-id ranges so the two replays never interleave inside
+  // one session context; concurrent threads so v1 and v2 frames really do
+  // share the server at the same time.
+  std::vector<trace::Request> v1_reqs, v2_reqs;
+  for (ClientId c = 0; c < 4; ++c) {
+    const TimeSec base = static_cast<TimeSec>(c) * 100;
+    v1_reqs.push_back(click(c, 1, base));
+    v1_reqs.push_back(click(c, 2, base + 1));
+    v2_reqs.push_back(click(c + 100, 1, base));
+    v2_reqs.push_back(click(c + 100, 2, base + 1));
+  }
+
+  LoadClientConfig single;
+  single.port = server.port();
+  single.connections = 2;
+  LoadClientConfig batched = single;
+  batched.batch_size = 3;
+
+  LoadClientResult r1, r2;
+  std::thread t1([&] { r1 = LoadClient(single).run(v1_reqs); });
+  std::thread t2([&] { r2 = LoadClient(batched).run(v2_reqs); });
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(r1.ok) << r1.error;
+  ASSERT_TRUE(r2.ok) << r2.error;
+  EXPECT_EQ(r1.status_counts[static_cast<std::size_t>(Status::kOk)],
+            v1_reqs.size());
+  EXPECT_EQ(r2.status_counts[static_cast<std::size_t>(Status::kOk)],
+            v2_reqs.size());
+  EXPECT_TRUE(eventually([&] {
+    return server.requests() == v1_reqs.size() + v2_reqs.size();
+  }));
+  EXPECT_EQ(server.protocol_errors(), 0u);
+  EXPECT_GE(server.batches(), 1u);
+}
+
+TEST(NetLoopbackBatch, OneConnectionMayInterleaveV1AndV2Frames) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(2));
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+
+  // v1 single, then a v2 batch, then v1 again — the version byte is per
+  // frame, so one connection mixes them freely.
+  std::vector<std::uint8_t> frame;
+  encode_request(LoadClient::to_wire(click(1, 1, 0)), frame);
+  ASSERT_TRUE(conn.send_all(frame));
+  WireResponse single;
+  ASSERT_TRUE(conn.read_response(single));
+  EXPECT_EQ(single.status, Status::kOk);
+
+  const std::vector<WireRequest> batch = {
+      LoadClient::to_wire(click(1, 2, 1)),
+      LoadClient::to_wire(click(1, 3, 2))};
+  frame.clear();
+  encode_batch_request(batch, frame);
+  ASSERT_TRUE(conn.send_all(frame));
+  std::vector<WireResponse> subs;
+  ASSERT_TRUE(conn.read_batch_response(subs));
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].status, Status::kOk);
+  EXPECT_EQ(subs[1].status, Status::kOk);
+
+  frame.clear();
+  encode_request(LoadClient::to_wire(click(1, 1, 3)), frame);
+  ASSERT_TRUE(conn.send_all(frame));
+  ASSERT_TRUE(conn.read_response(single));
+  EXPECT_EQ(single.status, Status::kOk);
+  EXPECT_EQ(server.protocol_errors(), 0u);
+}
+
+TEST(NetLoopbackBatch, BadSubEntryDegradesItsSlotOnly) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(3));
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+
+  std::vector<WireRequest> batch = {LoadClient::to_wire(click(1, 1, 0)),
+                                    LoadClient::to_wire(click(1, 2, 1)),
+                                    LoadClient::to_wire(click(1, 3, 2))};
+  batch[1].flags = 0x80;  // undefined flag bit
+  std::vector<std::uint8_t> frame;
+  encode_batch_request(batch, frame);
+  ASSERT_TRUE(conn.send_all(frame));
+
+  std::vector<WireResponse> subs;
+  ASSERT_TRUE(conn.read_batch_response(subs));
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0].status, Status::kOk);
+  EXPECT_EQ(subs[1].status, Status::kBadRequest);
+  EXPECT_EQ(subs[2].status, Status::kOk);
+  EXPECT_TRUE(eventually([&] { return server.batch_entry_errors() == 1; }));
+  EXPECT_EQ(server.protocol_errors(), 0u);
+
+  // The connection survives: one bad entry never kills the batch or the
+  // stream (a v1 frame with the same bytes would have closed it).
+  frame.clear();
+  encode_request(LoadClient::to_wire(click(1, 4, 3)), frame);
+  ASSERT_TRUE(conn.send_all(frame));
+  WireResponse resp;
+  ASSERT_TRUE(conn.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kOk);
+}
+
+TEST(NetLoopbackBatch, MalformedBatchFrameGetsBadRequestThenClose) {
+  serve::ModelServer model;
+  model.publish(tiny_snapshot(3));
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  RawConn conn;
+  ASSERT_TRUE(conn.connect_to(server.port()));
+
+  // A batch frame whose count contradicts its body length: unparseable, so
+  // the v1 error contract applies — one kBadRequest, then close.
+  const std::vector<WireRequest> batch = {LoadClient::to_wire(click(1, 1, 0)),
+                                          LoadClient::to_wire(click(1, 2, 1))};
+  std::vector<std::uint8_t> frame;
+  encode_batch_request(batch, frame);
+  frame[kFrameHeaderBytes + 2] = 3;  // claim 3 entries, carry 2
+  ASSERT_TRUE(conn.send_all(frame));
+
+  WireResponse resp;
+  ASSERT_TRUE(conn.read_response(resp));
+  EXPECT_EQ(resp.status, Status::kBadRequest);
+  EXPECT_TRUE(conn.read_eof());
+  EXPECT_TRUE(eventually([&] { return server.protocol_errors() >= 1; }));
 }
 
 TEST(NetLoopback, ShutdownDrainsPendingResponses) {

@@ -6,6 +6,10 @@
 // anything proportional to the claim is allocated.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdint>
 #include <random>
 #include <span>
@@ -182,7 +186,9 @@ TEST(NetFrameParser, TwoFramesBackToBackParseInOrder) {
 // --- Fuzz: never crash, always a structured verdict ---------------------
 
 /// Every decode must terminate in one of three clean states; the assertion
-/// is "no crash, no over-read (ASan), and failures carry a reason".
+/// is "no crash, no over-read (ASan), and failures carry a reason". All
+/// four decoders (v1 request/response, v2 batch request/response) chew on
+/// every input.
 void check_clean(std::span<const std::uint8_t> body) {
   WireRequest req;
   const auto rerr = decode_request(body, req);
@@ -194,13 +200,52 @@ void check_clean(std::span<const std::uint8_t> body) {
   if (!perr.ok()) {
     EXPECT_FALSE(perr.reason.empty());
   }
+  std::vector<WireRequest> breqs;
+  const auto berr = decode_batch_request(body, breqs);
+  if (!berr.ok()) {
+    EXPECT_FALSE(berr.reason.empty());
+  }
+  std::vector<WireResponse> bresps;
+  const auto qerr = decode_batch_response(body, bresps);
+  if (!qerr.ok()) {
+    EXPECT_FALSE(qerr.reason.empty());
+  }
+}
+
+/// One framed v2 batch response built through the production writer.
+std::vector<std::uint8_t> encode_batch_response_frame(
+    std::span<const WireResponse> subs) {
+  WriteRing ring;
+  BatchResponseWriter writer(ring);
+  writer.begin();
+  for (const auto& sub : subs) {
+    writer.add(sub.status, sub.snapshot_version, sub.predictions);
+  }
+  writer.finish();
+  return ring.pending_bytes();
+}
+
+std::vector<WireResponse> sample_batch_responses() {
+  WireResponse a = sample_response();
+  WireResponse b;
+  b.status = Status::kNoModel;
+  b.snapshot_version = 0;
+  WireResponse c;
+  c.status = Status::kOk;
+  c.snapshot_version = 42;
+  c.predictions = {{3, 1.0F}};
+  return {a, b, c};
 }
 
 TEST(NetWireFuzz, SingleBitFlipsNeverCrash) {
-  std::vector<std::uint8_t> req_frame, resp_frame;
+  std::vector<std::uint8_t> req_frame, resp_frame, breq_frame;
   encode_request(sample_request(), req_frame);
   encode_response(sample_response(), resp_frame);
-  for (const auto* frame : {&req_frame, &resp_frame}) {
+  const std::vector<WireRequest> breqs = {sample_request(), sample_request()};
+  encode_batch_request(breqs, breq_frame);
+  auto bresp_frame = encode_batch_response_frame(sample_batch_responses());
+  for (const auto* frame : {&req_frame, &resp_frame, &breq_frame,
+                            &bresp_frame}) {
     for (std::size_t byte = 0; byte < frame->size(); ++byte) {
       for (int bit = 0; bit < 8; ++bit) {
         std::vector<std::uint8_t> mutated = *frame;
@@ -271,6 +316,307 @@ TEST(NetWireFuzz, MutatedRealFramesThroughParserNeverCrash) {
     const auto f = parser.next(mutated);
     if (f.result == FrameParser::Result::kFrame) check_clean(f.body);
   }
+}
+
+// --- v2 batch frames -----------------------------------------------------
+
+TEST(NetWireBatch, BatchRequestRoundTrips) {
+  std::vector<WireRequest> reqs = {sample_request(), sample_request(),
+                                   sample_request()};
+  reqs[1].flags = 0;
+  reqs[1].client = 7;
+  reqs[2].url = 99;
+  std::vector<std::uint8_t> frame;
+  EXPECT_EQ(encode_batch_request(reqs, frame), 0u);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + kBatchPrefixBytes +
+                              reqs.size() * kBatchRequestEntryBytes);
+
+  std::vector<WireRequest> out;
+  ASSERT_TRUE(decode_batch_request(body_of(frame), out).ok());
+  EXPECT_EQ(out, reqs);
+}
+
+TEST(NetWireBatch, BatchResponseRoundTripsThroughWriter) {
+  const auto subs = sample_batch_responses();
+  const auto frame = encode_batch_response_frame(subs);
+
+  const FrameParser parser;
+  const auto f = parser.next(frame);
+  ASSERT_EQ(f.result, FrameParser::Result::kFrame)
+      << "writer-patched frame length must satisfy the parser";
+  EXPECT_EQ(f.consumed, frame.size());
+  EXPECT_EQ(frame_version(f.body), kWireVersionBatch);
+
+  std::vector<WireResponse> out;
+  ASSERT_TRUE(decode_batch_response(f.body, out).ok());
+  EXPECT_EQ(out, subs);
+}
+
+TEST(NetWireBatch, SubResponseBytesMatchV1Encoding) {
+  // The byte-identity contract: a v2 sub-response is the v1 response body
+  // minus its version byte, so re-encoding a decoded sub as a v1 frame
+  // reproduces exactly what a v1 replay of the same query yields.
+  const auto subs = sample_batch_responses();
+  const auto frame = encode_batch_response_frame(subs);
+  std::vector<WireResponse> decoded;
+  ASSERT_TRUE(decode_batch_response(body_of(frame), decoded).ok());
+  ASSERT_EQ(decoded.size(), subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    std::vector<std::uint8_t> expect, got;
+    encode_response(subs[i], expect);
+    encode_response(decoded[i], got);
+    EXPECT_EQ(got, expect) << "sub-response " << i;
+  }
+}
+
+TEST(NetWireBatch, EmptyBatchAndBadPrefixAreRejected) {
+  std::vector<WireRequest> reqs = {sample_request()};
+  std::vector<std::uint8_t> frame;
+  encode_batch_request(reqs, frame);
+
+  {
+    auto zeroed = frame;  // count = 0
+    zeroed[kFrameHeaderBytes + 2] = 0;
+    zeroed[kFrameHeaderBytes + 3] = 0;
+    std::vector<WireRequest> out;
+    const auto err = decode_batch_request(body_of(zeroed), out);
+    ASSERT_FALSE(err.ok());
+    EXPECT_NE(err.reason.find("count 0"), std::string::npos) << err.reason;
+  }
+  {
+    auto reserved = frame;  // reserved byte must be zero
+    reserved[kFrameHeaderBytes + 1] = 1;
+    std::vector<WireRequest> out;
+    const auto err = decode_batch_request(body_of(reserved), out);
+    ASSERT_FALSE(err.ok());
+    EXPECT_NE(err.reason.find("reserved"), std::string::npos) << err.reason;
+  }
+  {
+    auto wrong_version = frame;
+    wrong_version[kFrameHeaderBytes] = 3;
+    std::vector<WireRequest> out;
+    EXPECT_FALSE(decode_batch_request(body_of(wrong_version), out).ok());
+  }
+}
+
+TEST(NetWireBatch, HostileBatchCountNeverSizesAnAllocation) {
+  std::vector<WireRequest> reqs = {sample_request()};
+  std::vector<std::uint8_t> frame;
+  encode_batch_request(reqs, frame);
+  // Inflate the outer count to 0xffff while the body holds one entry: the
+  // decoder must reject from the length check before any resize.
+  frame[kFrameHeaderBytes + 2] = 0xff;
+  frame[kFrameHeaderBytes + 3] = 0xff;
+  std::vector<WireRequest> out;
+  const auto err = decode_batch_request(body_of(frame), out);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(out.capacity(), 0u) << "decoder allocated from a hostile count";
+
+  // Same for the response side: a tiny body claiming 0xffff sub-responses.
+  std::vector<std::uint8_t> body = {kWireVersionBatch, 0, 0xff, 0xff};
+  std::vector<WireResponse> rout;
+  const auto rerr = decode_batch_response(body, rout);
+  ASSERT_FALSE(rerr.ok());
+  EXPECT_EQ(rout.capacity(), 0u) << "decoder allocated from a hostile count";
+}
+
+TEST(NetWireBatch, HostileSubResponseCountIsRejected) {
+  // One sub-response claiming 0xffff predictions with no bytes behind it.
+  auto frame = encode_batch_response_frame(sample_batch_responses());
+  // First sub-entry's prediction count lives right after the batch prefix.
+  frame[kFrameHeaderBytes + kBatchPrefixBytes + 1] = 0xff;
+  frame[kFrameHeaderBytes + kBatchPrefixBytes + 2] = 0xff;
+  std::vector<WireResponse> out;
+  const auto err = decode_batch_response(body_of(frame), out);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.reason.find("sub-response"), std::string::npos) << err.reason;
+}
+
+TEST(NetWireBatch, TrailingGarbageAfterLastSubIsRejected) {
+  auto frame = encode_batch_response_frame(sample_batch_responses());
+  frame.push_back(0xee);  // one byte past the last sub-response
+  // Patch the header length so the parser hands the decoder the longer body.
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(frame.size() - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(body_len >> (8 * i));
+  }
+  std::vector<WireResponse> out;
+  const auto err = decode_batch_response(body_of(frame), out);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.reason.find("trailing"), std::string::npos) << err.reason;
+}
+
+TEST(NetWireBatch, TruncationsAtEveryBoundaryNeverCrash) {
+  std::vector<std::uint8_t> req_frame;
+  const std::vector<WireRequest> two = {sample_request(), sample_request()};
+  encode_batch_request(two, req_frame);
+  auto resp_frame = encode_batch_response_frame(sample_batch_responses());
+  const FrameParser parser;
+  for (auto* frame : {&req_frame, &resp_frame}) {
+    for (std::size_t cut = 0; cut < frame->size(); ++cut) {
+      const auto f =
+          parser.next(std::span<const std::uint8_t>(frame->data(), cut));
+      EXPECT_EQ(f.result, FrameParser::Result::kNeedMore) << "cut " << cut;
+    }
+    for (std::size_t cut = 0; cut + kFrameHeaderBytes <= frame->size();
+         ++cut) {
+      check_clean(std::span<const std::uint8_t>(*frame).subspan(
+          kFrameHeaderBytes, cut));
+    }
+  }
+}
+
+TEST(NetWireBatch, MutatedBatchFramesNeverCrash) {
+  std::mt19937 rng(777);
+  std::uniform_int_distribution<int> byte(0, 255);
+  auto base = encode_batch_response_frame(sample_batch_responses());
+  std::uniform_int_distribution<std::size_t> pos(0, base.size() - 1);
+  const FrameParser parser;
+  for (int round = 0; round < 20'000; ++round) {
+    auto mutated = base;
+    const int edits = 1 + (round % 4);
+    for (int e = 0; e < edits; ++e) {
+      mutated[pos(rng)] = static_cast<std::uint8_t>(byte(rng));
+    }
+    const auto f = parser.next(mutated);
+    if (f.result == FrameParser::Result::kFrame) check_clean(f.body);
+    if (f.result == FrameParser::Result::kBad) {
+      EXPECT_FALSE(f.reason.empty());
+    }
+  }
+}
+
+// --- u16 truncation guard ------------------------------------------------
+
+TEST(NetWireTruncation, OversizedPredictionListTruncatesDeterministically) {
+  WireResponse resp;
+  resp.status = Status::kOk;
+  resp.snapshot_version = 9;
+  resp.predictions.resize(70'000);
+  for (std::size_t i = 0; i < resp.predictions.size(); ++i) {
+    resp.predictions[i] = {static_cast<UrlId>(i), 1.0F};
+  }
+  std::vector<std::uint8_t> frame;
+  const std::size_t dropped = encode_response(resp, frame);
+  EXPECT_EQ(dropped, 70'000u - 65'535u);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + kResponsePrefixBytes +
+                              65'535u * 8u);
+
+  WireResponse out;
+  ASSERT_TRUE(decode_response(body_of(frame), out).ok());
+  ASSERT_EQ(out.predictions.size(), 65'535u);
+  // The kept prefix is the first 65535 — deterministic, best-first when the
+  // list is sorted (which the serving layer guarantees).
+  EXPECT_EQ(out.predictions.front().url, 0u);
+  EXPECT_EQ(out.predictions.back().url, 65'534u);
+
+  // Same clamp through the batch writer.
+  WriteRing ring;
+  BatchResponseWriter writer(ring);
+  writer.begin();
+  writer.add(resp.status, resp.snapshot_version, resp.predictions);
+  EXPECT_EQ(writer.finish(), 70'000u - 65'535u);
+}
+
+// --- WriteRing -----------------------------------------------------------
+
+TEST(WriteRing, PushPatchAndPendingBytes) {
+  WriteRing ring;
+  EXPECT_TRUE(ring.empty());
+  const std::uint64_t len_at = ring.mark();
+  ring.push_u32(0);
+  ring.push_u8(0xab);
+  ring.push_u16(0x1234);
+  ring.push_u64(0x1122334455667788ull);
+  ring.patch_u32(len_at, 0xdeadbeef);
+  const auto bytes = ring.pending_bytes();
+  ASSERT_EQ(bytes.size(), 15u);
+  EXPECT_EQ(bytes[0], 0xef);
+  EXPECT_EQ(bytes[3], 0xde);
+  EXPECT_EQ(bytes[4], 0xab);
+  EXPECT_EQ(bytes[5], 0x34);
+  EXPECT_EQ(bytes[6], 0x12);
+  EXPECT_EQ(bytes[7], 0x88);
+  EXPECT_EQ(bytes[14], 0x11);
+}
+
+TEST(WriteRing, WrapAroundKeepsLogicalOrderAndPatchesStayValid) {
+  WriteRing ring;
+  // Fill past the initial capacity, drain most of it through a socketpair,
+  // then push again so the pending range wraps the physical end.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::vector<std::uint8_t> expect;
+  auto push_pattern = [&](std::size_t n, std::uint8_t seed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto b = static_cast<std::uint8_t>(seed + i);
+      ring.push_u8(b);
+      expect.push_back(b);
+    }
+  };
+  push_pattern(4000, 1);
+  // Drain 3900 bytes: head_ advances deep into the buffer.
+  std::size_t drained = 0;
+  while (drained < 3900) {
+    const ssize_t n = ring.flush(sv[0], 3900 - drained);
+    ASSERT_GT(n, 0);
+    drained += static_cast<std::size_t>(n);
+  }
+  expect.erase(expect.begin(),
+               expect.begin() + static_cast<std::ptrdiff_t>(drained));
+  // Refill: the tail wraps around the physical end of the 4096 buffer.
+  const std::uint64_t mark = ring.mark();
+  push_pattern(600, 99);
+  EXPECT_EQ(ring.pending_bytes(), expect);
+  // Patch across the wrap boundary region and verify via logical copy.
+  ring.patch_u16(mark, 0xbeef);
+  auto after = ring.pending_bytes();
+  EXPECT_EQ(after[expect.size() - 600], 0xef);
+  EXPECT_EQ(after[expect.size() - 599], 0xbe);
+
+  // flush() of a wrapped range hands both segments to one sendmsg.
+  while (!ring.empty()) {
+    const ssize_t n = ring.flush(sv[0]);
+    ASSERT_GT(n, 0);
+  }
+  // Read everything back and compare with the logical byte order.
+  std::vector<std::uint8_t> got(drained + after.size());
+  std::size_t read_done = 0;
+  while (read_done < got.size()) {
+    const ssize_t n =
+        ::read(sv[1], got.data() + read_done, got.size() - read_done);
+    ASSERT_GT(n, 0);
+    read_done += static_cast<std::size_t>(n);
+  }
+  ::close(sv[0]);
+  ::close(sv[1]);
+  EXPECT_TRUE(std::equal(after.begin(), after.end(),
+                         got.begin() + static_cast<std::ptrdiff_t>(drained)));
+}
+
+TEST(WriteRing, GrowWhileWrappedLinearizesWithoutLoss) {
+  WriteRing ring;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::vector<std::uint8_t> expect;
+  for (std::size_t i = 0; i < 4096; ++i) {
+    ring.push_u8(static_cast<std::uint8_t>(i));
+  }
+  ASSERT_GT(ring.flush(sv[0], 4000), 0);
+  for (std::size_t i = 4000; i < 4096; ++i) {
+    expect.push_back(static_cast<std::uint8_t>(i));
+  }
+  // Wrap the tail, then push enough to force a grow mid-wrap.
+  for (std::size_t i = 0; i < 8000; ++i) {
+    const auto b = static_cast<std::uint8_t>(i * 7);
+    ring.push_u8(b);
+    expect.push_back(b);
+  }
+  EXPECT_EQ(ring.pending_bytes(), expect);
+  ::close(sv[0]);
+  ::close(sv[1]);
 }
 
 }  // namespace

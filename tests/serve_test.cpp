@@ -490,6 +490,117 @@ TEST(ModelServerDegraded, QueryFaultRejectsAndCounts) {
 #endif
 }
 
+/// The batch path's contract is sequential equivalence: the same stream
+/// through query_batch must produce the same per-request answers and the
+/// same counters as one query_ex per request on a twin server — including
+/// shed decisions and skipped error requests.
+TEST(ModelServerBatch, BatchMatchesSequentialQueryEx) {
+  ModelServerConfig cfg;
+  cfg.shards = 2;
+  cfg.max_clients_per_shard = 2;  // some clients will land on a full shard
+  ModelServer seq(cfg), bat(cfg);
+  seq.publish(snapshot_with_fallback(3));
+  bat.publish(snapshot_with_fallback(3));
+
+  std::vector<trace::Request> reqs;
+  for (int round = 0; round < 3; ++round) {
+    for (ClientId c = 1; c <= 8; ++c) {
+      reqs.push_back(click(c, static_cast<UrlId>(1 + round),
+                           static_cast<TimeSec>(round) * 100 + c));
+    }
+  }
+  // An error request mid-stream: skipped, and its client's context must
+  // not advance in either path.
+  reqs[5] = click(3, 2, 42, /*status=*/500);
+
+  std::vector<QueryResult> want_r;
+  std::vector<std::vector<ppm::Prediction>> want_p;
+  std::vector<ppm::Prediction> out;
+  for (const auto& r : reqs) {
+    want_r.push_back(seq.query_ex(r, out));
+    want_p.push_back(out);
+  }
+
+  BatchQueryScratch scratch;
+  bat.query_batch(reqs, scratch);
+  ASSERT_EQ(scratch.items.size(), reqs.size());
+  EXPECT_EQ(scratch.snapshot_version, 3u);
+  bool saw_shed = false;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const auto& item = scratch.items[i];
+    EXPECT_EQ(item.result.predicted, want_r[i].predicted) << "request " << i;
+    EXPECT_EQ(item.result.served, want_r[i].served) << "request " << i;
+    EXPECT_EQ(item.result.shed, want_r[i].shed) << "request " << i;
+    saw_shed = saw_shed || item.result.shed;
+    const auto got = scratch.predictions_of(i);
+    ASSERT_EQ(got.size(), want_p[i].size()) << "request " << i;
+    for (std::size_t j = 0; j < got.size(); ++j) {
+      EXPECT_EQ(got[j], want_p[i][j]) << "request " << i << " pred " << j;
+    }
+  }
+  EXPECT_TRUE(saw_shed);  // the workload must actually exercise shedding
+
+  EXPECT_EQ(bat.query_count(), seq.query_count());
+  EXPECT_EQ(bat.shed_count(), seq.shed_count());
+  EXPECT_EQ(bat.degraded_query_count(), seq.degraded_query_count());
+  EXPECT_EQ(bat.fault_rejected_count(), seq.fault_rejected_count());
+  EXPECT_EQ(bat.client_count(), seq.client_count());
+}
+
+TEST(ModelServerBatch, NoSnapshotAnswersNothingButKeepsContexts) {
+  ModelServer server;
+  const std::vector<trace::Request> reqs{click(1, 1, 0), click(2, 5, 1)};
+  BatchQueryScratch scratch;
+  server.query_batch(reqs, scratch);
+  ASSERT_EQ(scratch.items.size(), 2u);
+  EXPECT_EQ(scratch.snapshot_version, 0u);
+  for (std::size_t i = 0; i < scratch.items.size(); ++i) {
+    EXPECT_FALSE(scratch.items[i].result.predicted);
+    EXPECT_TRUE(scratch.predictions_of(i).empty());
+  }
+  // The observes still happened: contexts exist before the first publish,
+  // exactly as with sequential query_ex.
+  EXPECT_EQ(server.client_count(), 2u);
+}
+
+TEST(ModelServerBatch, FaultHitsLandOnTheSameRequestsAsSequential) {
+#ifdef WEBPPM_FAULT_DISABLED
+  GTEST_SKIP() << "fault layer compiled out";
+#else
+  ModelServer seq, bat;
+  seq.publish(tiny_snapshot(1));
+  bat.publish(tiny_snapshot(1));
+
+  // Request 1 is an error: it must be skipped *before* the fault site is
+  // consulted, so the fault hit counter advances on the same requests in
+  // both paths.
+  std::vector<trace::Request> reqs{click(0, 1, 0), click(0, 2, 1, 500),
+                                   click(0, 2, 2), click(0, 3, 3),
+                                   click(0, 1, 4)};
+
+  fault::arm(fault::Plan{}.fail_nth("serve.query", 1, 1));
+  std::vector<QueryResult> want_r;
+  std::vector<ppm::Prediction> out;
+  for (const auto& r : reqs) want_r.push_back(seq.query_ex(r, out));
+  fault::disarm();
+
+  fault::arm(fault::Plan{}.fail_nth("serve.query", 1, 1));
+  BatchQueryScratch scratch;
+  bat.query_batch(reqs, scratch);
+  fault::disarm();
+
+  ASSERT_EQ(scratch.items.size(), reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(scratch.items[i].result.predicted, want_r[i].predicted)
+        << "request " << i;
+    EXPECT_EQ(scratch.items[i].result.served, want_r[i].served)
+        << "request " << i;
+  }
+  EXPECT_EQ(bat.fault_rejected_count(), seq.fault_rejected_count());
+  EXPECT_EQ(bat.query_count(), seq.query_count());
+#endif
+}
+
 TEST(MetricsReporter, UnwritablePathCountsFailuresAndNeverTearsFile) {
   namespace fs = std::filesystem;
   obs::MetricsRegistry registry;
