@@ -1,0 +1,460 @@
+// Determinism gate for the prediction-outcome scoreboard (DESIGN.md §13).
+//
+// Contract under test: the scoreboard's outcome *counts* for a replayed
+// trace are a pure function of the request stream and the prediction lists
+// the server issued — independent of batching, of client-disjoint
+// threading, and of idle-sweep timing. The oracle here is a deliberately
+// independent single-threaded reimplementation of the ring-scoring rules
+// (observe: expiry first, then URL match; record: top-k, URL supersede,
+// oldest-out capacity eviction; settle: expired or unresolved) fed the
+// exact (client, url, timestamp, predictions, version) tuples the live
+// server produced. Every gate replays the nasa-like day 8 on a fresh armed
+// server, settles at the last trace timestamp, and requires the live
+// Scoreboard totals to equal the oracle's field for field.
+//
+// Gates (any failure exits nonzero):
+//   * sequential  — query_ex replay, snapshot version bumped mid-stream so
+//     the per-version slot table is exercised;
+//   * batch       — the same stream through query_batch in fixed chunks
+//     (same mid-stream version bump, on a chunk boundary);
+//   * threaded    — 2 client-disjoint closed-loop threads, single version
+//     (a mid-replay publish would race the capture);
+//   * sweep-timed — sequential again with evict_idle() fired every few
+//     thousand requests: sweep cadence must not move a single count.
+//
+// Artifacts: BENCH_scoreboard.json (gate booleans + headline counts) and
+// BENCH_scoreboard_golden.json (the sequential run's /scoreboard JSON).
+//
+// --quick (or WEBPPM_BENCH_QUICK=1) truncates the eval stream for CI.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "serve/model_server.hpp"
+
+namespace {
+
+using namespace webppm;
+
+std::shared_ptr<const serve::Snapshot> borrow(const serve::Snapshot& snap) {
+  return {&snap, [](const serve::Snapshot*) {}};  // bench-scoped, never freed
+}
+
+/// One scored request as the live server answered it — the oracle's whole
+/// world. Only admitted requests (past skip-errors) appear.
+struct Observed {
+  ClientId client = 0;
+  UrlId url = 0;
+  TimeSec timestamp = 0;
+  bool predicted = false;
+  bool fallback = false;
+  std::uint64_t version = 0;
+  std::vector<ppm::Prediction> preds;
+};
+
+/// Independent reimplementation of the scoring rules over a capture.
+/// Processes events in capture order; counts only depend on each client's
+/// subsequence, so any capture that preserves per-client order (sequential,
+/// batched, concatenated per-thread shards) yields the same totals.
+serve::ScoreboardTotals run_oracle(std::span<const Observed> events,
+                                   const serve::ScoreboardOptions& opt,
+                                   const popularity::PopularityTable& pop,
+                                   TimeSec settle_now) {
+  struct Entry {
+    UrlId url = 0;
+    TimeSec issued = 0;
+    std::uint64_t version = 0;
+    std::uint8_t grade = 0;
+    bool fallback = false;
+  };
+  serve::ScoreboardTotals t;
+  std::map<std::uint64_t, serve::ScoreboardVersionRow> versions;
+  std::map<ClientId, std::vector<Entry>> rings;
+
+  const auto expired = [&](const Entry& e, TimeSec now) {
+    return now > e.issued + opt.window_sec;
+  };
+  const auto cls = [&](const Entry& e) -> serve::ScoreboardCounts& {
+    return e.fallback ? t.fallback : t.model;
+  };
+  const auto row = [&](std::uint64_t v) -> serve::ScoreboardVersionRow& {
+    auto& r = versions[v];
+    r.version = v;
+    return r;
+  };
+  const auto hit = [&](const Entry& e) {
+    cls(e).hits += 1;
+    if (!e.fallback) {
+      t.grade_hits[e.grade] += 1;
+      row(e.version).hits += 1;
+    }
+  };
+  const auto miss = [&](const Entry& e, bool exp) {
+    (exp ? cls(e).expired : cls(e).evicted) += 1;
+    if (!e.fallback) row(e.version).misses += 1;
+  };
+
+  for (const auto& ev : events) {
+    // observe: expiry wins over a late URL match.
+    t.requests += 1;
+    if (auto it = rings.find(ev.client); it != rings.end()) {
+      auto& entries = it->second;
+      for (std::size_t i = 0; i < entries.size();) {
+        if (expired(entries[i], ev.timestamp)) {
+          miss(entries[i], true);
+          entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (entries[i].url == ev.url) {
+          hit(entries[i]);
+          entries.erase(entries.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    // record: top-k, supersede on URL, oldest out when full.
+    if (!ev.predicted || ev.preds.empty()) continue;
+    auto& entries = rings[ev.client];
+    const std::size_t k = std::min(ev.preds.size(), opt.track_top_k);
+    for (std::size_t p = 0; p < k; ++p) {
+      Entry e;
+      e.url = ev.preds[p].url;
+      e.issued = ev.timestamp;
+      e.version = ev.version;
+      e.grade = static_cast<std::uint8_t>(pop.grade(e.url));
+      e.fallback = ev.fallback;
+      cls(e).issued += 1;
+      if (!e.fallback) {
+        t.grade_issued[e.grade] += 1;
+        row(e.version).issued += 1;
+      }
+      bool replaced = false;
+      for (auto& old : entries) {
+        if (old.url == e.url) {
+          cls(old).superseded += 1;
+          if (!old.fallback) row(old.version).superseded += 1;
+          old = e;
+          replaced = true;
+          break;
+        }
+      }
+      if (replaced) continue;
+      if (entries.size() >= opt.ring_capacity) {
+        miss(entries.front(), expired(entries.front(), ev.timestamp));
+        entries.erase(entries.begin());
+      }
+      entries.push_back(e);
+    }
+  }
+
+  for (const auto& [client, entries] : rings) {
+    for (const auto& e : entries) {
+      if (expired(e, settle_now)) {
+        miss(e, true);
+      } else {
+        cls(e).unresolved += 1;
+      }
+    }
+  }
+  for (const auto& [v, r] : versions) t.versions.push_back(r);
+  return t;
+}
+
+/// Field-for-field comparison; returns the number of differing fields and
+/// prints each one (a failing gate should say *what* moved).
+std::size_t diff_totals(const serve::ScoreboardTotals& live,
+                        const serve::ScoreboardTotals& want,
+                        const char* label) {
+  std::size_t diffs = 0;
+  const auto check = [&](const char* name, std::uint64_t a, std::uint64_t b) {
+    if (a != b) {
+      ++diffs;
+      std::fprintf(stderr, "  [%s] %s: live %llu != oracle %llu\n", label,
+                   name, static_cast<unsigned long long>(a),
+                   static_cast<unsigned long long>(b));
+    }
+  };
+  check("requests", live.requests, want.requests);
+  check("untracked", live.untracked, want.untracked);
+  const auto check_class = [&](const char* prefix,
+                               const serve::ScoreboardCounts& a,
+                               const serve::ScoreboardCounts& b) {
+    char name[64];
+    const auto field = [&](const char* f, std::uint64_t x, std::uint64_t y) {
+      std::snprintf(name, sizeof name, "%s.%s", prefix, f);
+      check(name, x, y);
+    };
+    field("issued", a.issued, b.issued);
+    field("hits", a.hits, b.hits);
+    field("expired", a.expired, b.expired);
+    field("evicted", a.evicted, b.evicted);
+    field("superseded", a.superseded, b.superseded);
+    field("unresolved", a.unresolved, b.unresolved);
+  };
+  check_class("model", live.model, want.model);
+  check_class("fallback", live.fallback, want.fallback);
+  for (std::size_t g = 0; g < popularity::kGradeCount; ++g) {
+    char name[32];
+    std::snprintf(name, sizeof name, "grade%zu.issued", g);
+    check(name, live.grade_issued[g], want.grade_issued[g]);
+    std::snprintf(name, sizeof name, "grade%zu.hits", g);
+    check(name, live.grade_hits[g], want.grade_hits[g]);
+  }
+  check("version_rows", live.versions.size(), want.versions.size());
+  for (std::size_t i = 0;
+       i < std::min(live.versions.size(), want.versions.size()); ++i) {
+    const auto& a = live.versions[i];
+    const auto& b = want.versions[i];
+    char name[48];
+    std::snprintf(name, sizeof name, "version[%llu].id",
+                  static_cast<unsigned long long>(b.version));
+    check(name, a.version, b.version);
+    std::snprintf(name, sizeof name, "version[%llu].issued",
+                  static_cast<unsigned long long>(b.version));
+    check(name, a.issued, b.issued);
+    std::snprintf(name, sizeof name, "version[%llu].hits",
+                  static_cast<unsigned long long>(b.version));
+    check(name, a.hits, b.hits);
+    std::snprintf(name, sizeof name, "version[%llu].misses",
+                  static_cast<unsigned long long>(b.version));
+    check(name, a.misses, b.misses);
+    std::snprintf(name, sizeof name, "version[%llu].superseded",
+                  static_cast<unsigned long long>(b.version));
+    check(name, a.superseded, b.superseded);
+  }
+  return diffs;
+}
+
+serve::ModelServerConfig armed_config() {
+  serve::ModelServerConfig cfg;
+  cfg.scoreboard.enabled = true;
+  return cfg;
+}
+
+TimeSec last_timestamp(std::span<const trace::Request> eval) {
+  TimeSec last = 0;
+  for (const auto& r : eval) last = std::max(last, r.timestamp);
+  return last;
+}
+
+void capture_query(serve::ModelServer& server, const trace::Request& r,
+                   std::vector<ppm::Prediction>& out,
+                   std::vector<Observed>& capture) {
+  if (r.status >= 400) return;  // skip-errors: never reaches the scoreboard
+  const auto qr = server.query_ex(r, out);
+  Observed ev;
+  ev.client = r.client;
+  ev.url = r.url;
+  ev.timestamp = r.timestamp;
+  ev.predicted = qr.predicted;
+  ev.fallback = qr.served == serve::ServedBy::kFallback;
+  ev.version = server.version();
+  ev.preds = out;
+  capture.push_back(std::move(ev));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace webppm::bench;
+  bool quick = std::getenv("WEBPPM_BENCH_QUICK") != nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const auto& trace = nasa_trace();
+  print_header("=== scoreboard_check: live outcome counts vs offline "
+               "oracle (nasa-like day 8) ===",
+               trace);
+
+  constexpr std::uint32_t kTrainDays = 7;
+  const auto spec = core::ModelSpec::pb_model();
+  // Two identically trained snapshots so a mid-stream publish exercises the
+  // per-version slot table without changing a single prediction.
+  auto t1 = core::train_model(spec, trace, 0, kTrainDays - 1);
+  auto t2 = core::train_model(spec, trace, 0, kTrainDays - 1);
+  auto snap_v1 = serve::make_snapshot(std::move(t1.predictor),
+                                      std::move(t1.popularity), 1);
+  auto snap_v2 = serve::make_snapshot(std::move(t2.predictor),
+                                      std::move(t2.popularity), 2);
+
+  auto eval = trace.day_slice(kTrainDays);
+  if (quick && eval.size() > 25'000) eval = eval.subspan(0, 25'000);
+  const TimeSec settle_now = last_timestamp(eval);
+  const std::size_t flip_at = eval.size() / 2;
+  std::printf("model: %s; eval stream: %zu requests%s\n\n",
+              snap_v1->model->name().data(), eval.size(),
+              quick ? " (quick)" : "");
+
+  const serve::ScoreboardOptions opt = armed_config().scoreboard;
+  const auto& pop = snap_v1->popularity;
+
+  // Gate 1: sequential query_ex replay, version 1 -> 2 at the midpoint.
+  std::string golden_json;
+  std::size_t seq_diffs = 0;
+  std::uint64_t seq_hits = 0, seq_scored = 0;
+  {
+    serve::ModelServer server(armed_config());
+    server.publish(borrow(*snap_v1));
+    std::vector<Observed> capture;
+    capture.reserve(eval.size());
+    std::vector<ppm::Prediction> out;
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+      if (i == flip_at) server.publish(borrow(*snap_v2));
+      capture_query(server, eval[i], out, capture);
+    }
+    server.scoreboard_settle(settle_now);
+    golden_json = server.scoreboard_json();
+    const auto live = server.scoreboard()->totals();
+    const auto want = run_oracle(capture, opt, pop, settle_now);
+    seq_diffs = diff_totals(live, want, "sequential");
+    seq_hits = live.model.hits;
+    seq_scored = live.model.scored();
+    std::printf("sequential:  %s (%zu differing fields; %llu hits / %llu "
+                "scored, precision %.3f)\n",
+                seq_diffs == 0 ? "IDENTICAL to oracle" : "MISMATCH",
+                seq_diffs, static_cast<unsigned long long>(seq_hits),
+                static_cast<unsigned long long>(seq_scored),
+                live.model.precision());
+  }
+
+  // Gate 2: the same stream through query_batch in fixed chunks, version
+  // flipped on the chunk boundary nearest the midpoint.
+  std::size_t batch_diffs = 0;
+  {
+    constexpr std::size_t kChunk = 64;
+    serve::ModelServer server(armed_config());
+    server.publish(borrow(*snap_v1));
+    serve::BatchQueryScratch scratch;
+    std::vector<Observed> capture;
+    capture.reserve(eval.size());
+    for (std::size_t off = 0; off < eval.size(); off += kChunk) {
+      if (off >= flip_at && server.version() == 1) {
+        server.publish(borrow(*snap_v2));
+      }
+      const std::size_t n = std::min(kChunk, eval.size() - off);
+      server.query_batch(eval.subspan(off, n), scratch);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& r = eval[off + i];
+        if (r.status >= 400) continue;
+        const auto& item = scratch.items[i];
+        Observed ev;
+        ev.client = r.client;
+        ev.url = r.url;
+        ev.timestamp = r.timestamp;
+        ev.predicted = item.result.predicted;
+        ev.fallback = item.result.served == serve::ServedBy::kFallback;
+        ev.version = scratch.snapshot_version;
+        const auto preds = scratch.predictions_of(i);
+        ev.preds.assign(preds.begin(), preds.end());
+        capture.push_back(std::move(ev));
+      }
+    }
+    server.scoreboard_settle(settle_now);
+    const auto live = server.scoreboard()->totals();
+    const auto want = run_oracle(capture, opt, pop, settle_now);
+    batch_diffs = diff_totals(live, want, "batch");
+    std::printf("batch:       %s (chunk %zu, %zu differing fields)\n",
+                batch_diffs == 0 ? "IDENTICAL to oracle" : "MISMATCH",
+                kChunk, batch_diffs);
+  }
+
+  // Gate 3: two client-disjoint threads, one version (a mid-replay publish
+  // would race the capture). Per-client order is preserved inside each
+  // thread, so concatenating the two captures is a valid oracle input.
+  std::size_t thread_diffs = 0;
+  {
+    serve::ModelServer server(armed_config());
+    server.publish(borrow(*snap_v1));
+    std::vector<std::vector<Observed>> captures(2);
+    std::vector<std::thread> threads;
+    for (std::size_t w = 0; w < 2; ++w) {
+      threads.emplace_back([&, w] {
+        std::vector<ppm::Prediction> out;
+        captures[w].reserve(eval.size() / 2 + 1);
+        for (const auto& r : eval) {
+          if (r.client % 2 != w) continue;
+          capture_query(server, r, out, captures[w]);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    server.scoreboard_settle(settle_now);
+    std::vector<Observed> capture = std::move(captures[0]);
+    capture.insert(capture.end(), captures[1].begin(), captures[1].end());
+    const auto live = server.scoreboard()->totals();
+    const auto want = run_oracle(capture, opt, pop, settle_now);
+    thread_diffs = diff_totals(live, want, "threaded");
+    std::printf("threaded:    %s (2 client-disjoint threads, %zu differing "
+                "fields)\n",
+                thread_diffs == 0 ? "IDENTICAL to oracle" : "MISMATCH",
+                thread_diffs);
+  }
+
+  // Gate 4: sweep independence — evict_idle() every few thousand requests
+  // evicts idle sessionizer contexts AND sweeps scoreboard rings, yet the
+  // counts must equal the oracle built from this run's own capture (the
+  // sweep horizon is clamped to >= the validity window, so every swept
+  // entry was already expired).
+  std::size_t sweep_diffs = 0;
+  {
+    constexpr std::size_t kEvictEvery = 4096;
+    serve::ModelServer server(armed_config());
+    server.publish(borrow(*snap_v1));
+    std::vector<Observed> capture;
+    capture.reserve(eval.size());
+    std::vector<ppm::Prediction> out;
+    for (std::size_t i = 0; i < eval.size(); ++i) {
+      if (i != 0 && i % kEvictEvery == 0) {
+        (void)server.evict_idle(eval[i].timestamp);
+      }
+      capture_query(server, eval[i], out, capture);
+    }
+    server.scoreboard_settle(settle_now);
+    const auto live = server.scoreboard()->totals();
+    const auto want = run_oracle(capture, opt, pop, settle_now);
+    sweep_diffs = diff_totals(live, want, "sweep-timed");
+    std::printf("sweep-timed: %s (evict_idle every %zu requests, %zu "
+                "differing fields)\n\n",
+                sweep_diffs == 0 ? "IDENTICAL to oracle" : "MISMATCH",
+                kEvictEvery, sweep_diffs);
+  }
+
+  {
+    std::ofstream outf("BENCH_scoreboard_golden.json", std::ios::trunc);
+    outf << golden_json;
+  }
+  if (FILE* f = std::fopen("BENCH_scoreboard.json", "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"scoreboard outcome counts vs offline "
+                 "oracle, nasa-like day 8, pb-ppm\",\n"
+                 "  \"quick\": %s,\n"
+                 "  \"eval_requests\": %zu,\n"
+                 "  \"sequential_identical\": %s,\n"
+                 "  \"batch_identical\": %s,\n"
+                 "  \"threaded_identical\": %s,\n"
+                 "  \"sweep_timed_identical\": %s,\n"
+                 "  \"model_hits\": %llu,\n"
+                 "  \"model_scored\": %llu\n"
+                 "}\n",
+                 quick ? "true" : "false", eval.size(),
+                 seq_diffs == 0 ? "true" : "false",
+                 batch_diffs == 0 ? "true" : "false",
+                 thread_diffs == 0 ? "true" : "false",
+                 sweep_diffs == 0 ? "true" : "false",
+                 static_cast<unsigned long long>(seq_hits),
+                 static_cast<unsigned long long>(seq_scored));
+    std::fclose(f);
+    std::printf("wrote BENCH_scoreboard.json, BENCH_scoreboard_golden.json\n");
+  }
+
+  const bool ok = seq_diffs == 0 && batch_diffs == 0 && thread_diffs == 0 &&
+                  sweep_diffs == 0;
+  return ok ? 0 : 1;
+}

@@ -31,6 +31,10 @@
 //     exactly as a sequential query_ex replay; the group-by-shard reorder
 //     inside a batch must be invisible in the answers (ISSUE 7; the
 //     in-process speedup is reported, the socket bench gates it).
+//   * scoreboard — scoring fully ON is prediction-identical to the
+//     simulator, and armed-but-idle (scoring toggled off, one relaxed load
+//     per query) costs < 3% walltime; active-scoring cost is reported
+//     (ISSUE 8 acceptance criterion; scoreboard_check gates the counts).
 //
 // Artifacts: BENCH_serve.json (rows + gate results),
 // BENCH_serve_metrics.prom (registry exposition after the instrumented
@@ -472,6 +476,37 @@ int main(int argc, char** argv) {
               "(min of %zu alternating rounds, %zu passes; report only)\n\n",
               batch_speedup, oh_rounds, oh_passes);
 
+  // Gate 6: the prediction-outcome scoreboard. (a) With scoring fully ON
+  // the replay stays prediction-identical to the simulator — the
+  // scoreboard observes outcomes after the answer is built, it never
+  // steers. (b) Armed-but-idle (enabled, scoring toggled off — one relaxed
+  // load per query) costs < 3% walltime over a scoreboard-free server; the
+  // cost of active scoring (an extra shard-lock pass per query) is
+  // reported, not gated.
+  serve::ModelServerConfig sb_on_cfg = plain_cfg;
+  sb_on_cfg.scoreboard.enabled = true;
+  const std::size_t sb_mismatches =
+      verify_against_simulator(trace, eval, *snap, spec, sb_on_cfg);
+  const bool sb_identical = sb_mismatches == 0;
+  std::printf("scoreboard scoring equivalence:       %s "
+              "(%zu mismatching requests)\n",
+              sb_identical ? "IDENTICAL to simulator" : "MISMATCH",
+              sb_mismatches);
+  serve::ModelServerConfig sb_idle_cfg = sb_on_cfg;
+  sb_idle_cfg.scoreboard.scoring = false;
+  const double sb_idle_overhead_pct = measure_overhead_pct(
+      *snap, plain_cfg, sb_idle_cfg, eval, oh_passes, oh_rounds);
+  const bool sb_idle_ok = sb_idle_overhead_pct < 3.0;
+  std::printf("scoreboard armed-idle overhead: %+.2f%% walltime "
+              "(min of %zu alternating rounds, %zu passes) -> %s\n",
+              sb_idle_overhead_pct, oh_rounds, oh_passes,
+              sb_idle_ok ? "OK (< 3%)" : "FAIL (>= 3%)");
+  const double sb_active_overhead_pct = measure_overhead_pct(
+      *snap, plain_cfg, sb_on_cfg, eval, oh_passes, oh_rounds);
+  std::printf("scoreboard active-scoring overhead: %+.2f%% walltime "
+              "(report only)\n\n",
+              sb_active_overhead_pct);
+
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t passes = quick ? 2 : 4;
   const std::vector<std::size_t> thread_counts =
@@ -542,6 +577,10 @@ int main(int argc, char** argv) {
                  "  \"arena_bytes\": %zu,\n"
                  "  \"batch_identical\": %s,\n"
                  "  \"batch_speedup\": %.3f,\n"
+                 "  \"scoreboard_identical\": %s,\n"
+                 "  \"scoreboard_idle_overhead_pct\": %.3f,\n"
+                 "  \"scoreboard_idle_overhead_ok\": %s,\n"
+                 "  \"scoreboard_active_overhead_pct\": %.3f,\n"
                  "  \"scaling_4t_over_1t\": %.3f,\n"
                  "  \"runs\": [\n",
                  quick ? "true" : "false", hw,
@@ -554,6 +593,8 @@ int main(int argc, char** argv) {
                  frozen_fast_ok ? "true" : "false",
                  frozen_snap->storage_bytes(), snap->storage_bytes(),
                  batch_identical ? "true" : "false", batch_speedup,
+                 sb_identical ? "true" : "false", sb_idle_overhead_pct,
+                 sb_idle_ok ? "true" : "false", sb_active_overhead_pct,
                  scaling_4t);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
@@ -582,6 +623,7 @@ int main(int argc, char** argv) {
 
   const bool ok = mismatches == 0 && ins_mismatches == 0 && overhead_ok &&
                   fault_identical && fault_overhead_ok && frozen_identical &&
-                  frozen_fast_ok && batch_identical;
+                  frozen_fast_ok && batch_identical && sb_identical &&
+                  sb_idle_ok;
   return ok ? 0 : 1;
 }

@@ -6,7 +6,10 @@
 // GET /healthz for a scraper.
 //
 //   net_server [--port N] [--admin-port N] [--workers N] [--clf FILE]
-//              [--train-days N]
+//              [--train-days N] [--scoreboard]
+//
+// --scoreboard arms the prediction-outcome scoreboard: outcomes appear on
+// GET /scoreboard and drift on /healthz as traffic flows.
 //
 // Pair with examples/net_client to drive it.
 #include <unistd.h>
@@ -62,17 +65,23 @@ int main(int argc, char** argv) {
   std::size_t workers = 2;
   std::uint32_t train_days = 7;
   std::string clf_path;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  bool scoreboard = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scoreboard") == 0) {
+      scoreboard = true;
+      continue;
+    }
+    if (i + 1 >= argc) break;  // remaining flags all take a value
     if (std::strcmp(argv[i], "--port") == 0) {
-      port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--admin-port") == 0) {
-      admin_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      admin_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
-      workers = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      workers = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--clf") == 0) {
-      clf_path = argv[i + 1];
+      clf_path = argv[++i];
     } else if (std::strcmp(argv[i], "--train-days") == 0) {
-      train_days = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+      train_days = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     }
   }
 
@@ -88,6 +97,7 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   serve::ModelServerConfig mcfg;
   mcfg.metrics = &registry;
+  mcfg.scoreboard.enabled = scoreboard;
   serve::ModelServer model(mcfg);
   model.publish(std::move(snap));
 
@@ -103,8 +113,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("serving predictions on 127.0.0.1:%u "
-              "(admin: http://127.0.0.1:%u/metrics, /healthz)\n",
-              server.port(), server.admin_port());
+              "(admin: http://127.0.0.1:%u/metrics, /healthz%s)\n",
+              server.port(), server.admin_port(),
+              scoreboard ? ", /scoreboard" : "");
   std::printf("press Ctrl-C to drain and stop\n");
 
   std::signal(SIGINT, on_signal);

@@ -8,16 +8,22 @@
 //   obs_trace.json    — Chrome trace_event document of the WEBPPM_TRACE
 //                       spans; open in chrome://tracing or Perfetto
 //   obs_events.json   — the bounded structured event log
+//   obs_scoreboard.json — the prediction-quality scoreboard (the same
+//                       document GET /scoreboard serves), settled at the
+//                       end of the replay
 //
-// and prints the Prometheus text to stdout.
+// and prints the Prometheus text to stdout — or, with --scoreboard, the
+// scoreboard JSON instead.
 //
 //   $ ./obs_dump [--days N] [--train K] [--scale X] [--threads T]
+//               [--scoreboard]
 //
 // Flow: a synthetic NASA-like trace feeds (1) an instrumented SweepEngine
 // day sweep of PB-PPM on a ThreadPool with attached pool metrics, (2) an
 // instrumented simulate_direct run of the evaluation day, and (3) an
 // instrumented ModelServer replaying that day as live clicks while a
 // MetricsReporter rewrites obs_metrics.prom in the background.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +45,7 @@ struct Options {
   std::uint32_t train = 3;
   double scale = 0.25;
   std::size_t threads = 2;
+  bool scoreboard_dump = false;  ///< print scoreboard JSON, not Prometheus
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -56,10 +63,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.scale = std::strtod(v, nullptr);
     } else if (a == "--threads" && (v = need())) {
       opt.threads = std::strtoul(v, nullptr, 10);
+    } else if (a == "--scoreboard") {
+      opt.scoreboard_dump = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--days N] [--train K] [--scale X] "
-                   "[--threads T]\n",
+                   "[--threads T] [--scoreboard]\n",
                    argv[0]);
       return false;
     }
@@ -120,6 +129,7 @@ int main(int argc, char** argv) {
   serve::ModelServerConfig scfg;
   scfg.metrics = &reg;
   scfg.latency_sample_every = 4;
+  scfg.scoreboard.enabled = true;  // score the replay's predictions live
   serve::ModelServer server(scfg);
   server.publish(serve::make_snapshot(std::move(trained.predictor),
                                       std::move(trained.popularity), 1));
@@ -129,9 +139,12 @@ int main(int argc, char** argv) {
     ropt.path = "obs_metrics.prom";
     serve::MetricsReporter reporter(server, reg, ropt);
     std::vector<ppm::Prediction> out;
+    TimeSec last_ts = 0;
     for (const auto& r : trace.day_slice(opt.train)) {
       server.query(r, out);
+      last_ts = std::max(last_ts, r.timestamp);
     }
+    server.scoreboard_settle(last_ts);  // finalize outstanding predictions
     reporter.stop();  // final tick leaves obs_metrics.prom current
     std::printf("serve:  %llu queries, %zu clients, %llu reporter ticks\n",
                 static_cast<unsigned long long>(server.query_count()),
@@ -140,6 +153,7 @@ int main(int argc, char** argv) {
   }
 
   // Dump the remaining formats.
+  write_file("obs_scoreboard.json", server.scoreboard_json());
   write_file("obs_metrics.json", reg.json_text());
   {
     std::ofstream out("obs_trace.json", std::ios::trunc);
@@ -151,8 +165,9 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "wrote obs_metrics.prom, obs_metrics.json, obs_trace.json, "
-      "obs_events.json\n\n");
+      "obs_events.json, obs_scoreboard.json\n\n");
 
-  std::printf("%s", reg.prometheus_text().c_str());
+  std::printf("%s", opt.scoreboard_dump ? server.scoreboard_json().c_str()
+                                        : reg.prometheus_text().c_str());
   return 0;
 }

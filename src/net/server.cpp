@@ -63,6 +63,11 @@ constexpr std::size_t kReadChunkBytes = 16 * 1024;
 constexpr std::size_t kAdminRequestCapBytes = 4 * 1024;
 constexpr int kLoopTickMs = 100;  ///< upper bound on stop-flag latency
 
+/// Per-connection stage-attribution cadence: 1 in this many frames times
+/// every pipeline stage. The first frame of a connection is always sampled
+/// so short-lived test connections land in the histograms.
+constexpr std::uint32_t kStageSampleEvery = 64;
+
 }  // namespace
 
 struct PredictServer::Connection {
@@ -74,6 +79,9 @@ struct PredictServer::Connection {
   bool want_read = true;
   std::uint32_t interest = 0;      ///< epoll events currently registered
   std::uint64_t last_activity_ms = 0;
+  std::uint32_t stage_tick = 0;        ///< stage-sampling cadence counter
+  bool stage_flush_sample = false;     ///< sampled frame: time the next flush
+  std::uint64_t read_done_ns = 0;      ///< when the delivering read() returned
 
   std::size_t pending_out() const { return out.pending(); }
 };
@@ -123,6 +131,12 @@ struct PredictServer::Instruments {
   obs::Counter* bytes_written;
   obs::Gauge* active;
   obs::LogHistogram* request_latency;
+  // Sampled per-stage latency attribution (see kStageSampleEvery).
+  obs::LogHistogram* stage_queue;
+  obs::LogHistogram* stage_decode;
+  obs::LogHistogram* stage_predict;
+  obs::LogHistogram* stage_serialize;
+  obs::LogHistogram* stage_flush;
 };
 
 Status wire_status(const serve::QueryResult& qr, std::uint8_t flags,
@@ -187,6 +201,11 @@ PredictServer::PredictServer(serve::ModelServer& model, NetServerConfig config)
         &reg.counter("webppm_net_bytes_written_total"),
         &reg.gauge("webppm_net_connections_active"),
         &reg.histogram("webppm_net_request_latency_ns"),
+        &reg.histogram("webppm_net_stage_queue_ns"),
+        &reg.histogram("webppm_net_stage_decode_ns"),
+        &reg.histogram("webppm_net_stage_predict_ns"),
+        &reg.histogram("webppm_net_stage_serialize_ns"),
+        &reg.histogram("webppm_net_stage_flush_ns"),
     });
   }
 }
@@ -539,6 +558,9 @@ void PredictServer::conn_readable(Worker& w, Connection& c) {
   if (config_.idle_timeout_ms != 0) arm_idle(w, c);
   if (ins_ != nullptr) {
     ins_->bytes_read->add(static_cast<std::uint64_t>(n));
+    // Queue-stage anchor: frames parsed below queued from this instant
+    // (later frames in the same buffer queue behind the earlier ones).
+    c.read_done_ns = obs::now_ns();
   }
 
   conn_process_frames(c);
@@ -583,6 +605,13 @@ void PredictServer::conn_process_frames(Connection& c) {
       pos += frame.consumed;
       reject = conn_handle_batch(c, frame.body);
     } else {
+      // Stage attribution: a sampled frame times queue → decode → predict
+      // → serialize here and marks the connection so the flush that pushes
+      // its response is timed too. Unsampled frames keep the original two
+      // clock reads.
+      const bool stage =
+          ins_ != nullptr && (c.stage_tick++ % kStageSampleEvery) == 0;
+      const std::uint64_t s0 = stage ? obs::now_ns() : 0;
       WireRequest req;
       const auto err = decode_request(frame.body, req);
       reject = err.reason;
@@ -590,8 +619,16 @@ void PredictServer::conn_process_frames(Connection& c) {
       if (reject.empty()) {
         count(&Instruments::requests, requests_);
         const std::uint64_t q0 = ins_ != nullptr ? obs::now_ns() : 0;
+        if (stage) {
+          if (c.read_done_ns != 0) {
+            ins_->stage_queue->record(s0 - c.read_done_ns);
+          }
+          ins_->stage_decode->record(q0 - s0);
+        }
         thread_local std::vector<ppm::Prediction> preds;
         const auto qr = model_.query_ex(to_trace_request(req), preds);
+        const std::uint64_t s2 = stage ? obs::now_ns() : 0;
+        if (stage) ins_->stage_predict->record(s2 - q0);
         const auto resp =
             make_wire_response(qr, req, model_.version(), std::move(preds));
         preds = {};
@@ -601,7 +638,12 @@ void PredictServer::conn_process_frames(Connection& c) {
                 dropped);
         }
         if (ins_ != nullptr) {
-          ins_->request_latency->record(obs::now_ns() - q0);
+          const std::uint64_t s3 = obs::now_ns();
+          ins_->request_latency->record(s3 - q0);
+          if (stage) {
+            ins_->stage_serialize->record(s3 - s2);
+            c.stage_flush_sample = true;
+          }
         }
         count(&Instruments::responses, responses_);
       }
@@ -631,10 +673,19 @@ std::string PredictServer::conn_handle_batch(
   thread_local std::vector<std::uint32_t> slot;
   thread_local serve::BatchQueryScratch scratch;
 
+  // A batch frame is one frame on the stage-sampling cadence; its predict
+  // stage covers entry validation plus the whole query_batch call.
+  const bool stage =
+      ins_ != nullptr && (c.stage_tick++ % kStageSampleEvery) == 0;
+  const std::uint64_t s0 = stage ? obs::now_ns() : 0;
   const auto err = decode_batch_request(body, batch);
   if (!err.ok()) return err.reason;
 
   const std::uint64_t q0 = ins_ != nullptr ? obs::now_ns() : 0;
+  if (stage) {
+    if (c.read_done_ns != 0) ins_->stage_queue->record(s0 - c.read_done_ns);
+    ins_->stage_decode->record(q0 - s0);
+  }
 
   // Per-entry validation the frame decoder deliberately leaves to us: an
   // entry with unknown flag bits degrades its own slot to kBadRequest — one
@@ -657,6 +708,8 @@ std::string PredictServer::conn_handle_batch(
   // One shard lock per shard per batch, one snapshot load, one flat
   // prediction pool — see ModelServer::query_batch.
   model_.query_batch(treqs, scratch);
+  const std::uint64_t s2 = stage ? obs::now_ns() : 0;
+  if (stage) ins_->stage_predict->record(s2 - q0);
 
   // Serialize exactly once, straight into the connection's write ring: no
   // per-query WireResponse, no staging buffer, flushes coalesced by the
@@ -686,14 +739,31 @@ std::string PredictServer::conn_handle_batch(
     count(&Instruments::responses_truncated, responses_truncated_, dropped);
   }
   if (ins_ != nullptr) {
+    const std::uint64_t s3 = obs::now_ns();
     // Mean per-sub-request latency, so the histogram stays comparable with
     // the per-query samples the v1 path records.
-    ins_->request_latency->record((obs::now_ns() - q0) / nsub);
+    ins_->request_latency->record((s3 - q0) / nsub);
+    if (stage) {
+      ins_->stage_serialize->record(s3 - s2);
+      c.stage_flush_sample = true;
+    }
   }
   return {};
 }
 
 bool PredictServer::conn_flush(Connection& c) {
+  // Flush-stage attribution rides the sampled frame: the frame that timed
+  // decode/predict/serialize marked the connection, and the flush pushing
+  // its response out is timed here.
+  if (!c.stage_flush_sample || ins_ == nullptr) return conn_flush_impl(c);
+  c.stage_flush_sample = false;
+  const std::uint64_t f0 = obs::now_ns();
+  const bool ok = conn_flush_impl(c);
+  ins_->stage_flush->record(obs::now_ns() - f0);
+  return ok;
+}
+
+bool PredictServer::conn_flush_impl(Connection& c) {
   while (c.pending_out() > 0) {
     std::size_t limit = 0;  // 0 = everything pending, wrap included
     bool injected_short = false;
@@ -769,8 +839,20 @@ std::string PredictServer::admin_response(const std::string& request_line) {
       body = "no-model\n";
     } else if (model_.degraded()) {
       body = "degraded\n";  // still serving (popularity fallback): 200
+    } else if (model_.drift_alert()) {
+      // Serving fine but the scoreboard's DriftWatch says prediction
+      // quality diverged from its long-run baseline — worth a page that is
+      // softer than degraded, so still 200.
+      body = "drift\n";
     } else {
       body = "ok\n";
+    }
+  } else if (path == "/scoreboard") {
+    if (model_.scoreboard() == nullptr) {
+      status = "503 Service Unavailable";
+      body = "no scoreboard\n";
+    } else {
+      body = model_.scoreboard_json();
     }
   } else if (path == "/snapshot") {
     // What is this box serving, and how big is it? One line per field so

@@ -26,10 +26,19 @@
 // The admin listener speaks just enough HTTP/1.0 for a scraper:
 // GET /metrics returns the shared Prometheus exposition
 // (serve::render_metrics_exposition — the same code path
-// serve::MetricsReporter writes, so the two can never drift) and
-// GET /healthz reports ok / degraded / no-model / draining, and
+// serve::MetricsReporter writes, so the two can never drift),
+// GET /healthz reports ok / drift / degraded / no-model / draining,
 // GET /snapshot reports what the box is serving (version, model name,
-// node count, storage bytes, degraded flag) one field per line.
+// node count, storage bytes, degraded flag) one field per line, and
+// GET /scoreboard returns the prediction-quality scoreboard JSON
+// (serve::ModelServer::scoreboard_json; 503 when not armed).
+//
+// Stage attribution: 1 in kStageSampleEvery frames per connection times
+// each hot-path stage — queue (read() return → frame pickup), decode,
+// predict (the model_ call; its shard-lock wait is already broken out as
+// webppm_serve_shard_lock_wait_ns), serialize, and the following flush —
+// into webppm_net_stage_*_ns log2 histograms. Unsampled frames pay two
+// clock reads at most (the existing request-latency pair).
 //
 // Fault sites (chaos suite): net.accept (accepted fd dropped),
 // net.conn.read / net.conn.write (short read/write: 1 byte this round),
@@ -167,6 +176,7 @@ class PredictServer {
   void conn_readable(Worker& w, Connection& c);
   void conn_writable(Worker& w, Connection& c);
   bool conn_flush(Connection& c);  ///< false = fatal write error
+  bool conn_flush_impl(Connection& c);  ///< conn_flush sans stage timing
   void conn_process_frames(Connection& c);
   /// Serves one v2 batch frame: decode, query_batch, serialize straight
   /// into the connection's write ring. Returns a reject reason when the

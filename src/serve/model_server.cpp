@@ -107,6 +107,18 @@ ModelServer::ModelServer(const ModelServerConfig& config) : config_(config) {
   for (std::size_t i = 0; i < config_.shards; ++i) {
     shards_.push_back(std::make_unique<Shard>(config_));
   }
+  if (config_.scoreboard.enabled) {
+    sb_ = std::make_unique<Scoreboard>(config_.scoreboard, config_.metrics);
+    // Rings idle past the sessionizer's eviction horizon go with it; the
+    // sweep itself clamps to >= the validity window, so sweep timing never
+    // changes outcome counts (see Scoreboard::sweep).
+    sb_sweep_horizon_ = config_.idle_eviction_factor > 0.0
+                            ? static_cast<TimeSec>(
+                                  static_cast<double>(
+                                      config_.session.idle_timeout) *
+                                  config_.idle_eviction_factor)
+                            : sb_->options().window_sec;
+  }
   if (config_.metrics != nullptr) {
     auto& reg = *config_.metrics;
     ins_ = std::make_unique<Instruments>(Instruments{
@@ -257,25 +269,43 @@ QueryResult ModelServer::query_ex(const trace::Request& r,
   }
 
   const auto snap = snapshot();
-  if (!snap) return result;
 
   // Full service needs both the model and an admitted context; a shed
   // client or a degraded (fallback-only) snapshot falls back to the
   // popularity push set — prefetching degrades, it does not stop.
   const ppm::Predictor* predictor =
-      (!shed && snap->model != nullptr) ? snap->model.get()
-                                        : snap->fallback.get();
-  if (predictor == nullptr) return result;
-  predictor->predict(ctx, out);
-  result.predicted = true;
-  result.served = predictor == snap->model.get() ? ServedBy::kModel
-                                                 : ServedBy::kFallback;
-  if (result.served == ServedBy::kFallback) {
-    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
-    if (ins_ != nullptr) ins_->degraded_queries->add();
+      snap != nullptr ? ((!shed && snap->model != nullptr)
+                             ? snap->model.get()
+                             : snap->fallback.get())
+                      : nullptr;
+  if (predictor != nullptr) {
+    predictor->predict(ctx, out);
+    result.predicted = true;
+    result.served = predictor == snap->model.get() ? ServedBy::kModel
+                                                   : ServedBy::kFallback;
+    if (result.served == ServedBy::kFallback) {
+      degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+      if (ins_ != nullptr) ins_->degraded_queries->add();
+    }
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    if (sample) ins_->query_latency->record(obs::now_ns() - q0);
   }
-  queries_.fetch_add(1, std::memory_order_relaxed);
-  if (sample) ins_->query_latency->record(obs::now_ns() - q0);
+
+  // Scoreboard pass, re-taking the shard lock after the lock-free predict:
+  // score this request against the client's outstanding ring, then record
+  // the predictions just issued. Ordering matters — a prediction can never
+  // hit on the request that issued it.
+  if (sb_ != nullptr && sb_->scoring()) {
+    Shard& sh = shard_of(r.client);
+    lock_shard(sh);
+    std::lock_guard lock(sh.mu, std::adopt_lock);
+    sb_->observe(sh.sb, r.client, r.url, r.timestamp,
+                 snap != nullptr ? &snap->popularity : nullptr);
+    if (result.predicted) {
+      sb_->record(sh.sb, r.client, out, r.timestamp, snap->version,
+                  result.served == ServedBy::kFallback, snap->popularity);
+    }
+  }
   return result;
 }
 
@@ -285,12 +315,6 @@ void ModelServer::query_batch(std::span<const trace::Request> reqs,
   const std::size_t n = reqs.size();
   scratch.items.assign(n, BatchQueryItem{});
   scratch.predictions.clear();
-
-  // Sampled batch latency: the cadence advances once per batch, and a
-  // sampled batch records its *mean per-query* latency so the histogram
-  // stays comparable with the per-query samples query_ex records.
-  const bool sample = ins_ != nullptr && sample_latency_now();
-  const std::uint64_t q0 = sample ? obs::now_ns() : 0;
 
   // Pre-pass in request order: the skip-errors rule and the serve.query
   // chaos hook fire in exactly the sequence a per-query loop would (fault
@@ -379,13 +403,17 @@ void ModelServer::query_batch(std::span<const trace::Request> reqs,
   // answers from (and reports) the same model version.
   const auto snap = snapshot();
   scratch.snapshot_version = snap ? snap->version : 0;
-  if (!snap) return;
 
   std::uint64_t predicted = 0;
   std::uint64_t degraded = 0;
   auto& preds_tmp = scratch.preds_tmp;
   for (std::size_t i = 0; i < n; ++i) {
     if (shard_index[i] == kSkip) continue;
+    // The sampling cadence advances once per admitted entry — exactly
+    // where a sequential query_ex stream would advance it — so batch and
+    // sequential replays sample the same queries.
+    const bool sample = ins_ != nullptr && sample_latency_now();
+    if (snap == nullptr) continue;
     auto& item = scratch.items[i];
     const ppm::Predictor* predictor =
         (!item.result.shed && snap->model != nullptr) ? snap->model.get()
@@ -393,9 +421,13 @@ void ModelServer::query_batch(std::span<const trace::Request> reqs,
     if (predictor == nullptr) continue;
     const std::span<const UrlId> ctx(ctx_flat.data() + ctx_begin[i],
                                      ctx_len[i]);
+    // True per-entry predict time, clocked only when the sample fires (a
+    // per-batch mean would flatten the tail out of the histogram).
+    const std::uint64_t p0 = sample ? obs::now_ns() : 0;
     // Predictors clear their output vector, so predict into the tmp and
     // append — the flat pool accumulates across the batch.
     predictor->predict(ctx, preds_tmp);
+    if (sample) ins_->query_latency->record(obs::now_ns() - p0);
     item.first = static_cast<std::uint32_t>(scratch.predictions.size());
     item.count = static_cast<std::uint32_t>(preds_tmp.size());
     scratch.predictions.insert(scratch.predictions.end(), preds_tmp.begin(),
@@ -411,8 +443,32 @@ void ModelServer::query_batch(std::span<const trace::Request> reqs,
     degraded_queries_.fetch_add(degraded, std::memory_order_relaxed);
     if (ins_ != nullptr) ins_->degraded_queries->add(degraded);
   }
-  if (sample && predicted != 0) {
-    ins_->query_latency->record((obs::now_ns() - q0) / predicted);
+
+  // Scoreboard pass: the same per-shard grouping, one more lock per
+  // touched shard. Requests are walked in request order inside each group
+  // and clients never span shards, so score-then-record per request sees
+  // exactly the sequence a sequential query_ex stream would.
+  if (sb_ != nullptr && sb_->scoring()) {
+    const popularity::PopularityTable* pop =
+        snap != nullptr ? &snap->popularity : nullptr;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (starts[s] == starts[s + 1]) continue;
+      Shard& sh = *shards_[s];
+      lock_shard(sh);
+      std::lock_guard lock(sh.mu, std::adopt_lock);
+      for (std::uint32_t k = starts[s]; k < starts[s + 1]; ++k) {
+        const std::uint32_t i = order[k];
+        const auto& item = scratch.items[i];
+        sb_->observe(sh.sb, reqs[i].client, reqs[i].url, reqs[i].timestamp,
+                     pop);
+        if (item.result.predicted) {
+          sb_->record(sh.sb, reqs[i].client, scratch.predictions_of(i),
+                      reqs[i].timestamp, snap->version,
+                      item.result.served == ServedBy::kFallback,
+                      snap->popularity);
+        }
+      }
+    }
   }
 }
 
@@ -431,20 +487,55 @@ std::size_t ModelServer::evict_idle(TimeSec now) {
   for (const auto& sh : shards_) {
     std::lock_guard lock(sh->mu);
     evicted += sh->contexts.evict_idle(now);
+    // Scoreboard rings ride the same sweep so an evicted client's
+    // outstanding predictions score as expired instead of leaking. The
+    // horizon is clamped >= the validity window inside sweep(), so sweep
+    // timing never changes outcome counts.
+    if (sb_ != nullptr) sb_->sweep(sh->sb, now, sb_sweep_horizon_);
   }
   return evicted;
+}
+
+std::size_t ModelServer::scoreboard_ring_count() const {
+  if (sb_ == nullptr) return 0;
+  std::size_t total = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    total += sh->sb.ring_count();
+  }
+  return total;
+}
+
+void ModelServer::scoreboard_settle(TimeSec now) {
+  if (sb_ == nullptr) return;
+  for (const auto& sh : shards_) {
+    std::lock_guard lock(sh->mu);
+    sb_->settle_shard(sh->sb, now);
+  }
+}
+
+std::string ModelServer::scoreboard_json() const {
+  if (sb_ == nullptr) return "{}\n";
+  return sb_->json_text(scoreboard_ring_count());
+}
+
+bool ModelServer::drift_alert() const {
+  return sb_ != nullptr && sb_->drift().alert;
 }
 
 void ModelServer::refresh_gauges() {
   if (ins_ == nullptr) return;
   std::size_t clients = 0;
   std::uint64_t evicted = 0;
+  std::size_t rings = 0;
   for (const auto& sh : shards_) {
     std::lock_guard lock(sh->mu);
     clients += sh->contexts.client_count();
     evicted += sh->contexts.evicted_total();
+    rings += sh->sb.ring_count();
   }
   ins_->clients->set(static_cast<std::int64_t>(clients));
+  if (sb_ != nullptr) sb_->publish_metrics(rings);
 
   const std::uint64_t queries = queries_.load(std::memory_order_relaxed);
   std::uint64_t evict_delta = 0;

@@ -45,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "popularity/popularity.hpp"
 #include "ppm/predictor.hpp"
+#include "serve/scoreboard.hpp"
 #include "session/online.hpp"
 #include "trace/record.hpp"
 #include "util/types.hpp"
@@ -151,6 +152,13 @@ struct ModelServerConfig {
   /// so two servers sharing a thread each sample every Nth of *their own*
   /// queries.
   std::uint32_t latency_sample_every = 64;
+  /// Prediction-outcome scoreboard (DESIGN.md §13). Disabled by default:
+  /// nothing is allocated and the query path is unchanged. When enabled,
+  /// ring state lives in the context shards (under the shard mutexes) and
+  /// the webppm_serve_scoreboard_* metrics register into `metrics` when
+  /// one is attached. Scoring never changes predictions — the serve bench
+  /// gates byte identity with the scoreboard armed.
+  ScoreboardOptions scoreboard;
 };
 
 /// How a query was answered (QueryResult::served).
@@ -301,12 +309,36 @@ class ModelServer {
   /// tick, not the query path. No-op without an attached registry.
   void refresh_gauges();
 
+  /// The prediction-outcome scoreboard; nullptr unless
+  /// config.scoreboard.enabled.
+  Scoreboard* scoreboard() { return sb_.get(); }
+  const Scoreboard* scoreboard() const { return sb_.get(); }
+
+  /// Outstanding-prediction rings currently held (sums all shards; locks
+  /// each briefly). 0 when the scoreboard is disabled.
+  std::size_t scoreboard_ring_count() const;
+
+  /// Finalizes every outstanding prediction at `now` (past-window entries
+  /// score expired, open ones unresolved) — the end-of-replay step that
+  /// makes live counts comparable to an offline oracle. No-op when the
+  /// scoreboard is disabled.
+  void scoreboard_settle(TimeSec now);
+
+  /// The /scoreboard JSON document ("{}\n" when disabled).
+  std::string scoreboard_json() const;
+
+  /// True when the DriftWatch currently signals drift (always false when
+  /// the scoreboard is disabled) — the /healthz "drift" state and the
+  /// online-training trigger hook.
+  bool drift_alert() const;
+
   const ModelServerConfig& config() const { return config_; }
 
  private:
   struct Shard {
     mutable std::mutex mu;
     session::OnlineSessionizer contexts;
+    Scoreboard::ShardState sb;  ///< under mu, like the contexts
     explicit Shard(const ModelServerConfig& cfg)
         : contexts(cfg.session, cfg.context_window, cfg.idle_eviction_factor,
                    cfg.max_clients_per_shard) {}
@@ -408,6 +440,8 @@ class ModelServer {
   std::atomic<std::uint32_t> latency_tick_{0};
 
   std::unique_ptr<Instruments> ins_;
+  std::unique_ptr<Scoreboard> sb_;  ///< null unless scoreboard.enabled
+  TimeSec sb_sweep_horizon_ = 0;    ///< idle horizon handed to sb_->sweep
 
   /// Retired-snapshot tracking (weak: tracking never keeps a model alive).
   /// Maintained regardless of instrumentation so the generation accessors

@@ -709,5 +709,126 @@ TEST(NetLoopback, ShutdownDrainsPendingResponses) {
   EXPECT_EQ(server.accepted(), server.closed());
 }
 
+TEST(NetLoopback, AdminHealthzReportsDrift) {
+  // Aggressive DriftWatch so a short hit-then-miss replay trips the alert:
+  // tiny sample floor, fast short EWMA, near-frozen long EWMA.
+  serve::ModelServerConfig mcfg;
+  mcfg.scoreboard.enabled = true;
+  mcfg.scoreboard.window_sec = 10;
+  mcfg.scoreboard.drift_short_alpha = 0.5;
+  mcfg.scoreboard.drift_long_alpha = 0.001;
+  mcfg.scoreboard.drift_threshold = 0.3;
+  mcfg.scoreboard.drift_min_samples = 4;
+  serve::ModelServer model(mcfg);
+  model.publish(tiny_snapshot());
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  // Healthy phase: the trained 1 -> 2 -> 3 pattern, every prediction
+  // consumed within the window. Precision EWMAs seed and settle at 1.
+  std::vector<ppm::Prediction> out;
+  TimeSec t = 0;
+  for (ClientId c = 0; c < 8; ++c) {
+    model.query(click(c, 1, t), out);
+    model.query(click(c, 2, t + 1), out);
+    model.query(click(c, 3, t + 2), out);
+    t += 20;
+  }
+  std::string err, status_line;
+  std::string body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz",
+                                 &err, &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(body, "ok\n");
+
+  // Drift phase: the same clients keep clicking but always past the
+  // validity window, so every outstanding prediction expires — the short
+  // precision EWMA collapses while the long one barely moves.
+  for (int round = 0; round < 16; ++round) {
+    for (ClientId c = 0; c < 8; ++c) {
+      model.query(click(c, 1, t), out);
+      model.query(click(c, 2, t + 11), out);  // 11 s later: {3,4} expired
+    }
+    t += 100;
+  }
+  ASSERT_TRUE(model.drift_alert());
+
+  body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz", &err,
+                     &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  // Drift is a quality page, not an availability one: still 200.
+  EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
+  EXPECT_EQ(body, "drift\n");
+}
+
+TEST(NetLoopback, AdminScoreboardEndpoint) {
+  serve::ModelServerConfig mcfg;
+  mcfg.scoreboard.enabled = true;
+  serve::ModelServer model(mcfg);
+  model.publish(tiny_snapshot());
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  std::vector<ppm::Prediction> out;
+  model.query(click(0, 1, 0), out);
+  model.query(click(0, 2, 1), out);  // consumes the {2} prediction: a hit
+
+  std::string err, status_line;
+  const std::string body = fetch_admin(
+      "127.0.0.1", server.admin_port(), "/scoreboard", &err, &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
+  EXPECT_NE(body.find("\"requests\": 2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"hits\": 1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"drift\""), std::string::npos) << body;
+}
+
+TEST(NetLoopback, AdminScoreboardWithoutArmingIs503) {
+  serve::ModelServer model;  // scoreboard not armed
+  model.publish(tiny_snapshot());
+  PredictServer server(model, {});
+  ASSERT_TRUE(server.start());
+
+  std::string err, status_line;
+  const std::string body = fetch_admin(
+      "127.0.0.1", server.admin_port(), "/scoreboard", &err, &status_line);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_NE(status_line.find("503"), std::string::npos) << status_line;
+  EXPECT_EQ(body, "no scoreboard\n");
+}
+
+TEST(NetLoopback, StageHistogramsAttributeHotPathLatency) {
+  obs::MetricsRegistry registry;
+  serve::ModelServer model;
+  model.publish(tiny_snapshot());
+  NetServerConfig cfg;
+  cfg.metrics = &registry;
+  PredictServer server(model, cfg);
+  ASSERT_TRUE(server.start());
+
+  // The first frame of a connection is always stage-sampled, and the v2
+  // batch path shares the same histograms — drive both frame shapes.
+  LoadClientConfig lc;
+  lc.port = server.port();
+  ASSERT_TRUE(LoadClient(lc).run(small_stream()).ok);
+  LoadClientConfig batched = lc;
+  batched.batch_size = 4;
+  ASSERT_TRUE(LoadClient(batched).run(small_stream()).ok);
+  ASSERT_TRUE(
+      eventually([&] { return server.closed() == server.accepted(); }));
+
+  for (const char* name :
+       {"webppm_net_stage_queue_ns", "webppm_net_stage_decode_ns",
+        "webppm_net_stage_predict_ns", "webppm_net_stage_serialize_ns",
+        "webppm_net_stage_flush_ns"}) {
+    const auto* h = registry.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GE(h->snapshot().count, 1u) << name;
+  }
+  // Stage samples are a strict subset of requests: one per sampled frame,
+  // never one per request.
+  const auto* total = registry.find_histogram("webppm_net_stage_predict_ns");
+  EXPECT_LE(total->snapshot().count, server.requests());
+}
+
 }  // namespace
 }  // namespace webppm::net

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <future>
+#include <string>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -285,6 +287,73 @@ TEST(MetricsRegistry, EmptyExpositionsAreWellFormed) {
   EXPECT_EQ(reg.json_text(),
             "{\n  \"counters\": {},\n  \"gauges\": {},\n"
             "  \"histograms\": {}\n}\n");
+}
+
+// Scoreboard/reporter wiring scrapes the registry while serving threads
+// both bump existing metrics and register *new* names (e.g. the first
+// publish of a webppm_serve_scoreboard_* gauge) — so renders must be safe
+// against concurrent registration, not just concurrent writes. Hammer
+// exactly that interleaving; run under the tsan preset.
+TEST(MetricsRegistry, RenderSafeUnderConcurrentRegistration) {
+  MetricsRegistry reg;
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 64;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> renders{0};
+
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string prom = reg.prometheus_text();
+        const std::string json = reg.json_text();
+        // Renders observe a prefix of the registrations: whatever they
+        // saw must already be well-formed.
+        EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+                  std::count(json.begin(), json.end(), '}'));
+        if (!prom.empty()) {
+          EXPECT_EQ(prom.back(), '\n');
+        }
+        renders.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const std::string tag =
+            std::to_string(w) + "_" + std::to_string(i);
+        reg.counter("hammer_c" + tag + "_total").add(i + 1);
+        reg.gauge("hammer_g" + tag).set(-(i + 1));
+        reg.histogram("hammer_h" + tag + "_ns").record(
+            static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : scrapers) t.join();
+  EXPECT_GT(renders.load(), 0u);
+
+  // Quiesced, every registration must be visible and intact.
+  const std::string prom = reg.prometheus_text();
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kPerWriter; ++i) {
+      const std::string tag =
+          std::to_string(w) + "_" + std::to_string(i);
+      EXPECT_NE(prom.find("hammer_c" + tag + "_total " +
+                          std::to_string(i + 1)),
+                std::string::npos);
+      EXPECT_NE(prom.find("hammer_g" + tag + " -" + std::to_string(i + 1)),
+                std::string::npos);
+      ASSERT_NE(reg.find_histogram("hammer_h" + tag + "_ns"), nullptr);
+      EXPECT_EQ(
+          reg.find_histogram("hammer_h" + tag + "_ns")->snapshot().count,
+          1u);
+    }
+  }
 }
 
 TEST(NowNs, Monotone) {
