@@ -1,0 +1,175 @@
+// cluster_server — stand up a sharded prediction cluster behind one router.
+//
+// Trains PB-PPM on the first days of the built-in nasa-like trace (or a CLF
+// file), distributes the snapshot into every shard's snapshot store, starts
+// N in-process shards under a ShardSupervisor, and fronts them with the
+// consistent-hash PredictRouter. Clients talk v1/v2 wire protocol to the
+// router exactly as they would to one big net_server.
+//
+//   cluster_server [--shards N] [--port N] [--admin-port N] [--clf FILE]
+//                  [--train-days N] [--store DIR]
+//
+// Signals:
+//   SIGINT/SIGTERM  drain-then-stop shutdown (again: exit immediately)
+//   SIGHUP          zero-drop rolling restart: each shard in turn is
+//                   quiesced at the router, restarted onto its store's
+//                   newest generation, probed healthy, readmitted.
+//                   Publish a new generation into --store first (e.g. via
+//                   another process) and SIGHUP upgrades the cluster live.
+//
+// The router's admin listener serves GET /metrics (webppm_cluster_*),
+// /healthz, and /cluster (per-shard state, breakers, version skew).
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "cluster/router.hpp"
+#include "cluster/supervisor.hpp"
+#include "core/webppm.hpp"
+#include "obs/metrics.hpp"
+#include "trace/clf.hpp"
+#include "workload/generator.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_roll = 0;
+
+void on_stop(int) {
+  if (g_stop != 0) ::_exit(130);
+  g_stop = 1;
+}
+void on_hup(int) { g_roll = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sigemptyset(&sa.sa_mask);
+  sa.sa_handler = on_stop;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  sa.sa_handler = on_hup;
+  ::sigaction(SIGHUP, &sa, nullptr);
+}
+
+webppm::trace::Trace load_trace(const std::string& clf_path) {
+  using namespace webppm;
+  if (!clf_path.empty()) {
+    trace::Trace t;
+    std::ifstream in(clf_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s; falling back to the built-in "
+                           "nasa-like workload\n",
+                   clf_path.c_str());
+    } else {
+      const auto stats = trace::read_clf(in, t);
+      std::printf("loaded %llu requests from %s (%llu lines skipped)\n",
+                  static_cast<unsigned long long>(stats.parsed),
+                  clf_path.c_str(),
+                  static_cast<unsigned long long>(stats.skipped));
+      return t;
+    }
+  }
+  std::printf("using the built-in nasa-like workload (8 days)\n");
+  return workload::generate_page_trace(workload::nasa_like(/*days=*/8));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace webppm;
+
+  std::size_t shards = 4;
+  std::uint16_t port = 8970;
+  std::uint16_t admin_port = 8971;
+  std::uint32_t train_days = 7;
+  std::string clf_path;
+  std::string store_dir = "/tmp/webppm-cluster";
+  install_signal_handlers();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--admin-port") == 0) {
+      admin_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--clf") == 0) {
+      clf_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--train-days") == 0) {
+      train_days = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      store_dir = argv[++i];
+    }
+  }
+
+  const auto trace = load_trace(clf_path);
+  const auto spec = core::ModelSpec::pb_model();
+  auto trained = core::train_model(spec, trace, 0, train_days - 1);
+  auto snap = serve::make_snapshot(std::move(trained.predictor),
+                                   std::move(trained.popularity), 1);
+  std::printf("trained %s on days 1..%u: %zu nodes\n",
+              snap->model->name().data(), train_days,
+              snap->model->node_count());
+
+  cluster::SupervisorConfig scfg;
+  scfg.store_dir = store_dir;
+  scfg.shards = shards;
+  cluster::ShardSupervisor sup(scfg);
+  std::string err;
+  if (!sup.distribute(*snap, &err)) {
+    std::fprintf(stderr, "distribute failed: %s\n", err.c_str());
+    return 1;
+  }
+  if (!sup.start(&err)) {
+    std::fprintf(stderr, "shard start failed: %s\n", err.c_str());
+    return 1;
+  }
+
+  obs::MetricsRegistry registry;
+  cluster::RouterConfig rcfg;
+  rcfg.port = port;
+  rcfg.admin_port = admin_port;
+  rcfg.shards = sup.endpoints();
+  rcfg.metrics = &registry;
+  cluster::PredictRouter router(rcfg);
+  if (!router.start(&err)) {
+    std::fprintf(stderr, "router start failed: %s\n", err.c_str());
+    return 1;
+  }
+  sup.attach_router(&router);
+
+  std::printf("routing to %zu shards on 127.0.0.1:%u "
+              "(admin: http://127.0.0.1:%u/metrics, /healthz, /cluster)\n",
+              sup.shard_count(), router.port(), router.admin_port());
+  std::printf("SIGHUP rolls the cluster onto the newest generation in %s; "
+              "SIGTERM/Ctrl-C drains and stops\n",
+              store_dir.c_str());
+
+  while (g_stop == 0) {
+    if (g_roll != 0) {
+      g_roll = 0;
+      std::printf("rolling restart...\n");
+      if (!sup.rolling_restart(&err)) {
+        std::fprintf(stderr, "rolling restart failed: %s\n", err.c_str());
+      } else {
+        std::printf("rolling restart done (version skew %llu)\n",
+                    static_cast<unsigned long long>(router.version_skew()));
+      }
+    }
+    ::usleep(100'000);
+  }
+
+  std::printf("\ndraining...\n");
+  router.shutdown();
+  sup.stop();
+  std::printf("routed %llu responses (%llu degraded, %llu shed)\n",
+              static_cast<unsigned long long>(router.responses()),
+              static_cast<unsigned long long>(router.degraded_responses()),
+              static_cast<unsigned long long>(router.shed()));
+  return 0;
+}

@@ -6,10 +6,17 @@
 // GET /healthz for a scraper.
 //
 //   net_server [--port N] [--admin-port N] [--workers N] [--clf FILE]
-//              [--train-days N] [--scoreboard]
+//              [--train-days N] [--drain-timeout-ms N] [--scoreboard]
 //
 // --scoreboard arms the prediction-outcome scoreboard: outcomes appear on
 // GET /scoreboard and drift on /healthz as traffic flows.
+//
+// SIGTERM and SIGINT both trigger a drain-then-stop shutdown (flush owed
+// responses for up to --drain-timeout-ms, then close); a second signal
+// while draining exits immediately with status 130. Handlers are installed
+// via sigaction before training starts, so a supervisor's SIGTERM during
+// a slow startup still lands on a handler instead of killing the process
+// with work half-done.
 //
 // Pair with examples/net_client to drive it.
 #include <unistd.h>
@@ -31,7 +38,20 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
-void on_signal(int) { g_stop = 1; }
+void on_signal(int) {
+  if (g_stop != 0) ::_exit(130);  // second signal: the drain is wedged
+  g_stop = 1;
+}
+
+void install_signal_handlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: the main loop's sleep should wake promptly.
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 webppm::trace::Trace load_trace(const std::string& clf_path) {
   using namespace webppm;
@@ -64,8 +84,10 @@ int main(int argc, char** argv) {
   std::uint16_t admin_port = 8971;
   std::size_t workers = 2;
   std::uint32_t train_days = 7;
+  std::uint64_t drain_timeout_ms = 1'000;
   std::string clf_path;
   bool scoreboard = false;
+  install_signal_handlers();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--scoreboard") == 0) {
       scoreboard = true;
@@ -82,6 +104,8 @@ int main(int argc, char** argv) {
       clf_path = argv[++i];
     } else if (std::strcmp(argv[i], "--train-days") == 0) {
       train_days = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--drain-timeout-ms") == 0) {
+      drain_timeout_ms = static_cast<std::uint64_t>(std::atoll(argv[++i]));
     }
   }
 
@@ -105,6 +129,7 @@ int main(int argc, char** argv) {
   cfg.port = port;
   cfg.admin_port = admin_port;
   cfg.workers = workers;
+  cfg.drain_timeout_ms = drain_timeout_ms;
   cfg.metrics = &registry;
   net::PredictServer server(model, cfg);
   std::string err;
@@ -116,10 +141,8 @@ int main(int argc, char** argv) {
               "(admin: http://127.0.0.1:%u/metrics, /healthz%s)\n",
               server.port(), server.admin_port(),
               scoreboard ? ", /scoreboard" : "");
-  std::printf("press Ctrl-C to drain and stop\n");
+  std::printf("SIGTERM/Ctrl-C drains and stops (again: exit now)\n");
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
   while (g_stop == 0) {
     ::usleep(100'000);
   }

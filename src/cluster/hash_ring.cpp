@@ -1,0 +1,50 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+namespace webppm::cluster {
+namespace {
+
+/// splitmix64 — the same finalizer quality as the serve layer's shard
+/// hash, chosen here for its full-avalanche output: ring points and client
+/// lookups must spread uniformly or one shard inherits a hot arc.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t shards, std::size_t replicas)
+    : shards_(shards == 0 ? 1 : shards),
+      replicas_(replicas == 0 ? 1 : replicas) {
+  points_.reserve(shards_ * replicas_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    for (std::size_t r = 0; r < replicas_; ++r) {
+      // Mix the shard into the high half and the replica into the low so
+      // (1, 0) and (0, 1) never collide structurally before hashing.
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(s) << 32) | static_cast<std::uint32_t>(r);
+      points_.push_back({mix64(key), static_cast<std::uint32_t>(s)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Tie-break on shard id so equal hashes (vanishingly rare
+              // but possible) still sort deterministically.
+              return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+            });
+}
+
+std::size_t HashRing::shard_of(ClientId client) const {
+  const std::uint64_t h = mix64(client);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->shard;
+}
+
+}  // namespace webppm::cluster

@@ -1,0 +1,658 @@
+#include "cluster/router.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "fault/fault.hpp"
+
+namespace webppm::cluster {
+namespace {
+
+using net::now_ms;
+using net::OwnedFd;
+
+constexpr int kTickMs = 100;  ///< upper bound on stop-flag latency
+constexpr std::size_t kReadChunkBytes = 16 * 1024;
+constexpr std::size_t kAdminRequestCapBytes = 4 * 1024;
+
+std::string errno_string() { return std::strerror(errno); }
+
+/// Blocking listener (the router's connection handling is thread-per-conn;
+/// only accept() needs to poll for the stop flag). port 0 = ephemeral.
+std::string open_listener(const std::string& host, std::uint16_t port,
+                          OwnedFd& out, std::uint16_t* bound_port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return "socket: " + errno_string();
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return "inet_pton " + host + ": invalid address";
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    return "bind " + host + ":" + std::to_string(port) + ": " +
+           errno_string();
+  }
+  if (::listen(fd.get(), 128) != 0) return "listen: " + errno_string();
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    return "getsockname: " + errno_string();
+  }
+  *bound_port = ntohs(bound.sin_port);
+  out = std::move(fd);
+  return {};
+}
+
+void set_recv_timeout(int fd, std::uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// The router's own degraded answer for one query: kRetryLater with
+/// snapshot version 0 (the router serves no snapshot — version 0 marks
+/// the answer as router-degraded, distinguishable from any shard's).
+net::WireResponse retry_later_response() {
+  net::WireResponse resp;
+  resp.status = net::Status::kRetryLater;
+  resp.snapshot_version = 0;
+  return resp;
+}
+
+}  // namespace
+
+PredictRouter::PredictRouter(RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.shards.empty() ? 1 : config_.shards.size(),
+            config_.ring_replicas),
+      budget_(config_.retry_budget) {
+  if (config_.max_frame_bytes == 0) {
+    config_.max_frame_bytes = net::kDefaultMaxFrameBytes;
+  }
+  if (config_.metrics != nullptr) {
+    auto& reg = *config_.metrics;
+    ins_ = std::make_unique<ClusterInstruments>(ClusterInstruments{
+        &reg.counter("webppm_cluster_requests_total"),
+        &reg.counter("webppm_cluster_responses_total"),
+        &reg.counter("webppm_cluster_batches_total"),
+        &reg.counter("webppm_cluster_retries_total"),
+        &reg.counter("webppm_cluster_connect_failures_total"),
+        &reg.counter("webppm_cluster_send_failures_total"),
+        &reg.counter("webppm_cluster_read_failures_total"),
+        &reg.counter("webppm_cluster_retry_later_total"),
+        &reg.counter("webppm_cluster_breaker_opens_total"),
+        &reg.counter("webppm_cluster_breaker_closes_total"),
+        &reg.counter("webppm_cluster_retry_budget_waits_total"),
+        &reg.counter("webppm_cluster_give_ups_total"),
+        &reg.counter("webppm_cluster_quiesces_total"),
+        &reg.counter("webppm_cluster_readmits_total"),
+        &reg.counter("webppm_cluster_probes_total"),
+        &reg.counter("webppm_cluster_probe_failures_total"),
+        &reg.counter("webppm_cluster_protocol_errors_total"),
+        &reg.counter("webppm_cluster_shed_total"),
+        &reg.gauge("webppm_cluster_version_skew"),
+        &reg.gauge("webppm_cluster_shards_serving"),
+        &reg.gauge("webppm_cluster_breakers_open"),
+    });
+  }
+  upstreams_.reserve(config_.shards.size());
+  for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+    UpstreamConfig ucfg = config_.upstream;
+    ucfg.endpoint = config_.shards[i];
+    ucfg.seed = config_.upstream.seed + i;
+    upstreams_.push_back(std::make_unique<Upstream>(
+        std::move(ucfg), &budget_, &stopping_, ins_.get()));
+  }
+  health_.resize(config_.shards.size());
+}
+
+PredictRouter::~PredictRouter() { shutdown(); }
+
+void PredictRouter::count(std::atomic<std::uint64_t>& exact,
+                          obs::Counter* mirror, std::uint64_t n) {
+  exact.fetch_add(n, std::memory_order_relaxed);
+  if (mirror != nullptr) mirror->add(n);
+}
+
+bool PredictRouter::start(std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "already started";
+    return false;
+  }
+  if (upstreams_.empty()) {
+    if (error != nullptr) *error = "no shards configured";
+    return false;
+  }
+  std::string err =
+      open_listener(config_.host, config_.port, listen_fd_, &port_);
+  if (!err.empty()) {
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  if (config_.admin) {
+    err = open_listener(config_.host, config_.admin_port, admin_fd_,
+                        &admin_port_);
+    if (!err.empty()) {
+      listen_fd_.reset();
+      if (error != nullptr) *error = "admin " + err;
+      return false;
+    }
+  }
+  started_ = true;
+  stopping_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { acceptor_main(); });
+  if (config_.probe_interval_ms != 0) {
+    prober_ = std::thread([this] { prober_main(); });
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+void PredictRouter::shutdown() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (prober_.joinable()) prober_.join();
+  reap_finished(/*all=*/true);
+  listen_fd_.reset();
+  admin_fd_.reset();
+  started_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Accept loop (downstream + admin).
+
+void PredictRouter::acceptor_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    nfds_t nfds = 0;
+    fds[nfds++] = {listen_fd_.get(), POLLIN, 0};
+    if (admin_fd_.valid()) fds[nfds++] = {admin_fd_.get(), POLLIN, 0};
+    const int r = ::poll(fds, nfds, kTickMs);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) {
+      reap_finished(/*all=*/false);
+      continue;
+    }
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept4(listen_fd_.get(), nullptr, nullptr,
+                               SOCK_CLOEXEC);
+      if (fd >= 0) {
+        count(accepted_, nullptr);
+        if (active_.load(std::memory_order_relaxed) >=
+            config_.max_connections) {
+          // Mirror PredictServer's shed contract: one kRetryLater frame,
+          // then close. The client backs off and retries.
+          count(shed_, ins_ != nullptr ? ins_->shed : nullptr);
+          std::vector<std::uint8_t> frame;
+          net::encode_response(retry_later_response(), frame);
+          send_all(fd, frame.data(), frame.size());
+          ::close(fd);
+        } else {
+          const int one = 1;
+          ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+          set_recv_timeout(fd, kTickMs);
+          auto conn = std::make_unique<DownConn>();
+          conn->fd = fd;
+          DownConn* raw = conn.get();
+          active_.fetch_add(1, std::memory_order_relaxed);
+          {
+            std::lock_guard lk(conns_mu_);
+            conns_.push_back(std::move(conn));
+          }
+          raw->thread = std::thread([this, raw] { conn_main(raw); });
+        }
+      }
+    }
+    if (nfds > 1 && (fds[1].revents & POLLIN)) {
+      const int fd = ::accept4(admin_fd_.get(), nullptr, nullptr,
+                               SOCK_CLOEXEC);
+      if (fd >= 0) handle_admin(fd);
+    }
+    reap_finished(/*all=*/false);
+  }
+}
+
+void PredictRouter::reap_finished(bool all) {
+  std::vector<std::unique_ptr<DownConn>> reap;
+  {
+    std::lock_guard lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (all || (*it)->done.load(std::memory_order_acquire)) {
+        reap.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& c : reap) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Downstream connection: blocking read loop, one thread per connection.
+
+void PredictRouter::conn_main(DownConn* c) {
+  std::vector<std::uint8_t> in;
+  std::vector<std::uint8_t> out;
+  std::size_t parsed = 0;  // bytes of `in` already consumed by frames
+  net::FrameParser parser(config_.max_frame_bytes);
+  std::uint8_t chunk[kReadChunkBytes];
+  bool close_conn = false;
+
+  while (!close_conn && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::read(c->fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;  // SO_RCVTIMEO tick: re-check the stop flag
+      }
+      break;
+    }
+    if (n == 0) break;  // client closed
+    in.insert(in.end(), chunk, chunk + n);
+
+    for (;;) {
+      const auto frame = parser.next(
+          std::span<const std::uint8_t>(in).subspan(parsed));
+      if (frame.result == net::FrameParser::Result::kNeedMore) break;
+      if (frame.result == net::FrameParser::Result::kBad) {
+        // Mirror the server: answer kBadRequest, then close after flush.
+        count(protocol_errors_,
+              ins_ != nullptr ? ins_->protocol_errors : nullptr);
+        net::WireResponse bad;
+        bad.status = net::Status::kBadRequest;
+        out.clear();
+        net::encode_response(bad, out);
+        send_all(c->fd, out.data(), out.size());
+        close_conn = true;
+        break;
+      }
+      const auto whole = std::span<const std::uint8_t>(in).subspan(
+          parsed, frame.consumed);
+      out.clear();
+      const bool keep = handle_frame(whole, frame.body, out);
+      if (!out.empty() && !send_all(c->fd, out.data(), out.size())) {
+        close_conn = true;
+        break;
+      }
+      if (!keep) {
+        close_conn = true;
+        break;
+      }
+      parsed += frame.consumed;
+    }
+    if (parsed > 0) {
+      // Compact the consumed prefix so a pipelining client cannot grow
+      // the buffer without bound.
+      in.erase(in.begin(),
+               in.begin() + static_cast<std::ptrdiff_t>(parsed));
+      parsed = 0;
+    }
+  }
+  ::close(c->fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  c->done.store(true, std::memory_order_release);
+}
+
+bool PredictRouter::handle_frame(std::span<const std::uint8_t> frame,
+                                 std::span<const std::uint8_t> body,
+                                 std::vector<std::uint8_t>& out) {
+  const std::uint8_t version = net::frame_version(body);
+  if (version == net::kWireVersion) {
+    net::WireRequest req;
+    const auto derr = net::decode_request(body, req);
+    if (!derr.ok()) {
+      count(protocol_errors_,
+            ins_ != nullptr ? ins_->protocol_errors : nullptr);
+      net::WireResponse bad;
+      bad.status = net::Status::kBadRequest;
+      net::encode_response(bad, out);
+      return false;
+    }
+    count(requests_, ins_ != nullptr ? ins_->requests : nullptr);
+    const std::size_t shard = ring_.shard_of(req.client);
+    std::vector<std::uint8_t> resp;
+    std::string err;
+    if (upstreams_[shard]->round_trip(frame, config_.max_frame_bytes, resp,
+                                      &err)) {
+      out.insert(out.end(), resp.begin(), resp.end());
+    } else {
+      // Budget spent: degrade this one answer; the connection lives on.
+      count(degraded_, nullptr);
+      net::encode_response(retry_later_response(), out);
+    }
+    count(responses_, ins_ != nullptr ? ins_->responses : nullptr);
+    return true;
+  }
+  if (version == net::kWireVersionBatch) {
+    std::vector<net::WireRequest> entries;
+    const auto derr = net::decode_batch_request(body, entries);
+    if (!derr.ok()) {
+      count(protocol_errors_,
+            ins_ != nullptr ? ins_->protocol_errors : nullptr);
+      net::WireResponse bad;
+      bad.status = net::Status::kBadRequest;
+      net::encode_response(bad, out);
+      return false;
+    }
+    count(batches_, ins_ != nullptr ? ins_->batches : nullptr);
+    count(requests_, ins_ != nullptr ? ins_->requests : nullptr,
+          entries.size());
+    handle_batch(frame, entries, out);
+    count(responses_, ins_ != nullptr ? ins_->responses : nullptr,
+          entries.size());
+    return true;
+  }
+  // Unknown version byte inside a well-framed body: the server's decoders
+  // would answer kBadRequest; match that, close after flush.
+  count(protocol_errors_,
+        ins_ != nullptr ? ins_->protocol_errors : nullptr);
+  net::WireResponse bad;
+  bad.status = net::Status::kBadRequest;
+  net::encode_response(bad, out);
+  return false;
+}
+
+void PredictRouter::handle_batch(std::span<const std::uint8_t> frame,
+                                 const std::vector<net::WireRequest>& entries,
+                                 std::vector<std::uint8_t>& out) {
+  const std::uint32_t resp_cap =
+      std::max(config_.max_frame_bytes, net::kDefaultMaxBatchFrameBytes);
+
+  // Map entries to shards; detect the single-shard fast path.
+  std::vector<std::uint32_t> entry_shard(entries.size());
+  bool single = true;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entry_shard[i] = static_cast<std::uint32_t>(ring_.shard_of(entries[i].client));
+    if (entry_shard[i] != entry_shard[0]) single = false;
+  }
+
+  if (single) {
+    // Whole batch belongs to one shard (the common case under
+    // client-disjoint load): forward the frame verbatim and relay the
+    // shard's batch response byte-for-byte.
+    std::vector<std::uint8_t> resp;
+    std::string err;
+    if (upstreams_[entry_shard[0]]->round_trip(frame, resp_cap, resp, &err)) {
+      out.insert(out.end(), resp.begin(), resp.end());
+      return;
+    }
+    count(degraded_, nullptr, entries.size());
+    std::vector<net::WireResponse> slots(entries.size(),
+                                         retry_later_response());
+    net::encode_batch_response(slots, out);
+    return;
+  }
+
+  // Mixed batch: split into per-shard sub-batches (entry order within a
+  // shard preserved), round-trip each sequentially, reassemble by the
+  // original slot. Re-encoding a decoded sub-response is bit-exact, so
+  // the reassembled frame matches what one big server would emit.
+  std::vector<net::WireResponse> slots(entries.size());
+  std::vector<std::uint32_t> shards_in_order;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (std::find(shards_in_order.begin(), shards_in_order.end(),
+                  entry_shard[i]) == shards_in_order.end()) {
+      shards_in_order.push_back(entry_shard[i]);
+    }
+  }
+  std::vector<net::WireRequest> sub;
+  std::vector<std::size_t> sub_slots;
+  std::vector<std::uint8_t> sub_frame, resp;
+  std::vector<net::WireResponse> sub_resps;
+  for (const std::uint32_t s : shards_in_order) {
+    sub.clear();
+    sub_slots.clear();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entry_shard[i] == s) {
+        sub.push_back(entries[i]);
+        sub_slots.push_back(i);
+      }
+    }
+    sub_frame.clear();
+    net::encode_batch_request(sub, sub_frame);
+    std::string err;
+    bool ok =
+        upstreams_[s]->round_trip(sub_frame, resp_cap, resp, &err);
+    if (ok) {
+      const auto rbody = std::span<const std::uint8_t>(resp).subspan(
+          net::kFrameHeaderBytes);
+      ok = net::decode_batch_response(rbody, sub_resps).ok() &&
+           sub_resps.size() == sub_slots.size();
+    }
+    if (ok) {
+      for (std::size_t j = 0; j < sub_slots.size(); ++j) {
+        slots[sub_slots[j]] = std::move(sub_resps[j]);
+      }
+    } else {
+      // This shard's slice degrades per-slot; the other shards' answers
+      // in the same batch are untouched.
+      count(degraded_, nullptr, sub_slots.size());
+      for (const std::size_t slot : sub_slots) {
+        slots[slot] = retry_later_response();
+      }
+    }
+  }
+  net::encode_batch_response(slots, out);
+}
+
+// ---------------------------------------------------------------------------
+// Health prober: per-shard GET /healthz on a cadence.
+
+void PredictRouter::prober_main() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    for (std::size_t i = 0; i < upstreams_.size(); ++i) {
+      if (stopping_.load(std::memory_order_acquire)) break;
+      const auto& ep = upstreams_[i]->endpoint();
+      if (ep.admin_port == 0) continue;
+      count(probes_, ins_ != nullptr ? ins_->probes : nullptr);
+      ShardHealth h;
+      std::string err;
+      std::string body;
+      if (WEBPPM_FAULT_INJECT("cluster.probe")) {
+        // Injected probe failure: the shard is fine but this round's
+        // probe is lost — the prober must degrade gracefully (keep the
+        // breaker state, mark unreachable) without flapping the cluster.
+        err = "injected probe failure";
+      } else {
+        body = net::fetch_admin(ep.host, ep.admin_port, "/healthz", &err);
+      }
+      if (err.empty() && net::parse_healthz(body, h.info)) {
+        h.reachable = true;
+        upstreams_[i]->note_probe(h.info.serving());
+      } else {
+        count(probe_failures_,
+              ins_ != nullptr ? ins_->probe_failures : nullptr);
+      }
+      {
+        std::lock_guard lk(health_mu_);
+        health_[i] = h;
+      }
+    }
+    refresh_gauges();
+    const std::uint64_t deadline = now_ms() + config_.probe_interval_ms;
+    while (!stopping_.load(std::memory_order_acquire) &&
+           now_ms() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min<std::uint64_t>(20, config_.probe_interval_ms)));
+    }
+  }
+}
+
+PredictRouter::ShardHealth PredictRouter::shard_health(
+    std::size_t shard) const {
+  std::lock_guard lk(health_mu_);
+  return health_[shard];
+}
+
+std::uint64_t PredictRouter::version_skew() const {
+  std::uint64_t lo = ~0ull, hi = 0;
+  std::size_t seen = 0;
+  std::lock_guard lk(health_mu_);
+  for (const auto& h : health_) {
+    if (!h.reachable || !h.info.serving()) continue;
+    lo = std::min(lo, h.info.version);
+    hi = std::max(hi, h.info.version);
+    ++seen;
+  }
+  return seen >= 2 ? hi - lo : 0;
+}
+
+void PredictRouter::refresh_gauges() {
+  std::int64_t serving = 0;
+  {
+    std::lock_guard lk(health_mu_);
+    for (const auto& h : health_) {
+      if (h.reachable && h.info.serving()) ++serving;
+    }
+  }
+  std::int64_t open = 0;
+  for (const auto& u : upstreams_) {
+    if (u->breaker_open()) ++open;
+  }
+  if (ins_ != nullptr) {
+    if (ins_->version_skew != nullptr) {
+      ins_->version_skew->set(static_cast<std::int64_t>(version_skew()));
+    }
+    if (ins_->shards_serving != nullptr) ins_->shards_serving->set(serving);
+    if (ins_->breakers_open != nullptr) ins_->breakers_open->set(open);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admin listener (text): GET /metrics, /healthz, /cluster.
+
+void PredictRouter::handle_admin(int fd) {
+  set_recv_timeout(fd, 1000);
+  std::string in;
+  char buf[1024];
+  while (in.find("\r\n\r\n") == std::string::npos &&
+         in.size() <= kAdminRequestCapBytes) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    in.append(buf, static_cast<std::size_t>(n));
+  }
+  if (in.find("\r\n\r\n") != std::string::npos) {
+    const std::string resp = admin_response(in.substr(0, in.find("\r\n")));
+    send_all(fd, reinterpret_cast<const std::uint8_t*>(resp.data()),
+             resp.size());
+  }
+  ::close(fd);
+}
+
+std::string PredictRouter::admin_response(const std::string& request_line) {
+  std::string body;
+  std::string status = "200 OK";
+  const bool get = request_line.rfind("GET ", 0) == 0;
+  const std::string path =
+      get ? request_line.substr(4, request_line.find(' ', 4) - 4) : "";
+  if (!get) {
+    status = "400 Bad Request";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics") {
+    if (config_.metrics == nullptr) {
+      status = "503 Service Unavailable";
+      body = "no metrics registry attached\n";
+    } else {
+      refresh_gauges();
+      body = config_.metrics->prometheus_text();
+    }
+  } else if (path == "/healthz") {
+    // The router serves no snapshot itself; its health is "can it route".
+    std::size_t reachable = 0;
+    {
+      std::lock_guard lk(health_mu_);
+      for (const auto& h : health_) {
+        if (h.reachable && h.info.serving()) ++reachable;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      status = "503 Service Unavailable";
+      body = "draining\n";
+    } else if (config_.probe_interval_ms != 0 && reachable == 0) {
+      status = "503 Service Unavailable";
+      body = "no-shards\n";
+    } else if (config_.probe_interval_ms != 0 &&
+               reachable < upstreams_.size()) {
+      body = "degraded\n";  // routing, but some shards are out: 200
+    } else {
+      body = "ok\n";
+    }
+    body.append("shards ").append(std::to_string(upstreams_.size()));
+    body.append("\nserving ").append(std::to_string(reachable));
+    body.append("\nversion_skew ").append(std::to_string(version_skew()));
+    body.append("\n");
+  } else if (path == "/cluster") {
+    // One line per shard: state the supervisor and a human both read.
+    // Skew first — version_skew() takes health_mu_ itself.
+    const std::uint64_t skew = version_skew();
+    std::lock_guard lk(health_mu_);
+    for (std::size_t i = 0; i < upstreams_.size(); ++i) {
+      const auto& u = *upstreams_[i];
+      const auto& h = health_[i];
+      body.append("shard ").append(std::to_string(i));
+      body.append(" endpoint ")
+          .append(u.endpoint().host)
+          .append(":")
+          .append(std::to_string(u.endpoint().port));
+      body.append(" state ").append(
+          !h.reachable ? "unreachable"
+                       : (h.info.state.empty() ? "unknown" : h.info.state));
+      body.append(" version ").append(std::to_string(h.info.version));
+      body.append(" breaker ").append(u.breaker_open() ? "open" : "closed");
+      body.append(" admitting ").append(u.admitting() ? "1" : "0");
+      body.append(" retries ")
+          .append(std::to_string(
+              u.counters().retries.load(std::memory_order_relaxed)));
+      body.append(" give_ups ")
+          .append(std::to_string(
+              u.counters().give_ups.load(std::memory_order_relaxed)));
+      body.append("\n");
+    }
+    body.append("version_skew ").append(std::to_string(skew));
+    body.append("\n");
+  } else {
+    status = "404 Not Found";
+    body = "unknown path " + path + "\n";
+  }
+  std::string resp = "HTTP/1.0 " + status +
+                     "\r\nContent-Type: text/plain; version=0.0.4\r\n"
+                     "Content-Length: " +
+                     std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
+  resp += body;
+  return resp;
+}
+
+}  // namespace webppm::cluster

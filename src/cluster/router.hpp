@@ -1,0 +1,189 @@
+// cluster::PredictRouter — the front door of a sharded prediction cluster
+// (DESIGN.md §14).
+//
+// Clients speak the ordinary v1/v2 wire protocol to the router as if it
+// were one big PredictServer; the router consistent-hashes each query's
+// ClientId onto its shard (HashRing) and forwards the frame over that
+// shard's Upstream pool, relaying the answer byte-for-byte. A v2 batch
+// whose entries all hash to one shard is forwarded verbatim (the common
+// case under client-disjoint load); a mixed batch is split into per-shard
+// sub-batches and the sub-answers reassembled in the original entry order
+// — re-encoding a decoded sub-response is bit-exact, so either path yields
+// the same bytes one big server would have sent.
+//
+// Failure contract: a round trip that exhausts its retry/deadline budget
+// degrades to a kRetryLater answer for that one query (batch entries from
+// a failed shard degrade per-slot); the connection stays up, nothing is
+// silently dropped, and every retry, breaker transition, and give-up is
+// accounted in webppm_cluster_* metrics. Shard death is survived by the
+// Upstream breaker + the health prober (GET /healthz per shard, parsed by
+// net::parse_healthz) — never by remapping clients: a shard's ModelServer
+// holds its clients' session contexts, so remapping would change answers.
+// The prober also feeds the webppm_cluster_version_skew gauge (max-min
+// serving snapshot version across reachable shards), the signal the
+// ShardSupervisor drives rolling restarts by.
+//
+// Threading: one blocking thread per downstream connection (the router is
+// IO-bound on upstream round trips, and closed-loop clients hold exactly
+// one frame in flight), an acceptor thread that also serves the admin
+// listener (GET /metrics, /healthz, /cluster), and the prober thread.
+// Shutdown is drain-then-stop: in-flight round trips complete and their
+// answers flush before the sockets close.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/upstream.hpp"
+#include "net/load_client.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace webppm::cluster {
+
+struct RouterConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  bool admin = true;
+  std::uint16_t admin_port = 0;  ///< 0 = ephemeral (admin_port())
+  /// The shards, in ring order. Fixed for the router's lifetime.
+  std::vector<ShardEndpoint> shards;
+  std::size_t ring_replicas = 64;
+  /// Downstream connection cap; excess connections get one kRetryLater
+  /// frame and a close, mirroring PredictServer's shed contract.
+  std::size_t max_connections = 1024;
+  /// Cap on client-claimed request frames (and v1 response frames).
+  std::uint32_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+  /// Per-shard upstream template; `endpoint` and `seed` are overwritten
+  /// per shard (seed + shard index keeps jitter streams distinct).
+  UpstreamConfig upstream;
+  /// Concurrent round trips allowed in their retry phase, router-wide.
+  std::size_t retry_budget = 8;
+  /// /healthz probe cadence; 0 disables the prober (breakers then rely on
+  /// half-open trials alone, and version_skew() reads as unknown).
+  std::uint64_t probe_interval_ms = 100;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class PredictRouter {
+ public:
+  explicit PredictRouter(RouterConfig config);
+  ~PredictRouter();
+
+  PredictRouter(const PredictRouter&) = delete;
+  PredictRouter& operator=(const PredictRouter&) = delete;
+
+  /// Binds, spawns acceptor + prober. False with *error on bind failure.
+  bool start(std::string* error);
+  /// Drain-then-stop: stop accepting/reading, let in-flight round trips
+  /// finish and flush, join every thread. Idempotent.
+  void shutdown();
+
+  std::uint16_t port() const { return port_; }
+  std::uint16_t admin_port() const { return admin_port_; }
+
+  const HashRing& ring() const { return ring_; }
+  std::size_t shard_of(ClientId client) const { return ring_.shard_of(client); }
+  std::size_t shard_count() const { return upstreams_.size(); }
+  Upstream& upstream(std::size_t shard) { return *upstreams_[shard]; }
+
+  /// Supervisor hooks for a rolling restart: quiesce parks the shard's
+  /// new round trips at the admission gate and waits out in-flight IO;
+  /// readmit reopens after the restarted shard probes healthy.
+  void quiesce_shard(std::size_t shard) { upstreams_[shard]->quiesce(); }
+  void readmit_shard(std::size_t shard) { upstreams_[shard]->readmit(); }
+
+  /// Last probe result for one shard (all-defaults before the first
+  /// probe round or with the prober disabled).
+  struct ShardHealth {
+    bool reachable = false;
+    net::HealthzInfo info;
+  };
+  ShardHealth shard_health(std::size_t shard) const;
+  /// max - min serving snapshot version across reachable serving shards
+  /// (0 when fewer than two are reachable — skew needs a pair to exist).
+  std::uint64_t version_skew() const;
+
+  // Exact counters, maintained whether or not a registry is attached (the
+  // webppm_cluster_* metrics mirror them one-to-one). Per-shard upstream
+  // counters are on upstream(i).counters().
+  std::uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+  std::uint64_t responses() const { return responses_.load(std::memory_order_relaxed); }
+  std::uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  std::uint64_t degraded_responses() const { return degraded_.load(std::memory_order_relaxed); }
+  std::uint64_t protocol_errors() const { return protocol_errors_.load(std::memory_order_relaxed); }
+  std::uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  std::uint64_t accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  std::uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
+  std::uint64_t probe_failures() const { return probe_failures_.load(std::memory_order_relaxed); }
+  std::uint64_t retry_budget_waits() const { return budget_.waits(); }
+
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  struct DownConn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void acceptor_main();
+  void prober_main();
+  void conn_main(DownConn* c);
+  /// Handles one parsed frame (full bytes incl. header); appends the
+  /// response frame(s) to `out`. Returns false when the connection must
+  /// close after flushing (protocol error).
+  bool handle_frame(std::span<const std::uint8_t> frame,
+                    std::span<const std::uint8_t> body,
+                    std::vector<std::uint8_t>& out);
+  void handle_batch(std::span<const std::uint8_t> frame,
+                    const std::vector<net::WireRequest>& entries,
+                    std::vector<std::uint8_t>& out);
+  void handle_admin(int fd);
+  std::string admin_response(const std::string& request_line);
+  void reap_finished(bool all);
+  void refresh_gauges();
+
+  void count(std::atomic<std::uint64_t>& exact, obs::Counter* mirror,
+             std::uint64_t n = 1);
+
+  RouterConfig config_;
+  HashRing ring_;
+  RetryBudget budget_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::unique_ptr<ClusterInstruments> ins_;
+  std::vector<std::unique_ptr<Upstream>> upstreams_;
+
+  net::OwnedFd listen_fd_;
+  net::OwnedFd admin_fd_;
+  std::uint16_t port_ = 0;
+  std::uint16_t admin_port_ = 0;
+  std::thread acceptor_;
+  std::thread prober_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<DownConn>> conns_;
+  std::atomic<std::size_t> active_{0};
+
+  mutable std::mutex health_mu_;
+  std::vector<ShardHealth> health_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> probe_failures_{0};
+};
+
+}  // namespace webppm::cluster

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -109,38 +110,100 @@ struct ConnOutcome {
   std::uint64_t requests = 0;
   std::uint64_t responses = 0;
   std::array<std::uint64_t, 6> status_counts{};
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
   std::vector<double> latencies_us;
   std::vector<std::vector<std::uint8_t>> frames;
   std::string error;
 };
 
+/// Transient-failure bookkeeping for one exchange: charges one unit of the
+/// retry budget and sleeps the backoff delay. Returns false when the budget
+/// is spent — the caller fails the connection with `err`.
+bool charge_retry(Backoff& backoff,
+                  std::size_t& attempts_left, ConnOutcome& oc,
+                  const std::string& err) {
+  if (attempts_left == 0) {
+    oc.error = err.empty() ? "retry budget exhausted" : err;
+    return false;
+  }
+  --attempts_left;
+  ++oc.retries;
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(backoff.next_delay_ms()));
+  return true;
+}
+
+/// Re-establishes `fd` if it died. Returns false on connect failure with
+/// `*err` set (a transient — the caller charges the retry budget).
+bool ensure_connected(OwnedFd& fd, const LoadClientConfig& config,
+                      ConnOutcome& oc, std::string* err) {
+  if (fd.valid()) return true;
+  fd = connect_to(config.host, config.port, err);
+  if (!fd.valid()) return false;
+  ++oc.reconnects;
+  return true;
+}
+
 /// Closed-loop v1 replay of one connection's shard: one frame per query.
-void run_conn_single(int fd, const LoadClientConfig& config,
-                     std::span<const WireRequest> reqs, ConnOutcome& oc) {
+/// With max_retries > 0, a kRetryLater response or a dead socket is
+/// retried (reconnecting as needed) under capped backoff; the query's
+/// latency is its *total* elapsed time across attempts.
+void run_conn_single(OwnedFd& fd, const LoadClientConfig& config,
+                     std::span<const WireRequest> reqs, Backoff& backoff,
+                     ConnOutcome& oc) {
   std::vector<std::uint8_t> req_buf, resp_frame;
   for (const auto& req : reqs) {
     req_buf.clear();
     encode_request(req, req_buf);
     const auto q0 = Clock::now();
-    if (!write_all(fd, req_buf.data(), req_buf.size(), &oc.error)) return;
-    ++oc.requests;
-    if (!read_frame(fd, config.max_frame_bytes, resp_frame, &oc.error)) {
-      return;
+    std::size_t attempts_left = config.max_retries;
+    bool counted = false;  // each query lands in oc.requests exactly once
+    for (;;) {
+      std::string err;
+      if (!ensure_connected(fd, config, oc, &err) ||
+          !write_all(fd.get(), req_buf.data(), req_buf.size(), &err)) {
+        fd.reset();
+        if (!charge_retry(backoff, attempts_left, oc, err)) return;
+        continue;
+      }
+      if (!counted) {
+        ++oc.requests;
+        counted = true;
+      }
+      if (!read_frame(fd.get(), config.max_frame_bytes, resp_frame, &err)) {
+        fd.reset();
+        if (!charge_retry(backoff, attempts_left, oc, err)) return;
+        continue;
+      }
+      WireResponse resp;
+      const auto derr = decode_response(
+          std::span<const std::uint8_t>(resp_frame)
+              .subspan(kFrameHeaderBytes),
+          resp);
+      if (!derr.ok()) {
+        oc.error = "response decode: " + derr.reason;
+        return;
+      }
+      if (resp.status == Status::kRetryLater && attempts_left > 0) {
+        // Shed signal: the server closes the connection right after this
+        // frame, so drop the socket and retry the same query on a fresh
+        // one. Counted in status_counts + retries, never recorded — the
+        // final successful frame is what byte-identity compares.
+        ++oc.status_counts[static_cast<std::size_t>(resp.status)];
+        fd.reset();
+        if (!charge_retry(backoff, attempts_left, oc, {})) return;
+        continue;
+      }
+      oc.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(Clock::now() - q0)
+              .count());
+      ++oc.responses;
+      ++oc.status_counts[static_cast<std::size_t>(resp.status)];
+      if (config.record_responses) oc.frames.push_back(resp_frame);
+      break;
     }
-    oc.latencies_us.push_back(
-        std::chrono::duration<double, std::micro>(Clock::now() - q0)
-            .count());
-    ++oc.responses;
-    WireResponse resp;
-    const auto err = decode_response(
-        std::span<const std::uint8_t>(resp_frame).subspan(kFrameHeaderBytes),
-        resp);
-    if (!err.ok()) {
-      oc.error = "response decode: " + err.reason;
-      return;
-    }
-    ++oc.status_counts[static_cast<std::size_t>(resp.status)];
-    if (config.record_responses) oc.frames.push_back(resp_frame);
+    backoff.reset();
   }
 }
 
@@ -148,8 +211,14 @@ void run_conn_single(int fd, const LoadClientConfig& config,
 /// frame's round-trip is recorded once per sub-request — every query in it
 /// left and returned on the same wire exchange, so that *is* each one's
 /// latency; percentiles stay per-request and comparable with v1 runs.
-void run_conn_batched(int fd, const LoadClientConfig& config,
-                      std::span<const WireRequest> reqs, ConnOutcome& oc) {
+/// Retry semantics (max_retries > 0): a whole-frame v1 kRetryLater answer
+/// (the server shed the frame before touching any entry) and dead-socket
+/// IO are retried like the v1 path; per-entry kRetryLater statuses inside
+/// a decoded batch are final — their siblings already consumed their
+/// clicks, so resending the frame would double-feed those sessions.
+void run_conn_batched(OwnedFd& fd, const LoadClientConfig& config,
+                      std::span<const WireRequest> reqs, Backoff& backoff,
+                      ConnOutcome& oc) {
   const std::uint32_t resp_cap =
       std::max(config.max_frame_bytes, kDefaultMaxBatchFrameBytes);
   std::vector<std::uint8_t> req_buf, resp_frame;
@@ -159,29 +228,61 @@ void run_conn_batched(int fd, const LoadClientConfig& config,
     req_buf.clear();
     encode_batch_request(reqs.subspan(off, n), req_buf);
     const auto q0 = Clock::now();
-    if (!write_all(fd, req_buf.data(), req_buf.size(), &oc.error)) return;
-    oc.requests += n;
-    if (!read_frame(fd, resp_cap, resp_frame, &oc.error)) return;
-    const double rtt_us =
-        std::chrono::duration<double, std::micro>(Clock::now() - q0).count();
-    const auto err = decode_batch_response(
-        std::span<const std::uint8_t>(resp_frame).subspan(kFrameHeaderBytes),
-        subs);
-    if (!err.ok()) {
-      oc.error = "batch response decode: " + err.reason;
-      return;
+    std::size_t attempts_left = config.max_retries;
+    bool counted = false;
+    for (;;) {
+      std::string err;
+      if (!ensure_connected(fd, config, oc, &err) ||
+          !write_all(fd.get(), req_buf.data(), req_buf.size(), &err)) {
+        fd.reset();
+        if (!charge_retry(backoff, attempts_left, oc, err)) return;
+        continue;
+      }
+      if (!counted) {
+        oc.requests += n;
+        counted = true;
+      }
+      if (!read_frame(fd.get(), resp_cap, resp_frame, &err)) {
+        fd.reset();
+        if (!charge_retry(backoff, attempts_left, oc, err)) return;
+        continue;
+      }
+      const auto body = std::span<const std::uint8_t>(resp_frame)
+                            .subspan(kFrameHeaderBytes);
+      if (frame_version(body) == kWireVersion && attempts_left > 0) {
+        // A v1 frame answering a v2 batch is the shed path: the server
+        // refused the whole frame (kRetryLater) before decoding entries.
+        WireResponse shed;
+        if (decode_response(body, shed).ok() &&
+            shed.status == Status::kRetryLater) {
+          ++oc.status_counts[static_cast<std::size_t>(shed.status)];
+          fd.reset();
+          if (!charge_retry(backoff, attempts_left, oc, {})) return;
+          continue;
+        }
+      }
+      const auto derr = decode_batch_response(body, subs);
+      if (!derr.ok()) {
+        oc.error = "batch response decode: " + derr.reason;
+        return;
+      }
+      if (subs.size() != n) {
+        oc.error = "batch response carries " + std::to_string(subs.size()) +
+                   " sub-responses, sent " + std::to_string(n);
+        return;
+      }
+      const double rtt_us =
+          std::chrono::duration<double, std::micro>(Clock::now() - q0)
+              .count();
+      for (const auto& sub : subs) {
+        ++oc.status_counts[static_cast<std::size_t>(sub.status)];
+        oc.latencies_us.push_back(rtt_us);
+      }
+      oc.responses += n;
+      if (config.record_responses) oc.frames.push_back(resp_frame);
+      break;
     }
-    if (subs.size() != n) {
-      oc.error = "batch response carries " + std::to_string(subs.size()) +
-                 " sub-responses, sent " + std::to_string(n);
-      return;
-    }
-    for (const auto& sub : subs) {
-      ++oc.status_counts[static_cast<std::size_t>(sub.status)];
-      oc.latencies_us.push_back(rtt_us);
-    }
-    oc.responses += n;
-    if (config.record_responses) oc.frames.push_back(resp_frame);
+    backoff.reset();
   }
 }
 
@@ -222,13 +323,15 @@ LoadClientResult LoadClient::run_sharded(
     threads.emplace_back([this, &shards, &outcomes, i] {
       ConnOutcome& oc = outcomes[i];
       OwnedFd fd = connect_to(config_.host, config_.port, &oc.error);
-      if (!fd.valid()) return;
+      if (!fd.valid() && config_.max_retries == 0) return;
       if (config_.record_responses) oc.frames.reserve(shards[i].size());
       oc.latencies_us.reserve(shards[i].size());
+      Backoff backoff(config_.retry_backoff, config_.retry_seed + i);
+      oc.error.clear();  // a failed first connect retries inside run_conn_*
       if (config_.batch_size == 0) {
-        run_conn_single(fd.get(), config_, shards[i], oc);
+        run_conn_single(fd, config_, shards[i], backoff, oc);
       } else {
-        run_conn_batched(fd.get(), config_, shards[i], oc);
+        run_conn_batched(fd, config_, shards[i], backoff, oc);
       }
     });
   }
@@ -243,6 +346,8 @@ LoadClientResult LoadClient::run_sharded(
   for (auto& oc : outcomes) {
     res.requests += oc.requests;
     res.responses += oc.responses;
+    res.retries += oc.retries;
+    res.reconnects += oc.reconnects;
     for (std::size_t s = 0; s < oc.status_counts.size(); ++s) {
       res.status_counts[s] += oc.status_counts[s];
     }
@@ -296,6 +401,44 @@ std::string fetch_admin(const std::string& host, std::uint16_t port,
   }
   if (error != nullptr) error->clear();
   return raw.substr(sep + 4);
+}
+
+bool parse_healthz(const std::string& body, HealthzInfo& out) {
+  out = HealthzInfo{};
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line_no++ == 0) {
+      if (line != "ok" && line != "degraded" && line != "drift" &&
+          line != "no-model" && line != "draining") {
+        out = HealthzInfo{};
+        return false;
+      }
+      out.state = line;
+      continue;
+    }
+    const auto sp = line.find(' ');
+    if (sp == std::string::npos) continue;  // unknown line shape: skip
+    const std::string key = line.substr(0, sp);
+    const std::string val = line.substr(sp + 1);
+    if (key == "version") {
+      out.version = std::strtoull(val.c_str(), nullptr, 10);
+    } else if (key == "degraded") {
+      out.degraded = (val == "1");
+    } else if (key == "drift") {
+      out.drift = (val == "1");
+    } else if (key == "draining") {
+      out.draining = (val == "1");
+    }
+    // Unknown keys are skipped: an older reader still understands a newer
+    // server.
+  }
+  return line_no > 0;
 }
 
 }  // namespace webppm::net

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "net/backoff.hpp"
 #include "net/wire.hpp"
 #include "trace/record.hpp"
 
@@ -43,6 +44,24 @@ struct LoadClientConfig {
   /// connection is unchanged, so replies stay comparable
   /// request-for-request with an in-process replay.
   std::size_t batch_size = 0;
+  /// Per-exchange retry budget for *transient* failures: a v1 kRetryLater
+  /// response (the server's shed signal), a refused connect, EPIPE on
+  /// write, or the connection dropping mid-read. 0 (default) fails fast —
+  /// exactly the historical behavior every byte-identity gate was built
+  /// on. With N > 0, each exchange is attempted up to N+1 times with
+  /// capped exponential backoff + jitter, reconnecting first whenever the
+  /// socket died; the retry/reconnect counters in the result keep latency
+  /// percentiles honest (a retried exchange reports its *total* elapsed
+  /// time, not just the final attempt's). Per-entry kRetryLater statuses
+  /// inside a v2 batch response are final, never retried — sibling entries
+  /// in the same frame already consumed their click, so resending the
+  /// frame would double-feed their sessions.
+  std::size_t max_retries = 0;
+  /// Backoff schedule for those retries (see net/backoff.hpp).
+  BackoffPolicy retry_backoff{};
+  /// Seed for the backoff jitter stream; connection i uses retry_seed + i
+  /// so threads draw independent, reproducible delay sequences.
+  std::uint64_t retry_seed = 1;
 };
 
 struct LoadClientResult {
@@ -52,13 +71,21 @@ struct LoadClientResult {
   std::uint64_t responses = 0;
   /// Responses by wire status, indexed by Status.
   std::array<std::uint64_t, 6> status_counts{};
+  /// Transient-failure retries taken (kRetryLater, connect/IO failure).
+  /// Always 0 when max_retries == 0.
+  std::uint64_t retries = 0;
+  /// Successful re-connects after the original socket died.
+  std::uint64_t reconnects = 0;
   double seconds = 0.0;
   double qps = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
   /// Raw response frames, [connection][frame index], in send order.
   /// Populated only with record_responses. In batch mode each entry is one
-  /// v2 batch frame (carrying up to batch_size sub-responses).
+  /// v2 batch frame (carrying up to batch_size sub-responses). Retried
+  /// exchanges record only the final frame — kRetryLater frames that were
+  /// retried away are counted in status_counts/retries, not recorded, so
+  /// a retrying replay still byte-compares 1:1 against an in-process one.
   std::vector<std::vector<std::vector<std::uint8_t>>> frames;
 };
 
@@ -96,5 +123,30 @@ class LoadClient {
 std::string fetch_admin(const std::string& host, std::uint16_t port,
                         const std::string& path, std::string* error,
                         std::string* status_line = nullptr);
+
+/// Parsed GET /healthz body — the canonical reader of the format
+/// PredictServer's admin listener emits (state word, then `version N`,
+/// `degraded 0|1`, `drift 0|1`, `draining 0|1` lines). The cluster
+/// prober and ShardSupervisor use it to check version skew without a
+/// second /snapshot round-trip.
+struct HealthzInfo {
+  std::string state;  ///< "ok", "degraded", "drift", "no-model", "draining"
+  std::uint64_t version = 0;  ///< serving snapshot version (0 = none)
+  bool degraded = false;
+  bool drift = false;
+  bool draining = false;
+  /// The shard is answering queries (possibly degraded) rather than
+  /// refusing them.
+  bool serving() const {
+    return state == "ok" || state == "degraded" || state == "drift";
+  }
+};
+
+/// Parses a /healthz body into `out`. Returns false (leaving `out`
+/// default) when the body does not start with a known state word —
+/// e.g. an error page from something that is not a PredictServer.
+/// Missing field lines parse as their defaults so a newer reader still
+/// understands an older server.
+bool parse_healthz(const std::string& body, HealthzInfo& out);
 
 }  // namespace webppm::net

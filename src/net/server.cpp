@@ -831,22 +831,38 @@ std::string PredictServer::admin_response(const std::string& request_line) {
       body = serve::render_metrics_exposition(model_, *config_.metrics);
     }
   } else if (path == "/healthz") {
-    if (stopping_.load(std::memory_order_acquire)) {
+    // First line: the overall state word (what a human or a `grep -q ok`
+    // liveness check reads). The lines after it are the machine-parseable
+    // fields the cluster prober and ShardSupervisor need — serving snapshot
+    // version and the degraded/drift flags — so checking version skew does
+    // not cost a second /snapshot round-trip. net::parse_healthz is the
+    // canonical reader.
+    const bool draining = stopping_.load(std::memory_order_acquire);
+    const auto snap = model_.snapshot();
+    std::string state;
+    if (draining) {
       status = "503 Service Unavailable";
-      body = "draining\n";
-    } else if (model_.snapshot() == nullptr) {
+      state = "draining";
+    } else if (snap == nullptr) {
       status = "503 Service Unavailable";
-      body = "no-model\n";
+      state = "no-model";
     } else if (model_.degraded()) {
-      body = "degraded\n";  // still serving (popularity fallback): 200
+      state = "degraded";  // still serving (popularity fallback): 200
     } else if (model_.drift_alert()) {
       // Serving fine but the scoreboard's DriftWatch says prediction
       // quality diverged from its long-run baseline — worth a page that is
       // softer than degraded, so still 200.
-      body = "drift\n";
+      state = "drift";
     } else {
-      body = "ok\n";
+      state = "ok";
     }
+    body.append(state);
+    body.append("\nversion ")
+        .append(std::to_string(snap != nullptr ? snap->version : 0));
+    body.append("\ndegraded ").append(model_.degraded() ? "1" : "0");
+    body.append("\ndrift ").append(model_.drift_alert() ? "1" : "0");
+    body.append("\ndraining ").append(draining ? "1" : "0");
+    body.append("\n");
   } else if (path == "/scoreboard") {
     if (model_.scoreboard() == nullptr) {
       status = "503 Service Unavailable";

@@ -130,6 +130,41 @@ std::size_t encode_batch_request(std::span<const WireRequest> reqs,
   return reqs.size() - count;
 }
 
+std::size_t encode_batch_response(std::span<const WireResponse> resps,
+                                  std::vector<std::uint8_t>& out) {
+  const std::size_t count =
+      std::min<std::size_t>(resps.size(),
+                            std::numeric_limits<std::uint16_t>::max());
+  const std::size_t len_mark = out.size();
+  put_u32(0, out);  // frame length, patched below
+  out.push_back(kWireVersionBatch);
+  out.push_back(0);  // reserved
+  put_u16(static_cast<std::uint16_t>(count), out);
+  std::size_t dropped = resps.size() - count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& r = resps[i];
+    const std::size_t n =
+        std::min<std::size_t>(r.predictions.size(),
+                              std::numeric_limits<std::uint16_t>::max());
+    out.push_back(static_cast<std::uint8_t>(r.status));
+    put_u16(static_cast<std::uint16_t>(n), out);
+    put_u64(r.snapshot_version, out);
+    for (std::size_t j = 0; j < n; ++j) {
+      put_u32(r.predictions[j].url, out);
+      put_u32(std::bit_cast<std::uint32_t>(r.predictions[j].probability),
+              out);
+    }
+    dropped += r.predictions.size() - n;
+  }
+  const std::uint32_t body = static_cast<std::uint32_t>(
+      out.size() - len_mark - kFrameHeaderBytes);
+  out[len_mark + 0] = static_cast<std::uint8_t>(body & 0xff);
+  out[len_mark + 1] = static_cast<std::uint8_t>((body >> 8) & 0xff);
+  out[len_mark + 2] = static_cast<std::uint8_t>((body >> 16) & 0xff);
+  out[len_mark + 3] = static_cast<std::uint8_t>((body >> 24) & 0xff);
+  return dropped;
+}
+
 DecodeError decode_request(std::span<const std::uint8_t> body,
                            WireRequest& out) {
   if (body.size() != kRequestBodyBytes) {

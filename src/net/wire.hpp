@@ -160,6 +160,16 @@ std::size_t encode_batch_request(std::span<const WireRequest> reqs,
 /// the zero-copy server; same bytes, same truncation rule and return).
 std::size_t encode_response(const WireResponse& resp, WriteRing& out);
 
+/// Appends one framed v2 batch response carrying `resps` in order — the
+/// staging-vector twin of BatchResponseWriter, emitting the exact bytes the
+/// server's ring path emits for the same sub-responses. The cluster router
+/// uses it to reassemble per-shard sub-batches into the single frame the
+/// client would have received from one big server. Returns predictions
+/// dropped by the per-sub-response u16 clamp (same rule as
+/// encode_response).
+std::size_t encode_batch_response(std::span<const WireResponse> resps,
+                                  std::vector<std::uint8_t>& out);
+
 /// Structured decode failure: `reason` names the violated rule ("frame
 /// length 0", "version 209 != 1", "count 9 needs 76 bytes, body has 20").
 struct DecodeError {

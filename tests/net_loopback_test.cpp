@@ -417,14 +417,22 @@ TEST(NetLoopback, AdminHealthzTracksModelState) {
                                  &err, &status_line);
   ASSERT_TRUE(err.empty()) << err;
   EXPECT_NE(status_line.find("503"), std::string::npos) << status_line;
-  EXPECT_EQ(body, "no-model\n");
+  HealthzInfo hz;
+  ASSERT_TRUE(parse_healthz(body, hz)) << body;
+  EXPECT_EQ(hz.state, "no-model");
+  EXPECT_EQ(hz.version, 0u);
+  EXPECT_FALSE(hz.serving());
 
   model.publish(tiny_snapshot());
   body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz", &err,
                      &status_line);
   ASSERT_TRUE(err.empty()) << err;
   EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
-  EXPECT_EQ(body, "ok\n");
+  ASSERT_TRUE(parse_healthz(body, hz)) << body;
+  EXPECT_EQ(hz.state, "ok");
+  EXPECT_EQ(hz.version, 1u);
+  EXPECT_FALSE(hz.degraded);
+  EXPECT_TRUE(hz.serving());
 
   // Degraded (fallback-only) snapshot: still 200 — serving, not healthy-
   // model, mirroring the serve layer's degradation contract.
@@ -434,7 +442,11 @@ TEST(NetLoopback, AdminHealthzTracksModelState) {
                      &status_line);
   ASSERT_TRUE(err.empty()) << err;
   EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
-  EXPECT_EQ(body, "degraded\n");
+  ASSERT_TRUE(parse_healthz(body, hz)) << body;
+  EXPECT_EQ(hz.state, "degraded");
+  EXPECT_EQ(hz.version, 2u);
+  EXPECT_TRUE(hz.degraded);
+  EXPECT_TRUE(hz.serving());
 
   body = fetch_admin("127.0.0.1", server.admin_port(), "/nope", &err,
                      &status_line);
@@ -738,7 +750,10 @@ TEST(NetLoopback, AdminHealthzReportsDrift) {
   std::string body = fetch_admin("127.0.0.1", server.admin_port(), "/healthz",
                                  &err, &status_line);
   ASSERT_TRUE(err.empty()) << err;
-  EXPECT_EQ(body, "ok\n");
+  HealthzInfo hz;
+  ASSERT_TRUE(parse_healthz(body, hz)) << body;
+  EXPECT_EQ(hz.state, "ok");
+  EXPECT_FALSE(hz.drift);
 
   // Drift phase: the same clients keep clicking but always past the
   // validity window, so every outstanding prediction expires — the short
@@ -757,7 +772,10 @@ TEST(NetLoopback, AdminHealthzReportsDrift) {
   ASSERT_TRUE(err.empty()) << err;
   // Drift is a quality page, not an availability one: still 200.
   EXPECT_NE(status_line.find("200"), std::string::npos) << status_line;
-  EXPECT_EQ(body, "drift\n");
+  ASSERT_TRUE(parse_healthz(body, hz)) << body;
+  EXPECT_EQ(hz.state, "drift");
+  EXPECT_TRUE(hz.drift);
+  EXPECT_TRUE(hz.serving());
 }
 
 TEST(NetLoopback, AdminScoreboardEndpoint) {

@@ -352,6 +352,42 @@ TEST(NetWireBatch, BatchResponseRoundTripsThroughWriter) {
   EXPECT_EQ(out, subs);
 }
 
+TEST(NetWireBatch, StagingEncoderMatchesWriterByteForByte) {
+  // encode_batch_response (the router's reassembly path) must emit the
+  // exact bytes BatchResponseWriter streams into a connection ring — this
+  // is what lets a split-and-reassembled mixed batch stay byte-identical
+  // to one big server's answer.
+  const auto subs = sample_batch_responses();
+  const auto ring_bytes = encode_batch_response_frame(subs);
+  std::vector<std::uint8_t> staged;
+  EXPECT_EQ(encode_batch_response(subs, staged), 0u);
+  EXPECT_EQ(staged, ring_bytes);
+
+  // Decode round trip through the parser, like any other frame.
+  const FrameParser parser;
+  const auto f = parser.next(staged);
+  ASSERT_EQ(f.result, FrameParser::Result::kFrame);
+  std::vector<WireResponse> out;
+  ASSERT_TRUE(decode_batch_response(f.body, out).ok());
+  EXPECT_EQ(out, subs);
+
+  // Appending to a non-empty vector preserves prior contents.
+  std::vector<std::uint8_t> tail{0xAB, 0xCD};
+  EXPECT_EQ(encode_batch_response(subs, tail), 0u);
+  ASSERT_GT(tail.size(), 2u);
+  EXPECT_EQ(tail[0], 0xAB);
+  EXPECT_EQ(tail[1], 0xCD);
+  EXPECT_TRUE(std::equal(staged.begin(), staged.end(), tail.begin() + 2));
+
+  // The u16 clamp reports dropped predictions instead of corrupting count.
+  WireResponse fat;
+  fat.status = Status::kOk;
+  fat.snapshot_version = 1;
+  fat.predictions.assign(70'000, {1, 0.5F});
+  std::vector<std::uint8_t> clamped;
+  EXPECT_EQ(encode_batch_response({&fat, 1}, clamped), 70'000u - 65'535u);
+}
+
 TEST(NetWireBatch, SubResponseBytesMatchV1Encoding) {
   // The byte-identity contract: a v2 sub-response is the v1 response body
   // minus its version byte, so re-encoding a decoded sub as a v1 frame
