@@ -7,11 +7,16 @@
 // GET /healthz and GET /metrics scrape when --admin-port is given.
 //
 //   net_client [--port N] [--connections N] [--admin-port N] [--days N]
-//              [--batch N]
+//              [--batch N] [--observe]
 //
 // --batch N packs up to N queries per v2 batch frame (0, the default,
 // sends v1 single-query frames); latency percentiles then measure whole
 // batch-frame round trips, recorded once per carried query.
+//
+// --observe sends the stream as one-way v3 observe frames instead of
+// queries: the server feeds its online trainer but answers nothing, the
+// traffic a prefetch proxy emits for clients it reports without asking
+// predictions for. --batch then sets observations per frame (default 256).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,26 +34,33 @@ int main(int argc, char** argv) {
   std::size_t connections = 2;
   std::size_t batch_size = 0;
   std::uint32_t days = 8;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  bool observe = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--observe") == 0) {
+      observe = true;
+      continue;
+    }
+    if (i + 1 >= argc) break;
     if (std::strcmp(argv[i], "--port") == 0) {
-      port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--admin-port") == 0) {
-      admin_port = static_cast<std::uint16_t>(std::atoi(argv[i + 1]));
+      admin_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--connections") == 0) {
-      connections = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      connections = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--days") == 0) {
-      days = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+      days = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--batch") == 0) {
-      batch_size = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      batch_size = static_cast<std::size_t>(std::atoi(argv[++i]));
     }
   }
 
   const auto trace =
       workload::generate_page_trace(workload::nasa_like(days));
   const auto eval = trace.day_slice(days - 1);
-  std::printf("replaying %zu requests (day %u) over %zu connections to "
+  std::printf("%s %zu requests (day %u) over %zu connections to "
               "127.0.0.1:%u%s\n",
-              eval.size(), days, connections, port,
+              observe ? "observing" : "replaying", eval.size(), days,
+              connections, port,
               batch_size == 0
                   ? ""
                   : (", batched " + std::to_string(batch_size) + " per frame")
@@ -58,22 +70,32 @@ int main(int argc, char** argv) {
   cfg.port = port;
   cfg.connections = connections;
   cfg.batch_size = batch_size;
+  cfg.observe = observe;
   const auto res = net::LoadClient(cfg).run(eval);
   if (!res.ok) {
     std::fprintf(stderr, "replay failed: %s\n", res.error.c_str());
     return 1;
   }
 
-  std::printf("\n%llu responses in %.2fs — %.0f predictions/s, "
-              "p50 %.1fus, p99 %.1fus\n",
-              static_cast<unsigned long long>(res.responses), res.seconds,
-              res.qps, res.p50_us, res.p99_us);
-  std::printf("status breakdown:\n");
-  for (std::size_t s = 0; s < res.status_counts.size(); ++s) {
-    if (res.status_counts[s] == 0) continue;
-    std::printf("  %-12s %llu\n",
-                net::status_name(static_cast<net::Status>(s)),
-                static_cast<unsigned long long>(res.status_counts[s]));
+  if (observe) {
+    std::printf("\n%llu observations absorbed in %.2fs — %.0f obs/s "
+                "(one-way; the server answered nothing)\n",
+                static_cast<unsigned long long>(res.requests), res.seconds,
+                res.seconds > 0
+                    ? static_cast<double>(res.requests) / res.seconds
+                    : 0.0);
+  } else {
+    std::printf("\n%llu responses in %.2fs — %.0f predictions/s, "
+                "p50 %.1fus, p99 %.1fus\n",
+                static_cast<unsigned long long>(res.responses), res.seconds,
+                res.qps, res.p50_us, res.p99_us);
+    std::printf("status breakdown:\n");
+    for (std::size_t s = 0; s < res.status_counts.size(); ++s) {
+      if (res.status_counts[s] == 0) continue;
+      std::printf("  %-12s %llu\n",
+                  net::status_name(static_cast<net::Status>(s)),
+                  static_cast<unsigned long long>(res.status_counts[s]));
+    }
   }
 
   if (admin_port != 0) {

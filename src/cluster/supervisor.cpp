@@ -132,6 +132,7 @@ bool ShardSupervisor::start(std::string* error) {
 }
 
 void ShardSupervisor::stop() {
+  stop_trainers();
   for (Shard& s : shards_) {
     if (s.server != nullptr) {
       s.server->shutdown();
@@ -139,6 +140,39 @@ void ShardSupervisor::stop() {
     }
   }
   started_ = false;
+}
+
+bool ShardSupervisor::start_trainers(const learn::OnlineTrainerConfig& cfg) {
+  for (const Shard& s : shards_) {
+    if (s.trainer != nullptr) return false;  // already running
+  }
+  for (Shard& s : shards_) {
+    learn::OnlineTrainerConfig shard_cfg = cfg;
+    // Session rules must mirror the shard model's, or shadow sessions
+    // diverge from the contexts the shard predicts from.
+    shard_cfg.session = config_.model.session;
+    shard_cfg.store = s.store.get();
+    shard_cfg.metrics = nullptr;  // N same-named registrations would alias
+    s.trainer = std::make_unique<learn::OnlineTrainer>(*s.model, shard_cfg);
+    s.trainer->attach();
+    s.trainer->start();
+  }
+  return true;
+}
+
+void ShardSupervisor::stop_trainers() {
+  for (Shard& s : shards_) {
+    if (s.trainer != nullptr) {
+      s.trainer->detach();
+      s.trainer->stop();
+      s.trainer.reset();
+    }
+  }
+}
+
+learn::OnlineTrainer* ShardSupervisor::trainer(std::size_t shard) {
+  if (shard >= shards_.size()) return nullptr;
+  return shards_[shard].trainer.get();
 }
 
 std::vector<ShardEndpoint> ShardSupervisor::endpoints() const {

@@ -45,6 +45,7 @@
 
 #include "cluster/router.hpp"
 #include "cluster/upstream.hpp"
+#include "learn/trainer.hpp"
 #include "net/server.hpp"
 #include "serve/model_server.hpp"
 #include "serve/snapshot_store.hpp"
@@ -111,6 +112,24 @@ class ShardSupervisor {
   /// to 0 (the router's gauge tracks the window).
   bool rolling_restart(std::string* error);
 
+  /// Online training (DESIGN.md §15): stands one learn::OnlineTrainer per
+  /// shard, attached to the shard's long-lived ModelServer, each training a
+  /// private shadow from exactly the clients the HashRing routes to that
+  /// shard and publishing into that shard's store + ModelServer. `cfg` is
+  /// a template: session rules are overridden to mirror the shard model's
+  /// (they must match) and `store`/`metrics` are overridden per shard (the
+  /// shard's own store; metrics stay detached — N trainers registering the
+  /// same webppm_learn_* names into one registry would alias). Trainer
+  /// threads start immediately. False if trainers are already running.
+  /// Trainers survive restart_shard(): the ModelServer they feed is the
+  /// piece restarts deliberately keep.
+  bool start_trainers(const learn::OnlineTrainerConfig& cfg);
+  /// Detaches every trainer from its shard's serve path, drains and joins
+  /// the trainer threads. Idempotent; stop() calls it.
+  void stop_trainers();
+  /// The running trainer of `shard` (nullptr when trainers are stopped).
+  learn::OnlineTrainer* trainer(std::size_t shard);
+
   std::size_t shard_count() const { return shards_.size(); }
   serve::ModelServer& model(std::size_t shard);
   net::PredictServer* server(std::size_t shard);
@@ -124,6 +143,7 @@ class ShardSupervisor {
     std::unique_ptr<serve::SnapshotStore> store;
     std::unique_ptr<serve::ModelServer> model;
     std::unique_ptr<net::PredictServer> server;
+    std::unique_ptr<learn::OnlineTrainer> trainer;  ///< null until started
     std::uint16_t port = 0;        ///< pinned after first start
     std::uint16_t admin_port = 0;  ///< pinned after first start
   };

@@ -1,0 +1,87 @@
+#include "learn/observation.hpp"
+
+#include <algorithm>
+
+#include "fault/fault.hpp"
+
+namespace webppm::learn {
+
+ObservationQueue::ObservationQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+bool ObservationQueue::push(const Observation& o) noexcept {
+  // The serve path must never see an exception out of the tap; the only
+  // throwing operation here is the mutex (resource exhaustion), and a
+  // dropped observation is the designed answer to any failure to enqueue.
+  try {
+    if (WEBPPM_FAULT_INJECT("learn.queue.push")) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    bool notify = false;
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || count_ == capacity_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      ring_[(head_ + count_) % capacity_] = o;
+      notify = count_ == 0;
+      ++count_;
+    }
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    if (notify) cv_.notify_one();
+    return true;
+  } catch (...) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+std::size_t ObservationQueue::drain(std::vector<Observation>& out) {
+  std::lock_guard lock(mu_);
+  const std::size_t n = count_;
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  head_ = (head_ + n) % capacity_;
+  count_ = 0;
+  return n;
+}
+
+std::size_t ObservationQueue::drain_wait(std::vector<Observation>& out,
+                                         std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout, [this] { return count_ != 0 || closed_; });
+  const std::size_t n = count_;
+  out.reserve(out.size() + n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  head_ = (head_ + n) % capacity_;
+  count_ = 0;
+  return n;
+}
+
+void ObservationQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool ObservationQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::size_t ObservationQueue::size() const {
+  std::lock_guard lock(mu_);
+  return count_;
+}
+
+}  // namespace webppm::learn

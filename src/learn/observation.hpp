@@ -1,0 +1,119 @@
+// learn::ObservationQueue — the bounded handoff between the serving hot
+// path and the online trainer (DESIGN.md §15).
+//
+// The queue is the serve-side half of the training pipeline: it implements
+// serve::RequestObserver, so attaching it to a ModelServer
+// (attach_observer(&trainer.queue())) makes every admitted request —
+// queries, batch entries, and v3 observe-frame entries alike — land here
+// as a compact Observation, in arrival order per query thread.
+//
+// Contract inherited from RequestObserver: on_request runs on the query
+// thread under no lock of the server's and must be cheap, thread-safe and
+// noexcept. push() is therefore *non-blocking*: when the trainer falls
+// behind and the ring is full, the observation is dropped and counted —
+// serving latency is never held hostage to training throughput. Dropped
+// observations cost training coverage, not correctness: the trainer's
+// shadow model just learns from a sampled stream until it catches up
+// (dropped_total is the gauge to alarm on).
+//
+// Fault site (chaos suite): learn.queue.push — a firing rule drops the
+// observation exactly as a full ring would, proving the serve path is
+// indifferent to observation loss.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "serve/model_server.hpp"
+#include "trace/record.hpp"
+#include "util/types.hpp"
+
+namespace webppm::learn {
+
+/// One observed request, compacted to what training consumes: the
+/// sessionizer keys on (timestamp, client, url) and the popularity table
+/// counts every request including errors, so the status survives as a
+/// flag-sized field while size_bytes/method (never read by training) are
+/// dropped.
+struct Observation {
+  TimeSec timestamp = 0;
+  ClientId client = 0;
+  UrlId url = 0;
+  std::uint16_t status = 200;
+
+  static Observation from(const trace::Request& r) {
+    return Observation{r.timestamp, r.client, r.url,
+                       static_cast<std::uint16_t>(r.status)};
+  }
+
+  trace::Request to_request() const {
+    trace::Request r;
+    r.timestamp = timestamp;
+    r.client = client;
+    r.url = url;
+    r.status = status;
+    return r;
+  }
+};
+
+class ObservationQueue final : public serve::RequestObserver {
+ public:
+  /// `capacity` bounds buffered observations (>= 1); pushes beyond it drop.
+  explicit ObservationQueue(std::size_t capacity = 1 << 16);
+
+  /// Non-blocking bounded push. False when the observation was dropped
+  /// (ring full, queue closed, or an injected learn.queue.push fault).
+  bool push(const Observation& o) noexcept;
+
+  /// RequestObserver: the serve-side tap.
+  void on_request(const trace::Request& r) noexcept override {
+    (void)push(Observation::from(r));
+  }
+
+  /// Appends everything currently buffered to `out` (non-blocking).
+  /// Returns the number of observations moved.
+  std::size_t drain(std::vector<Observation>& out);
+
+  /// Like drain(), but when the queue is empty waits up to `timeout` for
+  /// an observation (or close()) first. Returns observations moved — 0
+  /// means the wait timed out or the queue closed empty.
+  std::size_t drain_wait(std::vector<Observation>& out,
+                         std::chrono::milliseconds timeout);
+
+  /// Closes the queue: subsequent pushes drop, blocked drain_wait() calls
+  /// wake. Buffered observations stay drainable.
+  void close();
+  bool closed() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+
+  /// Observations accepted / dropped since construction (exact).
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Resident bytes of the ring (storage accounting).
+  std::size_t memory_bytes() const {
+    return capacity_ * sizeof(Observation);
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Observation> ring_;  ///< ring buffer of capacity_ slots
+  std::size_t head_ = 0;           ///< next slot to pop
+  std::size_t count_ = 0;          ///< buffered observations
+  bool closed_ = false;
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace webppm::learn

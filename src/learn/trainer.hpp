@@ -1,0 +1,264 @@
+// learn::OnlineTrainer — the online-training pipeline: learn from the
+// traffic being served and continuously republish the model
+// (DESIGN.md §15).
+//
+// The deployment loop the paper leaves offline — collect a day's log,
+// re-run training, hand the server a new model — becomes a pipeline inside
+// the serving process:
+//
+//   ModelServer query/observe path
+//     └─ RequestObserver tap (one atomic load when detached)
+//          └─ ObservationQueue (bounded, drop-on-full — never blocks serving)
+//               └─ trainer: sessionize → extend shadow model → publish
+//                    └─ ModelServer::publish (RCU swap; queries never pause)
+//
+// The *shadow model* is the trainer's private growing base — the serving
+// snapshot is never mutated. It is extended with exactly the machinery the
+// offline SweepEngine uses: closed sessions append via train_more (exact
+// for Standard/LRS/Top-N), and PB-PPM keeps an unpruned base reading the
+// current popularity grades, rebuilt when grades drift and pruned on a
+// copy per publish. Publishing settles the sessionizer, applies the open
+// tails to a copy, wraps it with the cumulative popularity table via
+// make_snapshot, optionally freezes it, optionally persists it through a
+// SnapshotStore, and RCU-publishes into the target server.
+//
+// Determinism contract (the convergence gate in bench/online_training):
+// fed the same request stream the offline oracle trained on — errors
+// included, in timestamp order — and publishing only at day boundaries,
+// the trainer's published model answers *byte-identically* to
+// SweepEngine::train(spec, k) at every boundary k. This holds because the
+// trainer performs the identical operation history on an identical
+// IncrementalSessionizer (feeds split at each boundary before settling,
+// so closed-session order matches the oracle's feed-then-settle order)
+// and the identical train calls in the identical order. Mid-day publishes
+// (drift/interval/threshold triggers) insert extra settle points, which
+// may reorder session closing — deliberate freshness at the cost of
+// replay-exactness, which is why the gate pins day_boundaries only.
+//
+// Old-window decay: retention is bounded by max_retained_sessions and
+// policy.rebuild_every_publishes periodically rebuilds the shadow from the
+// retained window only, forgetting evicted history. Popularity counts stay
+// cumulative (they are cheap and error-inclusive; a rotating head
+// re-grades itself by accumulation).
+//
+// Fault site (chaos suite): learn.publish — a firing rule aborts the
+// publish *before* any state is absorbed: the sessionizer, retained
+// window, shadow base and serving snapshot are all untouched, and the next
+// publish covers the skipped one. A trainer crash or failed publish can
+// therefore never corrupt serving — the server just keeps answering from
+// the last good snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "learn/observation.hpp"
+#include "obs/metrics.hpp"
+#include "serve/model_server.hpp"
+#include "serve/snapshot_store.hpp"
+#include "session/session.hpp"
+#include "util/types.hpp"
+
+namespace webppm::learn {
+
+/// When the trainer freezes-and-publishes its shadow. Time here is *trace
+/// time* (observation timestamps), not wall clock: the trainer serves
+/// replayed history and live traffic with the same code.
+struct PublishPolicy {
+  /// Publish whenever the observed stream crosses a UTC day boundary —
+  /// the offline protocol's cadence, and the only trigger active during
+  /// the byte-identity convergence gate.
+  bool day_boundaries = true;
+  /// Publish every `interval_sec` of observed time (0 = off).
+  TimeSec interval_sec = 0;
+  /// Publish after this many observations since the last publish (0 = off).
+  std::uint64_t observation_threshold = 0;
+  /// Publish immediately when the target server's DriftWatch raises a new
+  /// alert (edge-triggered via ModelServer::drift_alert_epoch) — the
+  /// flash-crowd recovery path bench/online_training demonstrates.
+  bool on_drift_alert = false;
+  /// Every Nth publish, rebuild the shadow from the *retained* session
+  /// window only (0 = never). With bounded retention this is the decay
+  /// mechanism: evicted history is forgotten by the rebuilt base.
+  std::uint32_t rebuild_every_publishes = 0;
+};
+
+/// Why the most recent publish happened.
+enum class PublishTrigger : std::uint8_t {
+  kNone,
+  kManual,
+  kDayBoundary,
+  kInterval,
+  kThreshold,
+  kDriftAlert,
+};
+
+/// Internal: the trainer-private growing base (one concrete shape per
+/// ModelKind, defined in trainer.cpp).
+class ShadowModel;
+
+struct OnlineTrainerConfig {
+  /// Model family + parameters the shadow trains; identical role to the
+  /// offline ModelSpec.
+  core::ModelSpec spec = core::ModelSpec::pb_model();
+  /// Session rules — must mirror the target server's (and offline
+  /// training's) so shadow sessions match.
+  session::SessionizerOptions session;
+  PublishPolicy policy;
+  /// Bounded observation ring between the serve tap and the trainer.
+  std::size_t queue_capacity = 1 << 16;
+  /// Closed sessions kept for shadow rebuilds (0 = unbounded — required
+  /// for the convergence gate; bound it in production and let
+  /// rebuild_every_publishes decay old windows). Counted in
+  /// storage_bytes().
+  std::size_t max_retained_sessions = 0;
+  /// Pre-size the popularity count vector (0 = grow on demand). Matching
+  /// the trace's URL-space size makes the published popularity table
+  /// equal the offline oracle's field-for-field, not just grade-for-grade.
+  std::size_t url_count_hint = 0;
+  /// Top-N size of published snapshots' degraded-service fallback.
+  std::size_t fallback_top_n = 10;
+  /// Freeze the published snapshot (serve::freeze_snapshot) so the target
+  /// serves the compact SoA layout. Skipped for Top-N specs, whose only
+  /// frozen form is popularity-only (it would degrade serving).
+  bool freeze_published = false;
+  /// Non-null: every publish is also durably written here (generation
+  /// file + manifest) before the in-memory publish. A store failure is
+  /// counted and logged but does *not* block the in-memory publish —
+  /// serving freshness beats durability for an online model.
+  serve::SnapshotStore* store = nullptr;
+  /// Trainer-thread wakeup cadence when the queue is idle.
+  std::uint64_t poll_interval_ms = 50;
+  /// Non-null attaches webppm_learn_* metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class OnlineTrainer {
+ public:
+  /// `target` (and `config.store`, when set) must outlive the trainer.
+  /// Nothing observes until attach() and nothing trains until step() or
+  /// start().
+  explicit OnlineTrainer(serve::ModelServer& target,
+                         OnlineTrainerConfig config = {});
+  ~OnlineTrainer();
+
+  OnlineTrainer(const OnlineTrainer&) = delete;
+  OnlineTrainer& operator=(const OnlineTrainer&) = delete;
+
+  /// The serve-side tap; attach() is sugar for
+  /// target.attach_observer(&queue()).
+  ObservationQueue& queue() { return queue_; }
+  const ObservationQueue& queue() const { return queue_; }
+  void attach() { target_.attach_observer(&queue_); }
+  /// Detaches only if this trainer's queue is the attached observer.
+  void detach();
+
+  // --- Manual stepping (deterministic single-threaded mode; the
+  // convergence gate and most tests drive the trainer this way). Safe to
+  // interleave with a running trainer thread, though pointless.
+
+  /// Drains the queue, absorbs the batch (sessionize + count + shadow
+  /// append), and runs the publish policy. Returns observations absorbed.
+  std::size_t step();
+
+  /// Publishes at `settle_ts`: sessions idle since before it close into
+  /// the shadow, sessions still open apply to a copy as tails. False when
+  /// an injected learn.publish fault aborted (state unchanged). For
+  /// replay-exactness settle only at day boundaries (header comment).
+  bool publish_at(TimeSec settle_ts);
+
+  /// publish_at(latest observed timestamp) — "publish what you have now".
+  bool publish_now();
+
+  // --- Background mode.
+
+  /// Spawns the trainer thread: drain → absorb → policy, waking on queue
+  /// activity or every poll_interval_ms. False if already running.
+  bool start();
+  /// Closes the queue (subsequent taps drop), absorbs what was buffered,
+  /// and joins. Idempotent; the destructor calls it. Detach the observer
+  /// first if the target keeps serving.
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Introspection (exact; safe from any thread).
+
+  std::uint64_t observations() const { return observations_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const { return queue_.dropped(); }
+  std::uint64_t publishes() const { return publishes_.load(std::memory_order_relaxed); }
+  std::uint64_t publish_failures() const { return publish_failures_.load(std::memory_order_relaxed); }
+  std::uint64_t store_failures() const { return store_failures_.load(std::memory_order_relaxed); }
+  std::uint64_t rebuilds() const { return rebuilds_.load(std::memory_order_relaxed); }
+  std::uint64_t drift_republishes() const { return drift_republishes_.load(std::memory_order_relaxed); }
+  std::uint64_t last_published_version() const { return published_version_.load(std::memory_order_relaxed); }
+  PublishTrigger last_trigger() const { return last_trigger_.load(std::memory_order_relaxed); }
+
+  /// Closed sessions currently retained for rebuilds.
+  std::size_t retained_sessions() const;
+  /// Sessions still open inside the trainer's sessionizer.
+  std::size_t open_sessions() const;
+  /// Trainer-side resident bytes: shadow base + retained sessions +
+  /// popularity counts + the observation ring.
+  std::size_t storage_bytes() const;
+
+  const OnlineTrainerConfig& config() const { return config_; }
+
+ private:
+  /// Feeds one drained batch: sorts/clamps timestamps, splits it at day
+  /// boundaries (publishing at each when the policy says so — the split
+  /// keeps sessionizer operation history identical to the offline
+  /// engine's), counts popularity, and feeds the sessionizer.
+  void absorb_locked(std::vector<Observation>& batch);
+  /// Feeds a timestamp-ordered sub-batch that crosses no publish boundary.
+  void feed_locked(std::span<const Observation> batch);
+  void policy_after_batch_locked();
+  bool publish_locked(TimeSec settle_ts, PublishTrigger why);
+  std::size_t storage_bytes_locked() const;
+  void trainer_main();
+
+  serve::ModelServer& target_;
+  OnlineTrainerConfig config_;
+  ObservationQueue queue_;
+
+  mutable std::mutex mu_;  ///< trainer state below
+  session::IncrementalSessionizer sessionizer_;
+  std::unique_ptr<ShadowModel> shadow_;
+  std::vector<session::Session> retained_;
+  std::size_t absorbed_ = 0;        ///< retained_[0..absorbed_) is in the base
+  std::size_t retained_bytes_ = 0;  ///< resident bytes of retained_
+  std::vector<std::uint32_t> counts_;  ///< cumulative per-URL (errors incl.)
+  TimeSec max_seen_ts_ = 0;
+  bool seen_any_ = false;
+  TimeSec next_day_boundary_ = 0;
+  TimeSec last_publish_ts_ = 0;
+  std::uint64_t since_publish_ = 0;  ///< observations since last publish
+  std::uint64_t drift_epoch_handled_ = 0;
+  std::uint32_t publishes_since_rebuild_ = 0;
+  std::uint64_t version_counter_ = 0;
+  std::vector<trace::Request> req_buf_;  ///< feed_locked scratch
+
+  std::atomic<std::uint64_t> observations_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> publish_failures_{0};
+  std::atomic<std::uint64_t> store_failures_{0};
+  std::atomic<std::uint64_t> rebuilds_{0};
+  std::atomic<std::uint64_t> drift_republishes_{0};
+  std::atomic<std::uint64_t> published_version_{0};
+  std::atomic<PublishTrigger> last_trigger_{PublishTrigger::kNone};
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  struct Instruments;
+  std::unique_ptr<Instruments> ins_;
+  std::uint64_t dropped_reported_ = 0;  ///< under mu_ (counter delta)
+};
+
+}  // namespace webppm::learn

@@ -286,6 +286,50 @@ void run_conn_batched(OwnedFd& fd, const LoadClientConfig& config,
   }
 }
 
+/// One-way v3 replay: observations-per-frame observe frames, no responses.
+/// After the stream the connection half-closes and waits for the server's
+/// FIN — the server consumes a connection's bytes in order, so the FIN
+/// proves every frame was decoded and fed to the observer tap before the
+/// client returns (the sync barrier the online-training convergence gate
+/// leans on). Dead-socket IO retries reconnect-and-resend the current
+/// frame; with no per-frame acknowledgement a resend can double-feed the
+/// trainer, so determinism-sensitive runs use max_retries = 0.
+void run_conn_observe(OwnedFd& fd, const LoadClientConfig& config,
+                      std::span<const WireRequest> reqs, Backoff& backoff,
+                      ConnOutcome& oc) {
+  constexpr std::size_t kDefaultPerFrame = 256;
+  const std::size_t per_frame =
+      config.batch_size == 0 ? kDefaultPerFrame : config.batch_size;
+  std::vector<std::uint8_t> req_buf;
+  for (std::size_t off = 0; off < reqs.size(); off += per_frame) {
+    const std::size_t n = std::min(per_frame, reqs.size() - off);
+    req_buf.clear();
+    encode_observe_frame(reqs.subspan(off, n), req_buf);
+    std::size_t attempts_left = config.max_retries;
+    for (;;) {
+      std::string err;
+      if (!ensure_connected(fd, config, oc, &err) ||
+          !write_all(fd.get(), req_buf.data(), req_buf.size(), &err)) {
+        fd.reset();
+        if (!charge_retry(backoff, attempts_left, oc, err)) return;
+        continue;
+      }
+      oc.requests += n;
+      break;
+    }
+    backoff.reset();
+  }
+  if (!fd.valid()) return;
+  ::shutdown(fd.get(), SHUT_WR);
+  std::uint8_t byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // FIN (or error): the server is done with our bytes
+  }
+  fd.reset();
+}
+
 }  // namespace
 
 WireRequest LoadClient::to_wire(const trace::Request& r) {
@@ -328,7 +372,9 @@ LoadClientResult LoadClient::run_sharded(
       oc.latencies_us.reserve(shards[i].size());
       Backoff backoff(config_.retry_backoff, config_.retry_seed + i);
       oc.error.clear();  // a failed first connect retries inside run_conn_*
-      if (config_.batch_size == 0) {
+      if (config_.observe) {
+        run_conn_observe(fd, config_, shards[i], backoff, oc);
+      } else if (config_.batch_size == 0) {
         run_conn_single(fd, config_, shards[i], backoff, oc);
       } else {
         run_conn_batched(fd, config_, shards[i], backoff, oc);

@@ -44,6 +44,14 @@ struct LoadClientConfig {
   /// connection is unchanged, so replies stay comparable
   /// request-for-request with an in-process replay.
   std::size_t batch_size = 0;
+  /// Observe mode: send the stream as one-way v3 observe frames (feeding
+  /// the server's training tap) instead of queries — nothing is read back
+  /// per frame. batch_size sets observations per frame (0 = 256). Each
+  /// connection ends with a half-close and waits for the server's FIN;
+  /// the server consumes a connection's bytes in order, so the FIN proves
+  /// every observation was absorbed before run() returns. responses /
+  /// latencies stay zero; `requests` counts observations sent.
+  bool observe = false;
   /// Per-exchange retry budget for *transient* failures: a v1 kRetryLater
   /// response (the server's shed signal), a refused connect, EPIPE on
   /// write, or the connection dropping mid-read. 0 (default) fails fast —

@@ -127,6 +127,9 @@ struct PredictServer::Instruments {
   obs::Counter* batches;
   obs::Counter* batch_entry_errors;
   obs::Counter* responses_truncated;
+  obs::Counter* observe_frames;
+  obs::Counter* observes;
+  obs::Counter* observe_entry_errors;
   obs::Counter* bytes_read;
   obs::Counter* bytes_written;
   obs::Gauge* active;
@@ -197,6 +200,9 @@ PredictServer::PredictServer(serve::ModelServer& model, NetServerConfig config)
         &reg.counter("webppm_net_batches_total"),
         &reg.counter("webppm_net_batch_entry_errors_total"),
         &reg.counter("webppm_net_response_truncated_total"),
+        &reg.counter("webppm_net_observe_frames_total"),
+        &reg.counter("webppm_net_observes_total"),
+        &reg.counter("webppm_net_observe_entry_errors_total"),
         &reg.counter("webppm_net_bytes_read_total"),
         &reg.counter("webppm_net_bytes_written_total"),
         &reg.gauge("webppm_net_connections_active"),
@@ -604,6 +610,12 @@ void PredictServer::conn_process_frames(Connection& c) {
       // may interleave v1 singles and v2 batches freely.
       pos += frame.consumed;
       reject = conn_handle_batch(c, frame.body);
+    } else if (frame_version(frame.body) == kWireVersionObserve) {
+      // v3 observe frame: feed the trainer tap, write nothing back. A
+      // connection may interleave observes with queries (a proxy that
+      // predicts for some clients and only reports the rest).
+      pos += frame.consumed;
+      reject = conn_handle_observe(c, frame.body);
     } else {
       // Stage attribution: a sampled frame times queue → decode → predict
       // → serialize here and marks the connection so the flush that pushes
@@ -747,6 +759,35 @@ std::string PredictServer::conn_handle_batch(
       ins_->stage_serialize->record(s3 - s2);
       c.stage_flush_sample = true;
     }
+  }
+  return {};
+}
+
+std::string PredictServer::conn_handle_observe(
+    Connection& c, std::span<const std::uint8_t> body) {
+  (void)c;
+  thread_local std::vector<WireRequest> obs_batch;
+  const auto err = decode_observe_frame(body, obs_batch);
+  if (!err.ok()) return err.reason;
+
+  // Same per-entry flag discipline as a batch, minus the response: an entry
+  // with unknown flag bits is dropped and counted, the rest of the frame is
+  // still absorbed. Malformed frames (caught above) take the usual
+  // kBadRequest + drain-and-close path in conn_process_frames.
+  std::uint64_t bad_entries = 0;
+  for (const auto& entry : obs_batch) {
+    if ((entry.flags & ~kFlagErrorStatus) != 0) {
+      ++bad_entries;
+      continue;
+    }
+    model_.observe(to_trace_request(entry));
+  }
+  count(&Instruments::observe_frames, observe_frames_);
+  const auto fed = static_cast<std::uint64_t>(obs_batch.size()) - bad_entries;
+  if (fed != 0) count(&Instruments::observes, observes_, fed);
+  if (bad_entries != 0) {
+    count(&Instruments::observe_entry_errors, observe_entry_errors_,
+          bad_entries);
   }
   return {};
 }

@@ -159,6 +159,14 @@ class PredictServer {
   std::uint64_t batch_entry_errors() const { return batch_entry_errors_.load(std::memory_order_relaxed); }
   /// Predictions dropped by the u16 per-response count clamp.
   std::uint64_t responses_truncated() const { return responses_truncated_.load(std::memory_order_relaxed); }
+  /// v3 observe frames served (no response is written for them).
+  std::uint64_t observe_frames() const { return observe_frames_.load(std::memory_order_relaxed); }
+  /// Observe-frame entries fed into ModelServer::observe.
+  std::uint64_t observes() const { return observes_.load(std::memory_order_relaxed); }
+  /// Observe-frame entries skipped for unknown flag bits (the frame and
+  /// connection survive, like a bad batch slot — but with no response to
+  /// degrade, the entry is counted and dropped).
+  std::uint64_t observe_entry_errors() const { return observe_entry_errors_.load(std::memory_order_relaxed); }
 
  private:
   struct Worker;
@@ -183,6 +191,11 @@ class PredictServer {
   /// frame itself is malformed (empty string = served).
   std::string conn_handle_batch(Connection& c,
                                 std::span<const std::uint8_t> body);
+  /// Serves one v3 observe frame: decode and feed every entry into
+  /// ModelServer::observe. One-way — nothing is written back. Returns a
+  /// reject reason when the frame is malformed (empty string = served).
+  std::string conn_handle_observe(Connection& c,
+                                  std::span<const std::uint8_t> body);
   void conn_update_interest(Worker& w, Connection& c);
   void close_conn(Worker& w, int fd);
   void arm_idle(Worker& w, const Connection& c);
@@ -221,7 +234,8 @@ class PredictServer {
       responses_{0}, protocol_errors_{0}, shed_{0}, slow_disconnects_{0},
       idle_timeouts_{0}, accept_failures_{0}, short_reads_{0},
       short_writes_{0}, stalls_{0}, admin_requests_{0}, batches_{0},
-      batch_entry_errors_{0}, responses_truncated_{0};
+      batch_entry_errors_{0}, responses_truncated_{0}, observe_frames_{0},
+      observes_{0}, observe_entry_errors_{0};
   std::atomic<std::size_t> active_{0};
 
   std::unique_ptr<Instruments> ins_;

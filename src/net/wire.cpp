@@ -110,15 +110,20 @@ std::size_t encode_response(const WireResponse& resp, WriteRing& out) {
   return encode_response_impl(resp, out);
 }
 
-std::size_t encode_batch_request(std::span<const WireRequest> reqs,
-                                 std::vector<std::uint8_t>& out) {
+namespace {
+
+/// The v2 batch request and v3 observe frame share one body layout; only
+/// the version byte differs. One encoder keeps them byte-compatible.
+std::size_t encode_request_list(std::uint8_t version,
+                                std::span<const WireRequest> reqs,
+                                std::vector<std::uint8_t>& out) {
   const std::size_t count =
       std::min<std::size_t>(reqs.size(),
                             std::numeric_limits<std::uint16_t>::max());
   const std::size_t body =
       kBatchPrefixBytes + count * kBatchRequestEntryBytes;
   put_u32(static_cast<std::uint32_t>(body), out);
-  out.push_back(kWireVersionBatch);
+  out.push_back(version);
   out.push_back(0);  // reserved
   put_u16(static_cast<std::uint16_t>(count), out);
   for (std::size_t i = 0; i < count; ++i) {
@@ -128,6 +133,57 @@ std::size_t encode_batch_request(std::span<const WireRequest> reqs,
     put_u64(reqs[i].timestamp, out);
   }
   return reqs.size() - count;
+}
+
+/// Shared decoder for the two request-list frames (v2 batch / v3 observe).
+DecodeError decode_request_list(std::uint8_t version, const char* what,
+                                std::span<const std::uint8_t> body,
+                                std::vector<WireRequest>& out) {
+  out.clear();
+  if (body.size() < kBatchPrefixBytes) {
+    return fail(std::string(what) + " body " + std::to_string(body.size()) +
+                " bytes, prefix needs " + std::to_string(kBatchPrefixBytes));
+  }
+  if (body[0] != version) {
+    return fail("version " + std::to_string(body[0]) + " != " +
+                std::to_string(version));
+  }
+  if (body[1] != 0) {
+    return fail("reserved byte " + std::to_string(body[1]) + " != 0");
+  }
+  const std::uint16_t count = get_u16(body.data() + 2);
+  if (count == 0) return fail(std::string(what) + " count 0");
+  // The count must be provable from bytes already in hand: resize only
+  // after the body length confirms the claim, so a flipped count can never
+  // size an allocation.
+  const std::size_t need =
+      kBatchPrefixBytes + std::size_t{count} * kBatchRequestEntryBytes;
+  if (body.size() != need) {
+    return fail(std::string(what) + " count " + std::to_string(count) +
+                " needs " + std::to_string(need) + " bytes, body has " +
+                std::to_string(body.size()));
+  }
+  out.resize(count);
+  const std::uint8_t* p = body.data() + kBatchPrefixBytes;
+  for (std::uint16_t i = 0; i < count; ++i, p += kBatchRequestEntryBytes) {
+    out[i].flags = p[0];
+    out[i].client = get_u32(p + 1);
+    out[i].url = get_u32(p + 5);
+    out[i].timestamp = get_u64(p + 9);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::size_t encode_batch_request(std::span<const WireRequest> reqs,
+                                 std::vector<std::uint8_t>& out) {
+  return encode_request_list(kWireVersionBatch, reqs, out);
+}
+
+std::size_t encode_observe_frame(std::span<const WireRequest> reqs,
+                                 std::vector<std::uint8_t>& out) {
+  return encode_request_list(kWireVersionObserve, reqs, out);
 }
 
 std::size_t encode_batch_response(std::span<const WireResponse> resps,
@@ -226,39 +282,12 @@ DecodeError decode_response(std::span<const std::uint8_t> body,
 
 DecodeError decode_batch_request(std::span<const std::uint8_t> body,
                                  std::vector<WireRequest>& out) {
-  out.clear();
-  if (body.size() < kBatchPrefixBytes) {
-    return fail("batch request body " + std::to_string(body.size()) +
-                " bytes, prefix needs " + std::to_string(kBatchPrefixBytes));
-  }
-  if (body[0] != kWireVersionBatch) {
-    return fail("version " + std::to_string(body[0]) + " != " +
-                std::to_string(kWireVersionBatch));
-  }
-  if (body[1] != 0) {
-    return fail("reserved byte " + std::to_string(body[1]) + " != 0");
-  }
-  const std::uint16_t count = get_u16(body.data() + 2);
-  if (count == 0) return fail("batch count 0");
-  // The count must be provable from bytes already in hand: resize only
-  // after the body length confirms the claim, so a flipped count can never
-  // size an allocation.
-  const std::size_t need =
-      kBatchPrefixBytes + std::size_t{count} * kBatchRequestEntryBytes;
-  if (body.size() != need) {
-    return fail("batch count " + std::to_string(count) + " needs " +
-                std::to_string(need) + " bytes, body has " +
-                std::to_string(body.size()));
-  }
-  out.resize(count);
-  const std::uint8_t* p = body.data() + kBatchPrefixBytes;
-  for (std::uint16_t i = 0; i < count; ++i, p += kBatchRequestEntryBytes) {
-    out[i].flags = p[0];
-    out[i].client = get_u32(p + 1);
-    out[i].url = get_u32(p + 5);
-    out[i].timestamp = get_u64(p + 9);
-  }
-  return {};
+  return decode_request_list(kWireVersionBatch, "batch request", body, out);
+}
+
+DecodeError decode_observe_frame(std::span<const std::uint8_t> body,
+                                 std::vector<WireRequest>& out) {
+  return decode_request_list(kWireVersionObserve, "observe frame", body, out);
 }
 
 DecodeError decode_batch_response(std::span<const std::uint8_t> body,

@@ -6,9 +6,10 @@
 // server from different protocol revisions fail fast with a structured
 // reason instead of misparsing each other. Version 1 frames carry one
 // query; version 2 frames carry a *batch* — the framing a client uses to
-// amortize the per-frame syscall/wakeup cost over many queries. A server
-// speaks both: the version byte is per frame, so one connection may mix
-// v1 and v2 freely.
+// amortize the per-frame syscall/wakeup cost over many queries; version 3
+// frames are one-way *observe* reports that feed session state and online
+// training without a response. A server speaks all three: the version
+// byte is per frame, so one connection may mix them freely.
 //
 //   v1 request body  (kRequestBodyBytes, fixed):
 //     u8  version      (= kWireVersion)
@@ -67,6 +68,18 @@ inline constexpr std::uint8_t kWireVersion = 1;
 
 /// Version byte of a batch (many-queries-per-frame) request/response.
 inline constexpr std::uint8_t kWireVersionBatch = 2;
+
+/// Version byte of an observe frame: a one-way batch of requests the
+/// client *reports* rather than asks about. Body layout is exactly the v2
+/// batch request's (version, reserved, u16 count, count 17-byte entries) —
+/// only the version byte differs — but the server sends NO response: the
+/// entries feed session contexts and the online-training pipeline
+/// (ModelServer::observe), so a replay tool can drive training at wire
+/// speed without paying for predictions it will discard. Ordering within a
+/// connection is preserved (frames are processed in arrival order), so a
+/// v1/v2 query after an observe frame on the same connection sees the
+/// observed clicks already in its session context.
+inline constexpr std::uint8_t kWireVersionObserve = 3;
 
 /// Frame header: 4-byte little-endian body length.
 inline constexpr std::size_t kFrameHeaderBytes = 4;
@@ -156,6 +169,12 @@ std::size_t encode_response(const WireResponse& resp,
 std::size_t encode_batch_request(std::span<const WireRequest> reqs,
                                  std::vector<std::uint8_t>& out);
 
+/// Appends one framed v3 observe frame carrying `reqs` (order preserved;
+/// no response will come back). Same u16 truncation rule and return as
+/// encode_batch_request.
+std::size_t encode_observe_frame(std::span<const WireRequest> reqs,
+                                 std::vector<std::uint8_t>& out);
+
 /// encode_response straight into a connection's write ring (the v1 path of
 /// the zero-copy server; same bytes, same truncation rule and return).
 std::size_t encode_response(const WireResponse& resp, WriteRing& out);
@@ -198,6 +217,14 @@ inline std::uint8_t frame_version(std::span<const std::uint8_t> body) {
 /// kBadRequest (one bad entry degrades its slot, it does not kill the
 /// batch); everything that would make the frame unparseable is.
 DecodeError decode_batch_request(std::span<const std::uint8_t> body,
+                                 std::vector<WireRequest>& out);
+
+/// Decodes a v3 observe frame body into `out` (cleared first). Identical
+/// hardening to decode_batch_request (it is the same layout under a
+/// different version byte): count proven against the body length before
+/// any allocation, per-entry flag bits left to the caller's per-slot
+/// handling.
+DecodeError decode_observe_frame(std::span<const std::uint8_t> body,
                                  std::vector<WireRequest>& out);
 
 /// Decodes a v2 batch response body into `out` (cleared first), one

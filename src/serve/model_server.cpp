@@ -232,6 +232,10 @@ QueryResult ModelServer::query_ex(const trace::Request& r,
                                   std::vector<ppm::Prediction>& out) {
   out.clear();
   QueryResult result;
+  // The training tap sees the raw stream, before any admission filtering
+  // (see RequestObserver — error and fault-refused requests are part of
+  // the log the offline oracle trains on).
+  notify_observer(r);
   // The prefetching server does not predict on failed requests (the
   // simulator's piggyback path skips them the same way).
   if (config_.session.skip_errors && r.status >= 400) return result;
@@ -315,6 +319,12 @@ void ModelServer::query_batch(std::span<const trace::Request> reqs,
   const std::size_t n = reqs.size();
   scratch.items.assign(n, BatchQueryItem{});
   scratch.predictions.clear();
+
+  // Training tap first, in request order — exactly where a sequential
+  // query_ex stream would fire it (before admission filtering).
+  if (observer_.load(std::memory_order_acquire) != nullptr) {
+    for (const auto& r : reqs) notify_observer(r);
+  }
 
   // Pre-pass in request order: the skip-errors rule and the serve.query
   // chaos hook fire in exactly the sequence a per-query loop would (fault
@@ -521,6 +531,38 @@ std::string ModelServer::scoreboard_json() const {
 
 bool ModelServer::drift_alert() const {
   return sb_ != nullptr && sb_->drift().alert;
+}
+
+std::uint64_t ModelServer::drift_alert_epoch() const {
+  return sb_ != nullptr ? sb_->drift_alert_epoch() : 0;
+}
+
+void ModelServer::observe(const trace::Request& r) {
+  notify_observer(r);
+  observes_.fetch_add(1, std::memory_order_relaxed);
+  // Error requests reach the observer (the log includes them) but never
+  // touch session state — the same admission rule query_ex applies.
+  if (config_.session.skip_errors && r.status >= 400) return;
+
+  const auto snap = sb_ != nullptr ? snapshot() : nullptr;
+  bool shed = false;
+  {
+    Shard& sh = shard_of(r.client);
+    lock_shard(sh);
+    std::lock_guard lock(sh.mu, std::adopt_lock);
+    sh.contexts.observe(r, &shed);
+    // An observed click is a real arrival: it can consume (hit) an
+    // outstanding prediction issued by an earlier query. Nothing is
+    // recorded — observe issues no predictions.
+    if (sb_ != nullptr && sb_->scoring()) {
+      sb_->observe(sh.sb, r.client, r.url, r.timestamp,
+                   snap != nullptr ? &snap->popularity : nullptr);
+    }
+  }
+  if (shed) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (ins_ != nullptr) ins_->shed->add();
+  }
 }
 
 void ModelServer::refresh_gauges() {

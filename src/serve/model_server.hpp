@@ -119,6 +119,26 @@ std::shared_ptr<const Snapshot> load_snapshot(
     std::istream& in, popularity::PopularityTable popularity,
     std::uint64_t version);
 
+/// Sink for the server's request stream — the tap the online-training
+/// pipeline hangs off (DESIGN.md §15). An attached observer sees *every*
+/// request offered to query_ex/query_batch/observe, in arrival order,
+/// before admission filtering: error-status requests are included (the
+/// popularity table counts them, so a trainer that skipped them would
+/// diverge from the offline oracle) and so are requests a chaos fault or
+/// the shed cap later refuses — the observer mirrors the raw access log,
+/// which is exactly what offline training consumes.
+///
+/// on_request runs on the query thread under no lock; implementations must
+/// be cheap, thread-safe, and noexcept (a bounded queue push, not a train
+/// step). Detached (the default) the hook costs one relaxed load + branch;
+/// the online-training bench gates that at <3% with byte-identical
+/// predictions.
+class RequestObserver {
+ public:
+  virtual ~RequestObserver() = default;
+  virtual void on_request(const trace::Request& r) noexcept = 0;
+};
+
 struct ModelServerConfig {
   /// Client-context shards. More shards = less lock contention between
   /// concurrent queries; memory cost is one sessionizer table per shard.
@@ -332,6 +352,39 @@ class ModelServer {
   /// online-training trigger hook.
   bool drift_alert() const;
 
+  /// Rising-edge count of the drift alert (0 when the scoreboard is
+  /// disabled). Consumers keep the last epoch they handled and compare —
+  /// the edge-triggered API the online trainer and tests use instead of
+  /// level-polling drift_alert() or scraping /healthz.
+  std::uint64_t drift_alert_epoch() const;
+
+  /// Attaches (or, with nullptr, detaches) the request-stream observer.
+  /// The hook is a single atomic pointer: attach/detach is safe against
+  /// concurrent queries, but the caller must keep the observer alive until
+  /// detach has returned *and* in-flight queries have drained (in practice:
+  /// detach, then stop the traffic source, then destroy).
+  void attach_observer(RequestObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
+  }
+  RequestObserver* observer() const {
+    return observer_.load(std::memory_order_acquire);
+  }
+
+  /// Feeds one request into the server *without* predicting: the observe
+  /// frame's backend (DESIGN.md §15). The request reaches the attached
+  /// RequestObserver, advances the client's session context (so a later
+  /// query predicts from the full click history), and — when the
+  /// scoreboard is scoring — resolves outstanding predictions for the
+  /// client (a prefetched URL consumed via a path that never asked for a
+  /// prediction still counts as a hit). No prediction pass runs and no
+  /// prediction is recorded; query_count() is unaffected.
+  void observe(const trace::Request& r);
+
+  /// Requests fed through observe() (including skipped error requests).
+  std::uint64_t observe_count() const {
+    return observes_.load(std::memory_order_relaxed);
+  }
+
   const ModelServerConfig& config() const { return config_; }
 
  private:
@@ -430,9 +483,20 @@ class ModelServer {
 
   void update_generation_metrics();
 
+  /// Forwards `r` to the attached observer, if any. The detached fast path
+  /// is one relaxed-ish load and an untaken branch.
+  void notify_observer(const trace::Request& r) {
+    if (RequestObserver* obs = observer_.load(std::memory_order_acquire);
+        obs != nullptr) {
+      obs->on_request(r);
+    }
+  }
+
   ModelServerConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   SnapshotSlot snap_;
+  std::atomic<RequestObserver*> observer_{nullptr};
+  std::atomic<std::uint64_t> observes_{0};
   std::atomic<std::uint64_t> queries_{0};
   std::atomic<std::uint64_t> degraded_queries_{0};
   std::atomic<std::uint64_t> shed_{0};

@@ -32,6 +32,7 @@ void DriftWatch::record_outcome(bool hit) {
     p_long_ += cfg_.long_alpha * (v - p_long_);
   }
   ++outcomes_;
+  update_alert_locked();
 }
 
 void DriftWatch::record_request(bool popular) {
@@ -44,6 +45,22 @@ void DriftWatch::record_request(bool popular) {
     m_long_ += cfg_.long_alpha * (v - m_long_);
   }
   ++requests_;
+  update_alert_locked();
+}
+
+void DriftWatch::update_alert_locked() {
+  const double p_gap =
+      outcomes_ >= cfg_.min_samples ? std::abs(p_short_ - p_long_) : 0.0;
+  const double m_gap =
+      requests_ >= cfg_.min_samples ? std::abs(m_short_ - m_long_) : 0.0;
+  const bool alert = std::max(p_gap, m_gap) > cfg_.threshold;
+  if (alert && !alert_) ++alert_epoch_;
+  alert_ = alert;
+}
+
+std::uint64_t DriftWatch::alert_epoch() const {
+  std::lock_guard lock(mu_);
+  return alert_epoch_;
 }
 
 DriftWatch::State DriftWatch::state() const {

@@ -158,12 +158,26 @@ class DriftWatch {
   void record_request(bool popular);
   State state() const;
 
+  /// Number of false→true alert transitions so far — the edge-triggered
+  /// form of State::alert. A consumer (the online trainer, a test) stores
+  /// the last epoch it acted on and compares: `epoch != seen` means a new
+  /// alert *edge* fired since, no matter how briefly the level was up or
+  /// how long it stays up. Level-polling State::alert misses short alerts
+  /// and re-fires on long ones; the epoch does neither.
+  std::uint64_t alert_epoch() const;
+
  private:
+  /// Recomputes the alert level after a sample and counts rising edges.
+  /// Caller holds mu_.
+  void update_alert_locked();
+
   Config cfg_;
   mutable std::mutex mu_;
   double p_short_ = 0.0, p_long_ = 0.0;
   double m_short_ = 0.0, m_long_ = 0.0;
   std::uint64_t outcomes_ = 0, requests_ = 0;
+  bool alert_ = false;
+  std::uint64_t alert_epoch_ = 0;
 };
 
 class Scoreboard {
@@ -239,6 +253,7 @@ class Scoreboard {
 
   ScoreboardTotals totals() const;
   DriftWatch::State drift() const { return drift_.state(); }
+  std::uint64_t drift_alert_epoch() const { return drift_.alert_epoch(); }
   obs::HistogramSnapshot hit_lag() const { return hit_lag_->snapshot(); }
 
   /// The /scoreboard JSON document. `rings` is the current ring count

@@ -58,6 +58,22 @@ class IncrementalSessionizer {
   /// this vector remain valid across feed() calls.
   const std::vector<Session>& closed() const { return closed_; }
 
+  /// Moves the closed sessions out (in order of close) and resets the
+  /// closed list, leaving open sessions untouched. The streaming consumer's
+  /// counterpart to closed(): an online trainer absorbs each settled batch
+  /// into its model and keeps (a bounded window of) the sessions itself,
+  /// so the sessionizer never accumulates a whole day's history. Do not mix
+  /// with closed()-index bookkeeping — indices restart at 0 after a take.
+  std::vector<Session> take_closed() {
+    std::vector<Session> out = std::move(closed_);
+    closed_.clear();
+    return out;
+  }
+
+  /// Sessions currently open (including empty placeholder slots created by
+  /// skipped error requests). Cheap; open_snapshot() copies, this counts.
+  std::size_t open_count() const { return open_.size(); }
+
   /// Copies of the currently open (non-empty) sessions — the sessions that
   /// would be force-closed if the stream ended here. Unordered.
   std::vector<Session> open_snapshot() const;

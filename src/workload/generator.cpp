@@ -55,8 +55,11 @@ PageId pick_child(const Page& page, double zipf_alpha, util::Rng& rng) {
   return page.children[n - 1];
 }
 
-/// One surfing session: returns the sequence of pages viewed.
-std::vector<PageId> walk_session(const WalkContext& ctx, util::Rng& rng) {
+/// One surfing session starting at `start`: returns the sequence of pages
+/// viewed. The start time only matters to the drift profile — it decides
+/// whether the head-rotation event has happened yet for this session.
+std::vector<PageId> walk_session(const WalkContext& ctx, TimeSec start,
+                                 util::Rng& rng) {
   const auto& site = ctx.site;
   const auto& prof = ctx.profile;
 
@@ -67,7 +70,15 @@ std::vector<PageId> walk_session(const WalkContext& ctx, util::Rng& rng) {
     entry_rank = site.entry_count() - 1;  // treated as unpopular for R2
   } else {
     entry_rank = static_cast<std::uint32_t>(ctx.entry_sampler(rng));
-    entry = site.entry(entry_rank);
+    // Flash-crowd rotation: the sampled rank keeps its *popularity
+    // position* (head ranks still get the head mass and, via R2, the long
+    // sessions) but lands on a rotated page, so the hot URLs change while
+    // the traffic shape does not.
+    std::uint32_t landing = entry_rank;
+    if (prof.head_rotate_at != 0 && start >= prof.head_rotate_at) {
+      landing = (entry_rank + prof.head_rotate_offset) % site.entry_count();
+    }
+    entry = site.entry(landing);
   }
 
   const std::uint32_t length = sample_session_length(ctx, entry_rank, rng);
@@ -218,6 +229,29 @@ GeneratorConfig ucb_like(std::uint32_t days, double scale) {
   return cfg;
 }
 
+GeneratorConfig nasa_drift(std::uint32_t days, double rotate_at_days,
+                           double scale) {
+  GeneratorConfig cfg = nasa_like(days, scale);
+  cfg.traffic.head_rotate_at = static_cast<TimeSec>(
+      rotate_at_days * static_cast<double>(kSecondsPerDay));
+  // Half a turn of the entry ring: every head page swaps popularity with a
+  // mid-table page — the strongest possible drift that still preserves the
+  // traffic shape.
+  cfg.traffic.head_rotate_offset = cfg.site.entry_pages / 2;
+  // Sharpen the profile so the rotation is consequential: concentrate the
+  // pre-rotation head (steeper entry Zipf, less random entry/jump
+  // exploration) so the rotated-in mid-table subtrees are barely trained
+  // when the flash crowd lands on them, and raise the home weight so more
+  // intra-session transitions target the (rotated) entry page itself. With
+  // the plain nasa_like profile the exploratory traffic pre-covers every
+  // subtree and a frozen model barely degrades.
+  cfg.traffic.entry_zipf_alpha = 2.2;
+  cfg.traffic.random_entry_prob = 0.01;
+  cfg.traffic.random_jump_weight = 0.02;
+  cfg.traffic.home_weight = 0.12;
+  return cfg;
+}
+
 trace::Trace generate_trace(const GeneratorConfig& config) {
   const SiteModel site = SiteModel::build(config.site);
   const util::ZipfSampler entry_sampler(site.entry_count(),
@@ -271,7 +305,7 @@ trace::Trace generate_trace(const GeneratorConfig& config) {
                                  : kSecondsPerDay / 2;
         const TimeSec start =
             day_start + sample_start_offset(config.traffic, span, actor.rng);
-        const auto pages = walk_session(ctx, actor.rng);
+        const auto pages = walk_session(ctx, start, actor.rng);
         emit_session(site, pages, start, actor.client, config.traffic,
                      actor.rng, out, html_ids, image_ids);
       }

@@ -60,6 +60,18 @@ struct TrafficProfile {
   /// logs carry dead links; the sessionizer and simulator must skip them.
   /// Default 0 keeps the calibrated profiles noise-free.
   double error_rate = 0.0;
+
+  // Popularity drift / flash crowd: at absolute trace time
+  // `head_rotate_at` (0 = never), the entry-popularity ranking rotates by
+  // `head_rotate_offset` — a session that starts at or after that moment
+  // and samples entry rank r lands on the page at rank
+  // (r + offset) % entry_count instead. The *shape* of the traffic is
+  // unchanged (same Zipf head mass, same session lengths), but which URLs
+  // carry it flips: yesterday's hot head goes cold and a formerly tepid
+  // page flash-crowds. Set mid-day (e.g. (d + 0.5) * kSecondsPerDay) to
+  // reproduce the intra-day drift the DriftWatch is built to catch.
+  TimeSec head_rotate_at = 0;
+  std::uint32_t head_rotate_offset = 0;
 };
 
 struct PopulationConfig {
@@ -84,6 +96,14 @@ GeneratorConfig nasa_like(std::uint32_t days, double scale = 1.0);
 /// Profile approximating the UCB-CS trace: evenly distributed starting-URL
 /// popularity and noisier navigation (paper §4.3).
 GeneratorConfig ucb_like(std::uint32_t days, double scale = 1.0);
+
+/// NASA-like profile with a popularity-drift event: at `rotate_at_days`
+/// (fractional days from the trace epoch, e.g. 6.5 = mid-day 6) the Zipf
+/// head rotates by half the entry set. A model trained before the event
+/// keeps predicting the old head; the drift profile is what the online-
+/// training bench uses to show republish-on-alert recovering precision.
+GeneratorConfig nasa_drift(std::uint32_t days, double rotate_at_days,
+                           double scale = 1.0);
 
 /// Generates the raw request trace (HTML + embedded images, time-sorted).
 /// Deterministic for a given config (including seed).

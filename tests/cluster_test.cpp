@@ -501,5 +501,58 @@ TEST_F(ClusterFixture, DistributeVerifiesEveryShardStore) {
   fault::disarm();
 }
 
+TEST_F(ClusterFixture, PerShardTrainersLearnFromOwnClientsAndPublish) {
+  bring_up(2);
+  learn::OnlineTrainerConfig tcfg;
+  tcfg.policy.day_boundaries = false;  // publish only on demand below
+  ASSERT_TRUE(sup_->start_trainers(tcfg));
+  EXPECT_FALSE(sup_->start_trainers(tcfg)) << "second start must refuse";
+  ASSERT_NE(sup_->trainer(0), nullptr);
+  ASSERT_NE(sup_->trainer(1), nullptr);
+  EXPECT_EQ(sup_->trainer(2), nullptr) << "out-of-range shard";
+
+  const auto reqs = spread_stream(router_->ring());
+  std::vector<std::uint64_t> expect(2, 0);
+  for (const auto& r : reqs) ++expect[router_->ring().shard_of(r.client)];
+  ASSERT_GT(expect[0], 0u);
+  ASSERT_GT(expect[1], 0u);
+  const auto res = replay(router_->port(), reqs);
+  ASSERT_TRUE(res.ok) << res.error;
+
+  // Each shard's tap sees exactly the clients the ring routes there; the
+  // trainer threads drain asynchronously.
+  EXPECT_TRUE(eventually([&] {
+    return sup_->trainer(0)->observations() == expect[0] &&
+           sup_->trainer(1)->observations() == expect[1];
+  }))
+      << sup_->trainer(0)->observations() << "+"
+      << sup_->trainer(1)->observations() << " observed, want " << expect[0]
+      << "+" << expect[1];
+  EXPECT_EQ(sup_->trainer(0)->dropped(), 0u);
+  EXPECT_EQ(sup_->trainer(1)->dropped(), 0u);
+
+  // On-demand publish bumps each shard past the distributed version 1,
+  // through the shard's own store (supervisor overrides cfg.store).
+  for (std::size_t s = 0; s < 2; ++s) {
+    auto* tr = sup_->trainer(s);
+    ASSERT_TRUE(tr->publish_now()) << "shard " << s;
+    EXPECT_GT(tr->last_published_version(), 1u) << "shard " << s;
+    EXPECT_EQ(sup_->serving_version(s), tr->last_published_version());
+  }
+
+  // A restart reloads the shard store's newest generation — which is now
+  // the trainer's publish, not the original distribute() — and the
+  // trainer survives it (the ModelServer it feeds is the kept piece).
+  std::string err;
+  const std::uint64_t v0 = sup_->trainer(0)->last_published_version();
+  ASSERT_TRUE(sup_->restart_shard(0, &err)) << err;
+  EXPECT_EQ(sup_->serving_version(0), v0);
+  ASSERT_NE(sup_->trainer(0), nullptr);
+
+  sup_->stop_trainers();
+  EXPECT_EQ(sup_->trainer(0), nullptr);
+  sup_->stop_trainers();  // idempotent
+}
+
 }  // namespace
 }  // namespace webppm::cluster

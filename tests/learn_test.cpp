@@ -1,0 +1,527 @@
+// Online-training suite ("learn" label, run under asan/tsan by the
+// *-learn presets and the CI learn job):
+//   * ObservationQueue semantics — bounded non-blocking push, drop
+//     accounting, close, and the learn.queue.push fault site;
+//   * the convergence contract — an OnlineTrainer fed the same stream the
+//     offline SweepEngine trained on publishes models that answer
+//     byte-identically to the oracle at every day boundary;
+//   * publish-policy triggers (threshold, interval, manual) and the
+//     drift_alert_epoch edge-triggered API;
+//   * chaos — learn.publish aborts leave trainer and serving state
+//     untouched; a snapshot-store failure costs durability, not freshness;
+//   * decay — bounded retention plus periodic rebuild forgets evicted
+//     history without breaking serving;
+//   * mobile-style churn — high client turnover against per-shard caps and
+//     idle eviction racing the trainer thread's settlement (the tsan
+//     preset's main course).
+#include "learn/trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "fault/fault.hpp"
+#include "learn/observation.hpp"
+#include "serve/model_server.hpp"
+#include "serve/scoreboard.hpp"
+#include "serve/snapshot_store.hpp"
+#include "workload/generator.hpp"
+
+namespace webppm::learn {
+namespace {
+
+namespace fs = std::filesystem;
+
+trace::Request click(ClientId c, UrlId u, TimeSec t,
+                     std::uint16_t status = 200) {
+  trace::Request r;
+  r.client = c;
+  r.url = u;
+  r.timestamp = t;
+  r.status = status;
+  r.size_bytes = 1000;
+  return r;
+}
+
+Observation obs_at(TimeSec t, ClientId c = 0, UrlId u = 0) {
+  Observation o;
+  o.timestamp = t;
+  o.client = c;
+  o.url = u;
+  return o;
+}
+
+/// Pushes `n` clicks of one client into the trainer's queue directly
+/// (bypassing a server), one second apart starting at `t0`.
+void push_clicks(OnlineTrainer& trainer, std::size_t n, TimeSec t0,
+                 ClientId client = 1) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(trainer.queue().push(
+        obs_at(t0 + static_cast<TimeSec>(i), client,
+               static_cast<UrlId>(i % 5))));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ObservationQueue.
+
+TEST(ObservationQueue, PushDrainRoundTrip) {
+  ObservationQueue q(8);
+  EXPECT_EQ(q.capacity(), 8u);
+  EXPECT_EQ(q.size(), 0u);
+  for (TimeSec t = 0; t < 5; ++t) EXPECT_TRUE(q.push(obs_at(t, 7, 9)));
+  EXPECT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.pushed(), 5u);
+
+  std::vector<Observation> out;
+  EXPECT_EQ(q.drain(out), 5u);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(q.size(), 0u);
+  for (TimeSec t = 0; t < 5; ++t) {
+    EXPECT_EQ(out[t].timestamp, t);
+    EXPECT_EQ(out[t].client, 7u);
+    EXPECT_EQ(out[t].url, 9u);
+  }
+  // Drain on empty is a no-op append.
+  EXPECT_EQ(q.drain(out), 0u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(ObservationQueue, DropsWhenFullAndCounts) {
+  ObservationQueue q(4);
+  for (TimeSec t = 0; t < 4; ++t) EXPECT_TRUE(q.push(obs_at(t)));
+  EXPECT_FALSE(q.push(obs_at(4)));
+  EXPECT_FALSE(q.push(obs_at(5)));
+  EXPECT_EQ(q.pushed(), 4u);
+  EXPECT_EQ(q.dropped(), 2u);
+
+  // Draining frees the ring; pushes succeed again.
+  std::vector<Observation> out;
+  EXPECT_EQ(q.drain(out), 4u);
+  EXPECT_TRUE(q.push(obs_at(6)));
+  EXPECT_EQ(q.pushed(), 5u);
+}
+
+TEST(ObservationQueue, CloseDropsNewKeepsBuffered) {
+  ObservationQueue q(8);
+  EXPECT_TRUE(q.push(obs_at(1)));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.push(obs_at(2)));
+  EXPECT_EQ(q.dropped(), 1u);
+
+  std::vector<Observation> out;
+  EXPECT_EQ(q.drain(out), 1u);  // buffered observations stay drainable
+  // drain_wait on a closed empty queue returns immediately, not after the
+  // timeout.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(q.drain_wait(out, std::chrono::milliseconds(2000)), 0u);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(1000));
+}
+
+TEST(ObservationQueue, FaultSiteDropsExactNth) {
+  ObservationQueue q(16);
+  fault::arm(fault::Plan{}.fail_nth("learn.queue.push", 1, 1));
+  EXPECT_TRUE(q.push(obs_at(0)));
+  EXPECT_FALSE(q.push(obs_at(1)));  // the scripted second hit
+  EXPECT_TRUE(q.push(obs_at(2)));
+  fault::disarm();
+  EXPECT_EQ(q.pushed(), 2u);
+  EXPECT_EQ(q.dropped(), 1u);
+}
+
+TEST(ObservationQueue, TapSeesErrorRequests) {
+  // The observer fires before the server's skip-errors gate: the trainer
+  // must see the raw access log (popularity counts errors).
+  serve::ModelServer target;
+  ObservationQueue q(8);
+  target.attach_observer(&q);
+  target.observe(click(1, 2, 10, 404));
+  target.attach_observer(nullptr);
+  EXPECT_EQ(q.pushed(), 1u);
+  std::vector<Observation> out;
+  q.drain(out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, 404);
+  EXPECT_EQ(out[0].to_request().status, 404);
+}
+
+// ---------------------------------------------------------------------------
+// Convergence: online == offline oracle, byte for byte, at day boundaries.
+
+/// Replays `eval` through two fresh servers (one per snapshot) and asserts
+/// every query answers identically: same predicted/served flags, same
+/// prediction list (UrlId + float probability compared exactly).
+void expect_identical_service(std::shared_ptr<const serve::Snapshot> a,
+                              std::shared_ptr<const serve::Snapshot> b,
+                              std::span<const trace::Request> eval) {
+  serve::ModelServer sa;
+  serve::ModelServer sb;
+  sa.publish(std::move(a));
+  sb.publish(std::move(b));
+  std::vector<ppm::Prediction> pa;
+  std::vector<ppm::Prediction> pb;
+  for (const auto& r : eval) {
+    const auto ra = sa.query_ex(r, pa);
+    const auto rb = sb.query_ex(r, pb);
+    ASSERT_EQ(ra.predicted, rb.predicted);
+    ASSERT_EQ(static_cast<int>(ra.served), static_cast<int>(rb.served));
+    ASSERT_EQ(pa, pb);
+  }
+}
+
+void run_convergence(const core::ModelSpec& spec,
+                     const workload::GeneratorConfig& wcfg) {
+  const trace::Trace trace = workload::generate_page_trace(wcfg);
+  core::SweepEngine engine(trace);
+
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.spec = spec;
+  tc.url_count_hint = trace.urls.size();
+  OnlineTrainer trainer(target, tc);
+  trainer.attach();
+
+  const std::uint32_t days = trace.day_count();
+  ASSERT_GE(days, 3u);
+  for (std::uint32_t d = 0; d < days; ++d) {
+    for (const auto& r : trace.day_slice(d)) target.observe(r);
+    trainer.step();
+    if (d == 0) {
+      // No boundary crossed yet: nothing published.
+      EXPECT_EQ(trainer.publishes(), 0u);
+      continue;
+    }
+    // Feeding day d crossed boundary d: the published window is days
+    // [0, d), exactly the oracle's train(spec, d).
+    ASSERT_EQ(trainer.publishes(), d);
+    EXPECT_EQ(trainer.last_trigger(), PublishTrigger::kDayBoundary);
+    auto online = target.snapshot();
+    ASSERT_NE(online, nullptr);
+
+    core::TrainedModel oracle = engine.train(spec, d);
+    auto oracle_snap = serve::make_snapshot(
+        std::move(oracle.predictor), std::move(oracle.popularity),
+        online->version, tc.fallback_top_n);
+    expect_identical_service(std::move(oracle_snap), std::move(online),
+                             trace.day_slice(d));
+  }
+  EXPECT_EQ(trainer.dropped(), 0u);
+}
+
+TEST(OnlineTrainer, ConvergesToOracleNasaPb) {
+  run_convergence(core::ModelSpec::pb_model(), workload::nasa_like(3, 0.15));
+}
+
+TEST(OnlineTrainer, ConvergesToOracleNasaStandard) {
+  run_convergence(core::ModelSpec::standard_fixed(3),
+                  workload::nasa_like(3, 0.15));
+}
+
+TEST(OnlineTrainer, ConvergesToOracleUcbPb) {
+  run_convergence(core::ModelSpec::pb_model_aggressive(),
+                  workload::ucb_like(3, 0.15));
+}
+
+// ---------------------------------------------------------------------------
+// Publish-policy triggers.
+
+TEST(OnlineTrainer, ThresholdTrigger) {
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;
+  tc.policy.observation_threshold = 5;
+  OnlineTrainer trainer(target, tc);
+
+  push_clicks(trainer, 4, 100);
+  trainer.step();
+  EXPECT_EQ(trainer.publishes(), 0u);
+  push_clicks(trainer, 1, 104);
+  trainer.step();
+  EXPECT_EQ(trainer.publishes(), 1u);
+  EXPECT_EQ(trainer.last_trigger(), PublishTrigger::kThreshold);
+  EXPECT_EQ(target.version(), trainer.last_published_version());
+  ASSERT_NE(target.snapshot(), nullptr);
+}
+
+TEST(OnlineTrainer, IntervalTrigger) {
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;
+  tc.policy.interval_sec = 100;
+  OnlineTrainer trainer(target, tc);
+
+  push_clicks(trainer, 5, 1000);
+  trainer.step();
+  EXPECT_EQ(trainer.publishes(), 0u);  // only 4 observed seconds elapsed
+  push_clicks(trainer, 1, 1100);
+  trainer.step();
+  EXPECT_EQ(trainer.publishes(), 1u);
+  EXPECT_EQ(trainer.last_trigger(), PublishTrigger::kInterval);
+}
+
+TEST(OnlineTrainer, ManualPublishAndVersionMonotonic) {
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;
+  OnlineTrainer trainer(target, tc);
+
+  push_clicks(trainer, 3, 10);
+  trainer.step();
+  EXPECT_TRUE(trainer.publish_now());
+  EXPECT_EQ(trainer.last_trigger(), PublishTrigger::kManual);
+  const std::uint64_t v1 = target.version();
+  EXPECT_GE(v1, 1u);
+
+  // Someone else publishes a newer version out of band; the trainer's next
+  // publish must still move the version forward, not backward.
+  auto side = target.snapshot();
+  auto bumped = std::make_shared<serve::Snapshot>();
+  bumped->popularity = side->popularity;
+  bumped->version = v1 + 10;
+  target.publish(std::shared_ptr<const serve::Snapshot>(std::move(bumped)));
+  push_clicks(trainer, 3, 50);
+  trainer.step();
+  EXPECT_TRUE(trainer.publish_now());
+  EXPECT_GT(target.version(), v1 + 10);
+}
+
+TEST(DriftEpoch, EdgeTriggeredNotLevelPolled) {
+  serve::DriftWatch::Config cfg;
+  cfg.short_alpha = 0.5;
+  cfg.long_alpha = 0.001;
+  cfg.threshold = 0.2;
+  cfg.min_samples = 4;
+  serve::DriftWatch watch(cfg);
+  EXPECT_EQ(watch.alert_epoch(), 0u);
+
+  // A healthy hit stream keeps both EWMAs together: no alert.
+  for (int i = 0; i < 16; ++i) watch.record_outcome(true);
+  EXPECT_FALSE(watch.state().alert);
+  EXPECT_EQ(watch.alert_epoch(), 0u);
+
+  // Precision collapses: the fast EWMA drops away from the slow one — one
+  // rising edge, however long the level then stays up.
+  for (int i = 0; i < 64; ++i) watch.record_outcome(false);
+  EXPECT_TRUE(watch.state().alert);
+  EXPECT_EQ(watch.alert_epoch(), 1u);
+  for (int i = 0; i < 64; ++i) watch.record_outcome(false);
+  EXPECT_EQ(watch.alert_epoch(), 1u);  // still the same edge
+}
+
+TEST(DriftEpoch, DisabledScoreboardReportsZero) {
+  serve::ModelServer target;  // scoreboard disabled by default
+  EXPECT_FALSE(target.drift_alert());
+  EXPECT_EQ(target.drift_alert_epoch(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: failed publishes never corrupt serving.
+
+TEST(OnlineTrainer, PublishFaultLeavesEverythingUntouched) {
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;
+  OnlineTrainer trainer(target, tc);
+
+  push_clicks(trainer, 8, 100);
+  trainer.step();
+  ASSERT_TRUE(trainer.publish_now());
+  const auto before = target.snapshot();
+  const std::uint64_t obs_before = trainer.observations();
+
+  push_clicks(trainer, 8, 200);
+  trainer.step();
+  fault::arm(fault::Plan{}.fail("learn.publish"));
+  EXPECT_FALSE(trainer.publish_now());
+  fault::disarm();
+  EXPECT_EQ(trainer.publish_failures(), 1u);
+  EXPECT_EQ(trainer.publishes(), 1u);
+  // Serving still answers from the pre-fault snapshot...
+  EXPECT_EQ(target.snapshot().get(), before.get());
+  // ...and nothing was half-absorbed: the observations are still there and
+  // the next publish covers them.
+  EXPECT_EQ(trainer.observations(), obs_before + 8);
+  EXPECT_TRUE(trainer.publish_now());
+  EXPECT_NE(target.snapshot().get(), before.get());
+  EXPECT_EQ(trainer.publishes(), 2u);
+}
+
+TEST(OnlineTrainer, StoreFailureKeepsInMemoryPublish) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) /
+      ("learn_store_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  serve::SnapshotStoreConfig sc;
+  sc.dir = dir.string();
+  sc.backoff = std::chrono::milliseconds(0);
+  serve::SnapshotStore store(sc);
+
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;
+  tc.store = &store;
+  OnlineTrainer trainer(target, tc);
+
+  push_clicks(trainer, 8, 100);
+  trainer.step();
+  fault::arm(fault::Plan{}.fail("serve.snapshot.write"));
+  EXPECT_TRUE(trainer.publish_now());  // freshness beats durability
+  fault::disarm();
+  EXPECT_EQ(trainer.store_failures(), 1u);
+  EXPECT_EQ(trainer.publishes(), 1u);
+  ASSERT_NE(target.snapshot(), nullptr);
+
+  // With the store healthy again the next publish persists, and what it
+  // persisted is loadable at the published version.
+  push_clicks(trainer, 4, 200);
+  trainer.step();
+  EXPECT_TRUE(trainer.publish_now());
+  EXPECT_EQ(trainer.store_failures(), 1u);
+  auto loaded = store.load_latest();
+  ASSERT_NE(loaded.snapshot, nullptr) << loaded.error;
+  EXPECT_EQ(loaded.snapshot->version, trainer.last_published_version());
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Decay: bounded retention + periodic rebuild.
+
+TEST(OnlineTrainer, RetentionCapAndRebuildDecay) {
+  const trace::Trace trace =
+      workload::generate_page_trace(workload::nasa_like(4, 0.15));
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.spec = core::ModelSpec::pb_model();
+  tc.max_retained_sessions = 40;
+  tc.policy.rebuild_every_publishes = 2;
+  OnlineTrainer trainer(target, tc);
+  trainer.attach();
+
+  for (std::uint32_t d = 0; d < trace.day_count(); ++d) {
+    for (const auto& r : trace.day_slice(d)) target.observe(r);
+    trainer.step();
+  }
+  EXPECT_GE(trainer.publishes(), 3u);
+  EXPECT_LE(trainer.retained_sessions(), 40u);
+  EXPECT_GE(trainer.rebuilds(), 1u);
+  EXPECT_GT(trainer.storage_bytes(), 0u);
+
+  // The decayed model still serves: replay a slice and require predictions.
+  auto snap = target.snapshot();
+  ASSERT_NE(snap, nullptr);
+  serve::ModelServer fresh;
+  fresh.publish(snap);
+  std::vector<ppm::Prediction> out;
+  std::size_t predicted = 0;
+  for (const auto& r : trace.day_slice(trace.day_count() - 1)) {
+    if (fresh.query(r, out)) ++predicted;
+  }
+  EXPECT_GT(predicted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Background thread + mobile-style churn.
+
+TEST(OnlineTrainer, BackgroundThreadDrainsEverythingOnStop) {
+  serve::ModelServer target;
+  OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;
+  tc.poll_interval_ms = 1;
+  OnlineTrainer trainer(target, tc);
+  trainer.attach();
+  ASSERT_TRUE(trainer.start());
+  EXPECT_FALSE(trainer.start());  // already running
+  for (TimeSec t = 0; t < 1000; ++t) {
+    target.observe(click(static_cast<ClientId>(t % 17),
+                         static_cast<UrlId>(t % 31), t));
+  }
+  trainer.detach();
+  trainer.stop();
+  trainer.stop();  // idempotent
+  EXPECT_FALSE(trainer.running());
+  EXPECT_EQ(trainer.observations() + trainer.dropped(), 1000u);
+  EXPECT_EQ(trainer.observations(), trainer.queue().pushed());
+}
+
+TEST(OnlineTrainer, MobileChurnAgainstCapsAndEviction) {
+  // High client turnover against per-shard client caps and idle eviction,
+  // racing the trainer thread's settlement — the scenario that loses
+  // sessions or corrupts contexts if serve-side eviction and trainer-side
+  // sessionization share state they should not.
+  serve::ModelServerConfig mc;
+  mc.shards = 4;
+  mc.max_clients_per_shard = 16;
+  mc.idle_eviction_factor = 1.0;
+  serve::ModelServer target(mc);
+
+  // Serve something real so queries run a full prediction pass.
+  {
+    const trace::Trace warm =
+        workload::generate_page_trace(workload::nasa_like(1, 0.1));
+    core::SweepEngine engine(warm);
+    auto tm = engine.train(core::ModelSpec::pb_model(), 1);
+    target.publish(serve::make_snapshot(std::move(tm.predictor),
+                                        std::move(tm.popularity), 1));
+  }
+
+  OnlineTrainerConfig tc;
+  tc.spec = core::ModelSpec::pb_model();
+  tc.policy.day_boundaries = false;
+  tc.policy.observation_threshold = 512;
+  tc.poll_interval_ms = 1;
+  tc.queue_capacity = 1 << 12;
+  OnlineTrainer trainer(target, tc);
+  trainer.attach();
+  ASSERT_TRUE(trainer.start());
+
+  constexpr int kThreads = 4;
+  constexpr int kReqs = 3000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      std::vector<ppm::Prediction> out;
+      for (int i = 0; i < kReqs; ++i) {
+        // Fresh client every four clicks: mobile-style churn that keeps
+        // slamming the admission cap while old contexts idle out.
+        const ClientId c =
+            static_cast<ClientId>(w) * 1000000u + static_cast<ClientId>(i / 4);
+        const auto r = click(c, static_cast<UrlId>(i % 97),
+                             static_cast<TimeSec>(i) * 2);
+        if (i % 3 == 0) {
+          target.observe(r);
+        } else {
+          target.query_ex(r, out);
+        }
+        if (w == 0 && i % 256 == 255) {
+          target.evict_idle(static_cast<TimeSec>(i) * 2);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  trainer.detach();
+  trainer.stop();
+
+  // Every request offered reached the tap (pushed or deliberately dropped),
+  // and everything pushed was absorbed by the final drain.
+  EXPECT_EQ(trainer.queue().pushed() + trainer.queue().dropped(),
+            static_cast<std::uint64_t>(kThreads) * kReqs);
+  EXPECT_EQ(trainer.observations(), trainer.queue().pushed());
+  EXPECT_GE(trainer.publishes(), 1u);
+  // The admission cap held: contexts never exceeded shards * cap.
+  EXPECT_LE(target.client_count(), mc.shards * mc.max_clients_per_shard);
+  ASSERT_NE(target.snapshot(), nullptr);
+}
+
+}  // namespace
+}  // namespace webppm::learn

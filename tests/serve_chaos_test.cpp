@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "learn/trainer.hpp"
 #include "obs/metrics.hpp"
 #include "ppm/standard_ppm.hpp"
 #include "serve/model_server.hpp"
@@ -274,6 +275,87 @@ TEST(ServeChaos, TotalStoreLossDegradesInsteadOfFailing) {
       registry.counter("webppm_serve_degraded_transitions_total").value(),
       2u);
 
+  fs::remove_all(dir);
+}
+
+TEST(ServeChaos, OnlineTrainerFaultPlanNeverCorruptsServing) {
+  // The learn-pipeline leg of the chaos gate: one scripted plan drops
+  // observations mid-stream (learn.queue.push), aborts the first republish
+  // attempt (learn.publish), and fails the first durable store write
+  // (serve.snapshot.write) — and at no point may the serving path diverge
+  // from a fault-free twin or lose its model. Trainer crash/republish
+  // failure degrades training freshness, never serving.
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "chaos_learn_store").string();
+  fs::remove_all(dir);
+
+  SnapshotStoreConfig store_cfg;
+  store_cfg.dir = dir;
+  store_cfg.publish_attempts = 1;  // one injected write failure = one loss
+  store_cfg.backoff = std::chrono::milliseconds(0);
+  SnapshotStore store(store_cfg);
+
+  ModelServer server;
+  server.publish(trained_snapshot(101));
+  ModelServer twin;  // same model, no trainer, no faults
+  twin.publish(trained_snapshot(101));
+
+  learn::OnlineTrainerConfig tc;
+  tc.policy.day_boundaries = false;  // manual publishes only
+  tc.store = &store;
+  learn::OnlineTrainer trainer(server, tc);
+  trainer.attach();
+
+  fault::arm(fault::Plan{}
+                 .fail_nth("learn.queue.push", 2, 3)
+                 .fail_nth("learn.publish", 0, 1)
+                 .fail_nth("serve.snapshot.write", 0, 1));
+
+  // Ten observed clicks; three vanish at the queue. Observation loss is
+  // training loss only — the serving snapshot is untouched.
+  TimeSec t = 1000;
+  for (const UrlId u : {1u, 2u, 3u, 1u, 2u, 4u, 5u, 6u, 7u, 1u}) {
+    server.observe(click(60, u, t++));
+  }
+  trainer.step();
+  EXPECT_EQ(trainer.dropped(), 3u);
+  EXPECT_EQ(trainer.observations(), 7u);
+  EXPECT_EQ(replay_script(server, 900, 2000), replay_script(twin, 900, 2000));
+
+  // First republish attempt aborts at the learn.publish site: the shadow,
+  // the retained window, and the serving snapshot all stay as they were.
+  trainer.step();
+  EXPECT_FALSE(trainer.publish_now());
+  EXPECT_EQ(trainer.publish_failures(), 1u);
+  EXPECT_EQ(trainer.publishes(), 0u);
+  EXPECT_EQ(server.version(), 101u);
+  EXPECT_EQ(replay_script(server, 930, 3000), replay_script(twin, 930, 3000));
+
+  // Second attempt goes through in memory; the durable write fails.
+  // Freshness beats durability: the server serves the new model, the store
+  // failure is accounted, nothing on disk is half-written.
+  trainer.step();
+  EXPECT_TRUE(trainer.publish_now());
+  EXPECT_EQ(trainer.publishes(), 1u);
+  EXPECT_EQ(trainer.store_failures(), 1u);
+  EXPECT_EQ(server.version(), trainer.last_published_version());
+  EXPECT_EQ(store.load_latest().snapshot, nullptr);
+
+  fault::disarm();
+
+  // Chaos over: the next publish persists, and the disk generation carries
+  // the exact served version.
+  server.observe(click(61, 1, t++));
+  server.observe(click(61, 2, t++));
+  trainer.step();
+  EXPECT_TRUE(trainer.publish_now());
+  EXPECT_EQ(trainer.store_failures(), 1u);
+  const auto loaded = store.load_latest();
+  ASSERT_NE(loaded.snapshot, nullptr);
+  EXPECT_EQ(loaded.snapshot->version, trainer.last_published_version());
+  EXPECT_EQ(server.version(), trainer.last_published_version());
+
+  trainer.detach();
   fs::remove_all(dir);
 }
 
